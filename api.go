@@ -1,0 +1,62 @@
+package heterohpc
+
+import (
+	"heterohpc/internal/bench"
+	"heterohpc/internal/core"
+	"heterohpc/internal/platform"
+)
+
+// Re-exported core types: the minimal surface a downstream user needs to
+// run the paper's applications on the platform models.
+type (
+	// Target is a platform bound to its scheduler and billing.
+	Target = core.Target
+	// JobSpec describes one job submission.
+	JobSpec = core.JobSpec
+	// Report is the aggregated outcome of a run.
+	Report = core.Report
+	// IterStats are the per-iteration phase statistics of a report.
+	IterStats = core.IterStats
+	// App is a parallel application runnable on a Target.
+	App = core.App
+	// Platform is a hardware/pricing/capability description.
+	Platform = platform.Platform
+	// BenchOptions configures the experiment harness.
+	BenchOptions = bench.Options
+	// BenchSeries is one platform's weak-scaling curve.
+	BenchSeries = bench.Series
+)
+
+// NewTarget builds the named platform's execution target; seed drives its
+// deterministic availability (queue wait) stream.
+func NewTarget(name string, seed uint64) (*Target, error) {
+	return core.NewTarget(name, seed)
+}
+
+// Platforms returns the registered platform names.
+func Platforms() []string { return platform.Names() }
+
+// GetPlatform returns a platform description by name.
+func GetPlatform(name string) (*Platform, error) { return platform.Get(name) }
+
+// WeakRD builds the paper's weak-scaling reaction–diffusion application:
+// ranks (a cube number) processes, each loaded with perRankN³ mesh
+// elements, running steps BDF2 steps.
+func WeakRD(ranks, perRankN, steps int) (App, error) {
+	return core.WeakRD(ranks, perRankN, steps)
+}
+
+// WeakNS builds the weak-scaling Navier–Stokes (Ethier–Steinman)
+// application with the same loading rule.
+func WeakNS(ranks, perRankN, steps int) (App, error) {
+	return core.WeakNS(ranks, perRankN, steps)
+}
+
+// RunWeakScaling executes the Figure 4 (app "rd") or Figure 5 (app "ns")
+// experiment on one platform.
+func RunWeakScaling(app, platformName string, o BenchOptions) (*BenchSeries, error) {
+	return bench.RunWeak(app, platformName, o)
+}
+
+// CapabilityTable renders the paper's Table I for the four platforms.
+func CapabilityTable() string { return bench.FormatCapabilities() }

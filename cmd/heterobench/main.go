@@ -1,0 +1,286 @@
+// Command heterobench regenerates the tables and figures of "Experiences
+// with Target-Platform Heterogeneity in Clouds, Grids, and On-Premises
+// Resources" from the models in this repository.
+//
+// Usage:
+//
+//	heterobench capabilities                 # Table I
+//	heterobench provision                    # §VI porting plans
+//	heterobench rd-weak   [flags]            # Figure 4 (+ raw series)
+//	heterobench ns-weak   [flags]            # Figure 5
+//	heterobench placement [flags]            # Table II
+//	heterobench cost -app rd|ns [flags]      # Figures 6 and 7
+//	heterobench availability [-nodes N]      # §VIII availability comparison
+//	heterobench all [flags]                  # everything above
+//
+// Common flags: -n (elements per rank per dimension; the paper uses 20,
+// default 10 for tractable local runs), -steps, -max (largest process
+// count), -platforms (comma list), -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"heterohpc/internal/bench"
+	"heterohpc/internal/core"
+	"heterohpc/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	n := fs.Int("n", 10, "elements per rank per dimension (paper: 20)")
+	steps := fs.Int("steps", 3, "BDF2 steps per run")
+	skip := fs.Int("skip", 1, "initial iterations to discard from averages")
+	maxRanks := fs.Int("max", 1000, "largest process count of the series")
+	platforms := fs.String("platforms", "puma,ellipse,lagrange,ec2", "comma-separated platforms")
+	seed := fs.Uint64("seed", 2012, "seed for queue-wait and spot-market models")
+	app := fs.String("app", "rd", "application for the cost/strong commands (rd or ns)")
+	nodes := fs.Int("nodes", 8, "node count for the availability command")
+	globalN := fs.Int("global", 30, "global mesh edge for the strong command")
+	ranks := fs.Int("ranks", 27, "rank count for the ablate command")
+	what := fs.String("what", "precond", "ablation: precond, packing, interconnect or partition")
+	csvPath := fs.String("csv", "", "also write the raw series as CSV to this file (rd-weak, ns-weak, placement)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	opts := bench.Options{
+		PerRankN:  *n,
+		Steps:     *steps,
+		SkipSteps: *skip,
+		MaxRanks:  *maxRanks,
+		Seed:      *seed,
+		Platforms: strings.Split(*platforms, ","),
+	}
+
+	var err error
+	switch cmd {
+	case "capabilities":
+		fmt.Print(bench.FormatCapabilities())
+	case "provision":
+		err = runProvision()
+	case "rd-weak":
+		err = runWeak("rd", opts, *csvPath)
+	case "ns-weak":
+		err = runWeak("ns", opts, *csvPath)
+	case "placement":
+		err = runPlacement(opts, *csvPath)
+	case "cost":
+		err = runCost(*app, opts)
+	case "availability":
+		err = runAvailability(opts, *nodes)
+	case "strong":
+		err = runStrong(*app, *globalN, opts)
+	case "bidding":
+		var out string
+		out, err = bench.FormatBidSweep(opts, *nodes, 50)
+		fmt.Print(out)
+	case "ablate":
+		err = runAblate(*what, opts, *ranks)
+	case "trace":
+		err = runTrace(*app, opts, *ranks, *csvPath)
+	case "all":
+		err = runAll(opts, *nodes)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "heterobench: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "heterobench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `heterobench — regenerate the paper's evaluation
+
+commands:
+  capabilities            Table I: platform capability matrix
+  provision               §VI: per-platform porting plans and effort
+  rd-weak                 Figure 4: RD weak scaling across platforms
+  ns-weak                 Figure 5: Navier-Stokes weak scaling
+  placement               Table II: EC2 placement groups and spot mix
+  cost -app rd|ns         Figures 6/7: per-iteration cost
+  availability [-nodes N] §VIII: queue-wait comparison
+  strong [-global N]      extension: strong scaling on a fixed global mesh
+  ablate -what X          ablations: precond, packing, interconnect, partition
+  bidding [-nodes N]      extension: spot bid level vs. fleet cost
+  trace -ranks N          write a Chrome/Perfetto trace of one job's virtual timeline
+  all                     run everything
+
+flags: -n 10 -steps 3 -skip 1 -max 1000 -platforms puma,ellipse,lagrange,ec2 -seed 2012`)
+}
+
+func runWeak(app string, opts bench.Options, csvPath string) error {
+	series, err := bench.RunWeakAll(app, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatWeak(series))
+	fmt.Println()
+	fmt.Print(bench.FormatCost(series))
+	if csvPath != "" {
+		if err := os.WriteFile(csvPath, []byte(bench.CSVWeak(series)), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", csvPath)
+	}
+	return nil
+}
+
+func runPlacement(opts bench.Options, csvPath string) error {
+	res, err := bench.RunPlacement(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatPlacement(res))
+	if csvPath != "" {
+		if err := os.WriteFile(csvPath, []byte(bench.CSVPlacement(res)), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", csvPath)
+	}
+	return nil
+}
+
+func runCost(app string, opts bench.Options) error {
+	series, err := bench.RunWeakAll(app, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatCost(series))
+	return nil
+}
+
+func runProvision() error {
+	out, err := bench.FormatProvisioning()
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}
+
+func runStrong(app string, globalN int, opts bench.Options) error {
+	var series []*bench.StrongSeries
+	for _, p := range opts.Platforms {
+		s, err := bench.RunStrong(app, p, globalN, opts)
+		if err != nil {
+			return err
+		}
+		series = append(series, s)
+	}
+	fmt.Print(bench.FormatStrong(series))
+	return nil
+}
+
+func runAblate(what string, opts bench.Options, ranks int) error {
+	var out string
+	var err error
+	switch what {
+	case "precond":
+		out, err = bench.FormatPrecondAblation("ec2", ranks, opts)
+	case "packing":
+		out, err = bench.FormatPackingAblation("ec2", ranks, opts)
+	case "interconnect":
+		out, err = bench.FormatInterconnectAblation("puma", ranks, opts)
+	case "partition":
+		out, err = bench.FormatPartitionAblation(12, ranks)
+	default:
+		return fmt.Errorf("unknown ablation %q (want precond, packing, interconnect or partition)", what)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}
+
+func runAvailability(opts bench.Options, nodes int) error {
+	out, err := bench.FormatAvailability(opts, nodes)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}
+
+// runTrace executes one job per configured platform and writes Chrome-trace
+// timelines ("<platform>_<app>_trace.json", or the -csv path when exactly
+// one platform is configured).
+func runTrace(app string, opts bench.Options, ranks int, outPath string) error {
+	for _, platform := range opts.Platforms {
+		tg, err := core.NewTarget(platform, opts.Seed)
+		if err != nil {
+			return err
+		}
+		var a core.App
+		switch app {
+		case "rd":
+			a, err = core.WeakRD(ranks, opts.PerRankN, opts.Steps)
+		case "ns":
+			a, err = core.WeakNS(ranks, opts.PerRankN, opts.Steps)
+		default:
+			return fmt.Errorf("unknown app %q", app)
+		}
+		if err != nil {
+			return err
+		}
+		rep, err := tg.Run(core.JobSpec{Ranks: ranks, App: a})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v (skipped)\n", platform, err)
+			continue
+		}
+		path := fmt.Sprintf("%s_%s_trace.json", platform, app)
+		if outPath != "" && len(opts.Platforms) == 1 {
+			path = outPath
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChrome(f, app+" on "+platform, rep.PerRankSteps); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d ranks × %d steps; open in chrome://tracing or Perfetto)\n",
+			path, rep.Ranks, rep.Iter.Steps)
+	}
+	return nil
+}
+
+func runAll(opts bench.Options, nodes int) error {
+	fmt.Println("==== Table I: capabilities ====")
+	fmt.Print(bench.FormatCapabilities())
+	fmt.Println("\n==== §VI: provisioning ====")
+	if err := runProvision(); err != nil {
+		return err
+	}
+	fmt.Println("\n==== Figure 4: RD weak scaling (+ Figure 6 costs) ====")
+	if err := runWeak("rd", opts, ""); err != nil {
+		return err
+	}
+	fmt.Println("\n==== Figure 5: NS weak scaling (+ Figure 7 costs) ====")
+	if err := runWeak("ns", opts, ""); err != nil {
+		return err
+	}
+	fmt.Println("\n==== Table II: placement groups ====")
+	if err := runPlacement(opts, ""); err != nil {
+		return err
+	}
+	fmt.Println("\n==== §VIII: availability ====")
+	return runAvailability(opts, nodes)
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"heterohpc/internal/bench"
+)
+
+func tinyOpts() bench.Options {
+	return bench.Options{
+		PerRankN: 2, Steps: 1, MaxRanks: 8, Seed: 1,
+		Platforms: []string{"puma", "ec2"},
+	}
+}
+
+func TestRunProvision(t *testing.T) {
+	if err := runProvision(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWeakWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "weak.csv")
+	if err := runWeak("rd", tinyOpts(), csv); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "app,platform,ranks") {
+		t.Fatalf("csv header wrong: %q", string(data)[:40])
+	}
+}
+
+func TestRunPlacementWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "placement.csv")
+	if err := runPlacement(tinyOpts(), csv); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(csv); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCostAndAvailability(t *testing.T) {
+	if err := runCost("rd", tinyOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCost("bogus", tinyOpts()); err == nil {
+		t.Fatal("bogus app accepted")
+	}
+	if err := runAvailability(tinyOpts(), 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStrong(t *testing.T) {
+	o := tinyOpts()
+	o.Platforms = []string{"ec2"}
+	if err := runStrong("rd", 4, o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAblate(t *testing.T) {
+	o := tinyOpts()
+	if err := runAblate("partition", o, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := runAblate("bogus", o, 8); err == nil {
+		t.Fatal("unknown ablation accepted")
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	dir := t.TempDir()
+	cwd, _ := os.Getwd()
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(cwd)
+	o := tinyOpts()
+	o.Platforms = []string{"ec2"}
+	out := filepath.Join(dir, "trace.json")
+	if err := runTrace("rd", o, 8, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "traceEvents") {
+		t.Fatal("trace file malformed")
+	}
+	if err := runTrace("bogus", o, 8, ""); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}

@@ -1,0 +1,51 @@
+// Provisioning: plan the porting of the LifeV CFD stack (GCC, Open MPI,
+// BLAS/LAPACK, Boost, HDF5, ParMETIS, SuiteSparse, Trilinos, LifeV) onto
+// each of the four platforms, reproducing the §VI narratives: nothing to do
+// on the home cluster, ~8 man-hours of source builds on ellipse and
+// lagrange, and about a day on EC2 including the cloud-specific plumbing.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"heterohpc/internal/provision"
+)
+
+func main() {
+	reg := provision.DefaultRegistry()
+	if err := reg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range provision.PaperPlatforms {
+		st, err := provision.PlatformState(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan, err := provision.Resolve(reg, st, provision.AppTargets)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s ===\n", name)
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		installs := 0
+		for _, s := range plan.Steps {
+			if s.Method == provision.Preinstalled {
+				continue
+			}
+			installs++
+			fmt.Fprintf(w, "  install %s %s\tvia %s\t%.1f h\t%s\n",
+				s.Pkg, s.Version, s.Method, s.Hours, s.Note)
+		}
+		for _, t := range plan.Extra {
+			fmt.Fprintf(w, "  task    %s\t\t%.1f h\t%s\n", t.Name, t.Hours, t.Note)
+		}
+		w.Flush()
+		if installs == 0 {
+			fmt.Println("  (all dependencies pre-provisioned — the home platform)")
+		}
+		fmt.Printf("  => %.1f man-hours of preconditioning\n\n", plan.TotalHours)
+	}
+}

@@ -1,0 +1,3 @@
+module heterohpc
+
+go 1.22

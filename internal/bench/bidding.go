@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"heterohpc/internal/platform"
+	"heterohpc/internal/spot"
+	"heterohpc/internal/stats"
+)
+
+// BidPoint summarises the outcome of one bid level across many simulated
+// market histories.
+type BidPoint struct {
+	// BidFraction is the bid as a fraction of the on-demand price.
+	BidFraction float64
+	// SpotShare is the mean fraction of the fleet acquired at spot prices.
+	SpotShare float64
+	// BlendedNodeHour is the mean per-instance-hour price of the fleet.
+	BlendedNodeHour float64
+	// Rounds is the mean number of market epochs until the fleet was
+	// complete.
+	Rounds float64
+}
+
+// BidSweep evaluates the paper's cost-aware strategy across bid levels: how
+// much of a fleet of `nodes` instances arrives at spot prices, and what the
+// blended price becomes, as the bid rises from well below to above the
+// long-run spot price. trials market histories are averaged per level.
+func BidSweep(p *platform.Platform, nodes, trials int, seed uint64) ([]BidPoint, error) {
+	if p.SpotPerNodeHour == 0 {
+		return nil, fmt.Errorf("bench: %s has no spot market", p.Name)
+	}
+	if nodes < 1 || trials < 1 {
+		return nil, fmt.Errorf("bench: bad sweep geometry: %d nodes, %d trials", nodes, trials)
+	}
+	fractions := []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.35, 0.50, 0.75, 1.00}
+	rng := stats.NewRNG(seed)
+	var out []BidPoint
+	for _, frac := range fractions {
+		var share, blended, rounds float64
+		for trial := 0; trial < trials; trial++ {
+			m := spot.NewMarket(rng.Uint64(), p.CostPerNodeHour)
+			a, err := m.AcquireMix(nodes, frac*p.CostPerNodeHour, 4, 6)
+			if err != nil {
+				return nil, err
+			}
+			share += float64(a.SpotCount()) / float64(nodes)
+			blended += a.BlendedNodeHour()
+			rounds += float64(a.Rounds)
+		}
+		n := float64(trials)
+		out = append(out, BidPoint{
+			BidFraction:     frac,
+			SpotShare:       share / n,
+			BlendedNodeHour: blended / n,
+			Rounds:          rounds / n,
+		})
+	}
+	return out, nil
+}
+
+// FormatBidSweep renders a bid-strategy table for the EC2 model.
+func FormatBidSweep(o Options, nodes, trials int) (string, error) {
+	o = o.withDefaults()
+	p, err := platform.Get("ec2")
+	if err != nil {
+		return "", err
+	}
+	pts, err := BidSweep(p, nodes, trials, o.Seed)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cost-aware bidding: %d-instance fleets on %s ($%.2f on-demand, ~$%.2f spot), %d trials per bid\n",
+		nodes, p.Name, p.CostPerNodeHour, p.SpotPerNodeHour, trials)
+	fmt.Fprintf(&b, "%10s %12s %16s %10s %14s\n",
+		"bid", "spot share", "blended $/nd-h", "rounds", "saving vs full")
+	for _, pt := range pts {
+		fmt.Fprintf(&b, "%9.0f%% %11.1f%% %16.3f %10.1f %13.1f%%\n",
+			pt.BidFraction*100, pt.SpotShare*100, pt.BlendedNodeHour, pt.Rounds,
+			(1-pt.BlendedNodeHour/p.CostPerNodeHour)*100)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"heterohpc/internal/platform"
+)
+
+func TestBidSweepMonotone(t *testing.T) {
+	p, err := platform.Get("ec2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := BidSweep(p, 40, 30, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 5 {
+		t.Fatalf("only %d bid levels", len(pts))
+	}
+	// Spot share must be (weakly) increasing in the bid, and strongly so
+	// from far-below-spot to far-above-spot.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].SpotShare < pts[i-1].SpotShare-0.05 {
+			t.Errorf("spot share fell from %v to %v at bid %v",
+				pts[i-1].SpotShare, pts[i].SpotShare, pts[i].BidFraction)
+		}
+	}
+	lo, hi := pts[0], pts[len(pts)-1]
+	if lo.SpotShare > 0.1 {
+		t.Errorf("bid at 5%% of on-demand got %v spot share", lo.SpotShare)
+	}
+	if hi.SpotShare < 0.4 {
+		t.Errorf("bid at on-demand price got only %v spot share", hi.SpotShare)
+	}
+	// Blended price must never exceed on-demand, and high bids must save.
+	for _, pt := range pts {
+		if pt.BlendedNodeHour > p.CostPerNodeHour+1e-9 {
+			t.Errorf("blended %v above on-demand", pt.BlendedNodeHour)
+		}
+	}
+	if hi.BlendedNodeHour >= lo.BlendedNodeHour {
+		t.Errorf("bidding higher should lower the blend: %v vs %v",
+			hi.BlendedNodeHour, lo.BlendedNodeHour)
+	}
+}
+
+func TestBidSweepValidation(t *testing.T) {
+	ec2, _ := platform.Get("ec2")
+	if _, err := BidSweep(ec2, 0, 1, 1); err == nil {
+		t.Error("0 nodes accepted")
+	}
+	puma, _ := platform.Get("puma")
+	if _, err := BidSweep(puma, 10, 1, 1); err == nil {
+		t.Error("spotless platform accepted")
+	}
+}
+
+func TestFormatBidSweep(t *testing.T) {
+	out, err := FormatBidSweep(Options{Seed: 5}, 20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Cost-aware bidding", "spot share", "saving vs full"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bid table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CSVWeak renders a weak-scaling series set as CSV (one row per platform ×
+// rank count), the machine-readable companion to FormatWeak for re-plotting
+// Figures 4–7 with external tools.
+func CSVWeak(series []*Series) string {
+	var b strings.Builder
+	b.WriteString("app,platform,ranks,nodes,assembly_s,precond_s,solve_s,max_total_s,comm_frac,cost_usd,spot_cost_usd,error\n")
+	for _, s := range series {
+		for _, pt := range s.Points {
+			if pt.Err != nil {
+				fmt.Fprintf(&b, "%s,%s,%d,,,,,,,,,%q\n", s.App, s.Platform, pt.Ranks, pt.Err.Error())
+				continue
+			}
+			r := pt.Report
+			fmt.Fprintf(&b, "%s,%s,%d,%d,%g,%g,%g,%g,%g,%g,%g,\n",
+				s.App, s.Platform, pt.Ranks, r.Nodes,
+				r.Iter.AvgAssembly, r.Iter.AvgPrecond, r.Iter.AvgSolve,
+				r.Iter.MaxTotal, r.Iter.CommFraction, r.CostPerIter, r.SpotCostPerIter)
+		}
+	}
+	return b.String()
+}
+
+// CSVPlacement renders Table II as CSV.
+func CSVPlacement(res *PlacementResult) string {
+	var b strings.Builder
+	b.WriteString("ranks,instances,full_time_s,full_cost_usd,mix_time_s,mix_est_cost_usd,spot_share,error\n")
+	for _, row := range res.Rows {
+		if row.Err != nil {
+			fmt.Fprintf(&b, "%d,%d,,,,,,%q\n", row.Ranks, row.Instances, row.Err.Error())
+			continue
+		}
+		fmt.Fprintf(&b, "%d,%d,%g,%g,%g,%g,%g,\n",
+			row.Ranks, row.Instances, row.FullTime, row.FullCost,
+			row.MixTime, row.MixEstCost, row.SpotShare)
+	}
+	return b.String()
+}

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"heterohpc/internal/platform"
+	"heterohpc/internal/provision"
+	"heterohpc/internal/sched"
+)
+
+// FormatCapabilities renders Table I: the specification and capability
+// matrix of the four test architectures, with the porting annotations of
+// §VI ("in color: how we addressed the missing capabilities").
+func FormatCapabilities() string {
+	plats := platform.Defaults()
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprint(w, "\t")
+	for _, p := range plats {
+		fmt.Fprintf(w, "%s\t", p.Name)
+	}
+	fmt.Fprintln(w)
+	row := func(label string, f func(p *platform.Platform) string) {
+		fmt.Fprintf(w, "%s\t", label)
+		for _, p := range plats {
+			fmt.Fprintf(w, "%s\t", f(p))
+		}
+		fmt.Fprintln(w)
+	}
+	row("cpu arch.", func(p *platform.Platform) string {
+		if strings.Contains(p.CPU, "Opteron") {
+			return "Opteron"
+		}
+		return "Xeon"
+	})
+	row("# cpu/cores", func(p *platform.Platform) string {
+		return fmt.Sprintf("%d/%d", p.SocketsPerNode, p.CoresPerSocket)
+	})
+	row("RAM/core", func(p *platform.Platform) string {
+		return fmt.Sprintf("%.1fGB", p.RAMPerCoreGB())
+	})
+	row("network", func(p *platform.Platform) string { return p.Net.Name })
+	row("storage", func(p *platform.Platform) string { return p.Caps.Storage })
+	row("access", func(p *platform.Platform) string { return p.Caps.Access })
+	row("support", func(p *platform.Platform) string { return p.Caps.Support })
+	row("build env.", func(p *platform.Platform) string { return p.Caps.BuildEnv })
+	row("compiler", func(p *platform.Platform) string { return p.Caps.Compiler })
+	row("dependencies", func(p *platform.Platform) string { return p.Caps.Dependencies })
+	row("MPI", func(p *platform.Platform) string { return p.Caps.MPI })
+	row("parallel jobs", func(p *platform.Platform) string {
+		if p.Caps.ParallelJobs {
+			return "yes"
+		}
+		return "no"
+	})
+	row("execution", func(p *platform.Platform) string { return p.Caps.Execution })
+	row("cost", func(p *platform.Platform) string {
+		if p.BillWholeNodes {
+			return fmt.Sprintf("$%.2f/node-h (spot $%.2f)", p.CostPerNodeHour, p.SpotPerNodeHour)
+		}
+		return fmt.Sprintf("%.2f¢/core-h", p.CostPerCoreHour*100)
+	})
+	w.Flush()
+	return b.String()
+}
+
+// FormatProvisioning renders the §VI porting report: per platform, the
+// resolved installation plan and effort estimate.
+func FormatProvisioning() (string, error) {
+	reg := provision.DefaultRegistry()
+	var b strings.Builder
+	for _, name := range provision.PaperPlatforms {
+		st, err := provision.PlatformState(name)
+		if err != nil {
+			return "", err
+		}
+		plan, err := provision.Resolve(reg, st, provision.AppTargets)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "=== %s ===\n", name)
+		w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+		for _, s := range plan.Steps {
+			hours := ""
+			if s.Hours > 0 {
+				hours = fmt.Sprintf("%.1fh", s.Hours)
+			}
+			fmt.Fprintf(w, "  %s\t%s\t%s\t%s\n", s.Pkg, s.Version, s.Method, hours)
+		}
+		for _, t := range plan.Extra {
+			fmt.Fprintf(w, "  %s\t\ttask\t%.1fh\n", t.Name, t.Hours)
+		}
+		w.Flush()
+		fmt.Fprintf(&b, "  install effort: %.1f man-hours; with platform tasks: %.1f man-hours\n\n",
+			plan.InstallHours, plan.TotalHours)
+	}
+	return b.String(), nil
+}
+
+// FormatAvailability renders the §VIII availability comparison: queue-wait
+// quantiles per platform for a given job size.
+func FormatAvailability(o Options, nodesWanted int) (string, error) {
+	o = o.withDefaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Availability: sampled wait to obtain %d nodes (seconds; 1000 samples)\n", nodesWanted)
+	fmt.Fprintf(&b, "%-10s %12s %12s %12s\n", "platform", "p10", "median", "p90")
+	for _, name := range o.Platforms {
+		p, err := platform.Get(name)
+		if err != nil {
+			return "", err
+		}
+		n := nodesWanted
+		if n > p.MaxNodes {
+			n = p.MaxNodes
+		}
+		s := sched.New(p, o.Seed)
+		p10, p50, p90 := s.QueueWaitQuantiles(n, 1000)
+		fmt.Fprintf(&b, "%-10s %12.0f %12.0f %12.0f\n", name, p10, p50, p90)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,106 @@
+// Package checkpoint persists and restores solver state through h5lite
+// containers — the "automatic checkpointing" service the paper lists among
+// the further conditioning an EC2 cluster image would need (§VI-D). Each
+// rank writes its own container holding the BDF2 history vectors, its owned
+// vertex ids, and enough metadata to reject mismatched restarts.
+package checkpoint
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"heterohpc/internal/h5lite"
+	"heterohpc/internal/rd"
+)
+
+// FormatVersion guards against restoring state written by an incompatible
+// layout.
+const FormatVersion = "1"
+
+// WriteRD serialises one rank's RD solver state. ownedIDs are the rank's
+// owned global vertex ids (for integrity checking on restore).
+func WriteRD(w io.Writer, st rd.State, rank, nranks int, ownedIDs []int) error {
+	if len(st.U1) != len(st.U2) {
+		return fmt.Errorf("checkpoint: inconsistent state vectors %d/%d", len(st.U1), len(st.U2))
+	}
+	if len(ownedIDs) != len(st.U1) {
+		return fmt.Errorf("checkpoint: %d owned ids for %d dofs", len(ownedIDs), len(st.U1))
+	}
+	f := h5lite.New()
+	n := len(st.U1)
+	if err := f.CreateF64("rd/u1", []int{n}, st.U1); err != nil {
+		return err
+	}
+	if err := f.CreateF64("rd/u2", []int{n}, st.U2); err != nil {
+		return err
+	}
+	ids := make([]int64, n)
+	for i, g := range ownedIDs {
+		ids[i] = int64(g)
+	}
+	if err := f.CreateI64("rd/owned", []int{n}, ids); err != nil {
+		return err
+	}
+	meta := map[string]string{
+		"version": FormatVersion,
+		"steps":   strconv.Itoa(st.StepsDone),
+		"time":    strconv.FormatFloat(st.Time, 'x', -1, 64), // hex: exact
+		"rank":    strconv.Itoa(rank),
+		"nranks":  strconv.Itoa(nranks),
+	}
+	for k, v := range meta {
+		if err := f.SetAttr("rd/u1", k, v); err != nil {
+			return err
+		}
+	}
+	_, err := f.WriteTo(w)
+	return err
+}
+
+// ReadRD restores one rank's RD solver state, returning the state, the rank
+// and world size it was written from, and the owned vertex ids.
+func ReadRD(r io.Reader) (st rd.State, rank, nranks int, ownedIDs []int, err error) {
+	f, err := h5lite.ReadFrom(r)
+	if err != nil {
+		return st, 0, 0, nil, err
+	}
+	u1, ok := f.Get("rd/u1")
+	if !ok {
+		return st, 0, 0, nil, fmt.Errorf("checkpoint: not an RD checkpoint (rd/u1 missing)")
+	}
+	if v := u1.Attrs["version"]; v != FormatVersion {
+		return st, 0, 0, nil, fmt.Errorf("checkpoint: format version %q, want %q", v, FormatVersion)
+	}
+	u2, ok := f.Get("rd/u2")
+	if !ok || len(u2.F64) != len(u1.F64) {
+		return st, 0, 0, nil, fmt.Errorf("checkpoint: rd/u2 missing or mismatched")
+	}
+	idsDS, ok := f.Get("rd/owned")
+	if !ok || len(idsDS.I64) != len(u1.F64) {
+		return st, 0, 0, nil, fmt.Errorf("checkpoint: rd/owned missing or mismatched")
+	}
+	st.StepsDone, err = strconv.Atoi(u1.Attrs["steps"])
+	if err != nil {
+		return st, 0, 0, nil, fmt.Errorf("checkpoint: bad steps attribute: %w", err)
+	}
+	st.Time, err = strconv.ParseFloat(u1.Attrs["time"], 64)
+	if err != nil {
+		return st, 0, 0, nil, fmt.Errorf("checkpoint: bad time attribute: %w", err)
+	}
+	rank, err = strconv.Atoi(u1.Attrs["rank"])
+	if err != nil {
+		return st, 0, 0, nil, fmt.Errorf("checkpoint: bad rank attribute: %w", err)
+	}
+	nranks, err = strconv.Atoi(u1.Attrs["nranks"])
+	if err != nil {
+		return st, 0, 0, nil, fmt.Errorf("checkpoint: bad nranks attribute: %w", err)
+	}
+	st.U1 = u1.F64
+	st.U2 = u2.F64
+	ownedIDs = make([]int, len(idsDS.I64))
+	for i, g := range idsDS.I64 {
+		ownedIDs[i] = int(g)
+	}
+	return st, rank, nranks, ownedIDs, nil
+}

@@ -1,0 +1,236 @@
+package checkpoint
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"heterohpc/internal/h5lite"
+	"heterohpc/internal/mesh"
+	"heterohpc/internal/mp"
+	"heterohpc/internal/netmodel"
+	"heterohpc/internal/rd"
+	"heterohpc/internal/vclock"
+)
+
+func runRanks(t *testing.T, nranks int, body func(r *mp.Rank) error) {
+	t.Helper()
+	topo, err := mp.BlockTopology(nranks, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab, err := netmodel.NewFabric(netmodel.Loopback, topo.NNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mp.NewWorld(topo, fab, vclock.LinearRater{FlopsPerSec: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	st := rd.State{
+		StepsDone: 3,
+		Time:      1.15,
+		U1:        []float64{1.5, -2.5, 3.25},
+		U2:        []float64{0.5, 0.25, -0.125},
+	}
+	var buf bytes.Buffer
+	if err := WriteRD(&buf, st, 2, 8, []int{10, 11, 12}); err != nil {
+		t.Fatal(err)
+	}
+	got, rank, nranks, ids, err := ReadRD(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank != 2 || nranks != 8 {
+		t.Fatalf("rank/nranks = %d/%d", rank, nranks)
+	}
+	if got.StepsDone != 3 || got.Time != 1.15 {
+		t.Fatalf("metadata %+v", got)
+	}
+	for i := range st.U1 {
+		if got.U1[i] != st.U1[i] || got.U2[i] != st.U2[i] {
+			t.Fatalf("vectors differ at %d", i)
+		}
+	}
+	if len(ids) != 3 || ids[2] != 12 {
+		t.Fatalf("ids %v", ids)
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	var buf bytes.Buffer
+	bad := rd.State{U1: []float64{1}, U2: []float64{1, 2}}
+	if err := WriteRD(&buf, bad, 0, 1, []int{0}); err == nil {
+		t.Error("inconsistent vectors accepted")
+	}
+	ok := rd.State{U1: []float64{1}, U2: []float64{2}}
+	if err := WriteRD(&buf, ok, 0, 1, []int{0, 1}); err == nil {
+		t.Error("mismatched ids accepted")
+	}
+}
+
+func TestReadRejectsNonCheckpoint(t *testing.T) {
+	if _, _, _, _, err := ReadRD(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+// The headline guarantee: interrupting a run at a checkpoint and resuming
+// reproduces the uninterrupted run bit-for-bit (the solver is deterministic
+// and the checkpoint stores exact floats).
+func TestResumeMatchesStraightRun(t *testing.T) {
+	m := mesh.NewUnitCube(6)
+	const nranks = 8
+	const totalSteps = 4
+	const stopAfter = 2
+
+	straight := make([][]float64, nranks)
+	runRanks(t, nranks, func(r *mp.Rank) error {
+		res, err := rd.Run(r, rd.Config{Mesh: m, Grid: [3]int{2, 2, 2}, Steps: totalSteps})
+		if err != nil {
+			return err
+		}
+		straight[r.ID()] = res.Solution
+		return nil
+	})
+
+	// Owned ids per rank, for the checkpoint containers.
+	ownedIDs := make([][]int, nranks)
+	for rank := 0; rank < nranks; rank++ {
+		l, err := mesh.NewLocalFromBlock(m, 2, 2, 2, rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ownedIDs[rank] = l.VertGlobal[:l.NumOwned]
+	}
+
+	// Phase 1: run to the checkpoint, serialising each rank's state.
+	blobs := make([]bytes.Buffer, nranks)
+	runRanks(t, nranks, func(r *mp.Rank) error {
+		_, err := rd.Run(r, rd.Config{
+			Mesh: m, Grid: [3]int{2, 2, 2}, Steps: stopAfter,
+			Checkpoint: func(st rd.State) error {
+				blobs[r.ID()].Reset() // keep only the latest checkpoint
+				return WriteRD(&blobs[r.ID()], st, r.ID(), r.Size(), ownedIDs[r.ID()])
+			},
+		})
+		return err
+	})
+
+	// Phase 2: restore and finish; compare with the straight run.
+	resumed := make([][]float64, nranks)
+	runRanks(t, nranks, func(r *mp.Rank) error {
+		st, rank, nr, _, err := ReadRD(bytes.NewReader(blobs[r.ID()].Bytes()))
+		if err != nil {
+			return err
+		}
+		if rank != r.ID() || nr != nranks {
+			return fmt.Errorf("checkpoint belongs to rank %d/%d", rank, nr)
+		}
+		res, err := rd.Run(r, rd.Config{
+			Mesh: m, Grid: [3]int{2, 2, 2}, Steps: totalSteps, Resume: &st,
+		})
+		if err != nil {
+			return err
+		}
+		if len(res.StepTimes) != totalSteps-stopAfter {
+			return fmt.Errorf("resumed run executed %d steps, want %d",
+				len(res.StepTimes), totalSteps-stopAfter)
+		}
+		resumed[r.ID()] = res.Solution
+		return nil
+	})
+
+	for rank := range straight {
+		if len(straight[rank]) != len(resumed[rank]) {
+			t.Fatalf("rank %d solution lengths differ", rank)
+		}
+		for i := range straight[rank] {
+			if straight[rank][i] != resumed[rank][i] {
+				t.Fatalf("rank %d dof %d: straight %v vs resumed %v",
+					rank, i, straight[rank][i], resumed[rank][i])
+			}
+		}
+	}
+}
+
+func TestResumeValidation(t *testing.T) {
+	m := mesh.NewUnitCube(4)
+	runRanks(t, 1, func(r *mp.Rank) error {
+		bad := &rd.State{StepsDone: 1, U1: []float64{1}, U2: []float64{1}}
+		if _, err := rd.Run(r, rd.Config{Mesh: m, Grid: [3]int{1, 1, 1}, Steps: 2, Resume: bad}); err == nil {
+			return fmt.Errorf("short resume state accepted")
+		}
+		n := m.NumVerts()
+		tooFar := &rd.State{StepsDone: 5, U1: make([]float64, n), U2: make([]float64, n)}
+		if _, err := rd.Run(r, rd.Config{Mesh: m, Grid: [3]int{1, 1, 1}, Steps: 2, Resume: tooFar}); err == nil {
+			return fmt.Errorf("out-of-range resume step accepted")
+		}
+		return nil
+	})
+}
+
+func TestReadRejectsCorruptedContainers(t *testing.T) {
+	good := rd.State{StepsDone: 1, Time: 1.05, U1: []float64{1, 2}, U2: []float64{3, 4}}
+	var buf bytes.Buffer
+	if err := WriteRD(&buf, good, 0, 1, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	// A container missing rd/u1 is rejected.
+	f := h5lite.New()
+	if err := f.CreateF64("other", []int{1}, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	var b2 bytes.Buffer
+	if _, err := f.WriteTo(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, _, err := ReadRD(&b2); err == nil {
+		t.Error("container without rd/u1 accepted")
+	}
+	// A wrong format version is rejected.
+	f2 := h5lite.New()
+	_ = f2.CreateF64("rd/u1", []int{1}, []float64{1})
+	_ = f2.CreateF64("rd/u2", []int{1}, []float64{1})
+	_ = f2.CreateI64("rd/owned", []int{1}, []int64{0})
+	_ = f2.SetAttr("rd/u1", "version", "999")
+	var b3 bytes.Buffer
+	if _, err := f2.WriteTo(&b3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, _, err := ReadRD(&b3); err == nil {
+		t.Error("wrong version accepted")
+	}
+	// Missing metadata attributes are rejected.
+	f3 := h5lite.New()
+	_ = f3.CreateF64("rd/u1", []int{1}, []float64{1})
+	_ = f3.CreateF64("rd/u2", []int{1}, []float64{1})
+	_ = f3.CreateI64("rd/owned", []int{1}, []int64{0})
+	_ = f3.SetAttr("rd/u1", "version", FormatVersion)
+	var b4 bytes.Buffer
+	if _, err := f3.WriteTo(&b4); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, _, err := ReadRD(&b4); err == nil {
+		t.Error("missing steps attribute accepted")
+	}
+	// Mismatched u2 length is rejected.
+	f4 := h5lite.New()
+	_ = f4.CreateF64("rd/u1", []int{2}, []float64{1, 2})
+	_ = f4.CreateF64("rd/u2", []int{1}, []float64{1})
+	_ = f4.CreateI64("rd/owned", []int{2}, []int64{0, 1})
+	_ = f4.SetAttr("rd/u1", "version", FormatVersion)
+	var b5 bytes.Buffer
+	if _, err := f4.WriteTo(&b5); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, _, err := ReadRD(&b5); err == nil {
+		t.Error("mismatched u2 accepted")
+	}
+}

@@ -1,0 +1,270 @@
+// Package core is the façade of the library: it binds a platform model
+// (hardware + interconnect), its scheduler and its billing into a Target on
+// which parallel applications run, and aggregates per-rank virtual-time
+// profiles into the per-iteration statistics the paper reports ("the
+// average times of assembly, preconditioning, and solver phases with the
+// total maximal iteration time", §VII-A).
+//
+// A Run executes the application for real — every rank assembles, solves
+// and communicates — while the virtual clocks translate the observed
+// operation counts and message sizes into seconds on the modelled platform.
+package core
+
+import (
+	"fmt"
+
+	"heterohpc/internal/cost"
+	"heterohpc/internal/mp"
+	"heterohpc/internal/netmodel"
+	"heterohpc/internal/platform"
+	"heterohpc/internal/sched"
+	"heterohpc/internal/vclock"
+)
+
+// App is a parallel application runnable on a Target. Run executes the
+// SPMD body of one rank and reports its per-step phase breakdown plus
+// scalar metrics (error norms, iteration counts); metrics must be globally
+// consistent (identical on all ranks).
+type App interface {
+	Name() string
+	Run(r *mp.Rank) (steps []vclock.PhaseTimes, metrics map[string]float64, err error)
+}
+
+// Target is a platform ready to execute jobs.
+type Target struct {
+	Platform *platform.Platform
+	Sched    *sched.Scheduler
+	Billing  cost.Billing
+}
+
+// NewTarget builds the named platform's target with a deterministic
+// scheduler stream.
+func NewTarget(name string, seed uint64) (*Target, error) {
+	p, err := platform.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return NewTargetFromPlatform(p, seed)
+}
+
+// NewTargetFromPlatform builds a target from an explicit platform
+// description — the hook for counterfactual ablations ("puma with
+// InfiniBand") that modify a copy of a catalog platform.
+func NewTargetFromPlatform(p *platform.Platform, seed uint64) (*Target, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Target{
+		Platform: p,
+		Sched:    sched.New(p, seed),
+		Billing:  cost.ForPlatform(p),
+	}, nil
+}
+
+// JobSpec describes one submission.
+type JobSpec struct {
+	// Ranks is the MPI process count.
+	Ranks int
+	// App is the application to execute.
+	App App
+	// SkipSteps discards the first k time steps from the averaged
+	// statistics, insulating them from startup artefacts as the paper does
+	// ("we discarded timings from the first 5 iterations").
+	SkipSteps int
+	// GroupOfNode optionally assigns each node to an EC2 placement group
+	// (nil = single group). Length must equal the node count.
+	GroupOfNode []int
+	// MemPerRankGB is the job's working set per rank, checked against the
+	// platform's RAM per core.
+	MemPerRankGB float64
+	// RanksPerNode overrides the default dense packing (CoresPerNode ranks
+	// per node). Underfilling nodes buys each rank a larger NIC share at a
+	// higher whole-node cost — the trade-off behind the paper's observation
+	// that EC2's 16-core nodes need "notably fewer hosts". Zero means dense.
+	RanksPerNode int
+}
+
+// IterStats are the paper's per-iteration statistics, averaged over the
+// kept time steps.
+type IterStats struct {
+	// AvgAssembly/AvgPrecond/AvgSolve/AvgOther are rank-averaged phase
+	// times per iteration (seconds).
+	AvgAssembly float64
+	AvgPrecond  float64
+	AvgSolve    float64
+	AvgOther    float64
+	// MaxTotal is the total maximal iteration time: max over ranks,
+	// averaged over kept steps.
+	MaxTotal float64
+	// CommFraction is the communication share of the rank-summed time.
+	CommFraction float64
+	// Steps is the number of kept iterations.
+	Steps int
+}
+
+// Report is the outcome of one job.
+type Report struct {
+	Platform string
+	App      string
+	Ranks    int
+	Nodes    int
+	// QueueWaitS is the sampled scheduler wait before execution (seconds).
+	QueueWaitS float64
+	Iter       IterStats
+	// CostPerIter prices one iteration (MaxTotal) at the platform's
+	// on-demand billing; SpotCostPerIter at the spot rate when one exists.
+	CostPerIter     float64
+	SpotCostPerIter float64
+	// Metrics carries application metrics (error norms, solver iterations).
+	Metrics map[string]float64
+	// PerRankSteps holds every rank's per-step phase breakdown (the raw
+	// data behind Iter), for timeline export and custom analyses.
+	PerRankSteps [][]vclock.PhaseTimes
+}
+
+// Run submits the job, executes it and aggregates the report. Scheduling
+// failures (machine too small, launch limits, the lagrange IB volume cap)
+// surface as the typed errors of internal/sched.
+func (t *Target) Run(spec JobSpec) (*Report, error) {
+	if spec.App == nil {
+		return nil, fmt.Errorf("core: job without application")
+	}
+	if err := t.Sched.Admit(spec.Ranks, spec.MemPerRankGB); err != nil {
+		return nil, err
+	}
+	p := t.Platform
+	cpn := p.CoresPerNode()
+	if spec.RanksPerNode > 0 {
+		if spec.RanksPerNode > cpn {
+			return nil, fmt.Errorf("core: %d ranks per node exceeds %d cores (%s)",
+				spec.RanksPerNode, cpn, p.Name)
+		}
+		cpn = spec.RanksPerNode
+	}
+	nodes := (spec.Ranks + cpn - 1) / cpn
+	if nodes > p.MaxNodes {
+		return nil, fmt.Errorf("core: placement needs %d nodes, %s has %d",
+			nodes, p.Name, p.MaxNodes)
+	}
+	queueWait := t.Sched.QueueWait(nodes)
+
+	groups := spec.GroupOfNode
+	if groups == nil {
+		groups = make([]int, nodes)
+	}
+	if len(groups) != nodes {
+		return nil, fmt.Errorf("core: %d group assignments for %d nodes", len(groups), nodes)
+	}
+	nodeOf := make([]int, spec.Ranks)
+	for r := range nodeOf {
+		nodeOf[r] = r / cpn
+	}
+	topo, err := mp.NewTopology(nodeOf, groups)
+	if err != nil {
+		return nil, err
+	}
+	commScale := p.CommScale
+	if commScale == 0 {
+		commScale = 1
+	}
+	fabric, err := netmodel.NewFabricScaled(p.Net, nodes, commScale)
+	if err != nil {
+		return nil, err
+	}
+	world, err := mp.NewWorld(topo, fabric, p.Rater)
+	if err != nil {
+		return nil, err
+	}
+
+	perRank := make([][]vclock.PhaseTimes, spec.Ranks)
+	var metrics map[string]float64
+	runErr := world.Run(func(r *mp.Rank) error {
+		steps, m, err := spec.App.Run(r)
+		if err != nil {
+			return err
+		}
+		perRank[r.ID()] = steps
+		if r.ID() == 0 {
+			metrics = m
+		}
+		return nil
+	})
+	if runErr != nil {
+		return nil, fmt.Errorf("core: %s on %s with %d ranks: %w",
+			spec.App.Name(), p.Name, spec.Ranks, runErr)
+	}
+
+	iter, err := aggregate(perRank, spec.SkipSteps)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Platform:     p.Name,
+		App:          spec.App.Name(),
+		Ranks:        spec.Ranks,
+		Nodes:        nodes,
+		QueueWaitS:   queueWait,
+		Iter:         iter,
+		CostPerIter:  t.Billing.PerIteration(iter.MaxTotal, spec.Ranks),
+		Metrics:      metrics,
+		PerRankSteps: perRank,
+	}
+	if sb, err := cost.SpotForPlatform(p); err == nil {
+		rep.SpotCostPerIter = sb.PerIteration(iter.MaxTotal, spec.Ranks)
+	}
+	return rep, nil
+}
+
+// aggregate computes the paper's iteration statistics from per-rank,
+// per-step phase breakdowns.
+func aggregate(perRank [][]vclock.PhaseTimes, skip int) (IterStats, error) {
+	if len(perRank) == 0 || len(perRank[0]) == 0 {
+		return IterStats{}, fmt.Errorf("core: application reported no steps")
+	}
+	nsteps := len(perRank[0])
+	for r, s := range perRank {
+		if len(s) != nsteps {
+			return IterStats{}, fmt.Errorf("core: rank %d reported %d steps, rank 0 %d",
+				r, len(s), nsteps)
+		}
+	}
+	if skip >= nsteps {
+		skip = nsteps - 1 // always keep at least the last step
+	}
+	var st IterStats
+	var commSum, totalSum float64
+	ranks := float64(len(perRank))
+	for s := skip; s < nsteps; s++ {
+		var avgA, avgP, avgS, avgO, maxTot float64
+		for r := range perRank {
+			pt := perRank[r][s]
+			avgA += pt.Phase(vclock.PhaseAssembly)
+			avgP += pt.Phase(vclock.PhasePrecond)
+			avgS += pt.Phase(vclock.PhaseSolve)
+			avgO += pt.Phase(vclock.PhaseOther)
+			if tot := pt.Total(); tot > maxTot {
+				maxTot = tot
+			}
+			for _, ph := range vclock.Phases {
+				commSum += pt.Comm[ph]
+			}
+			totalSum += pt.Total()
+		}
+		st.AvgAssembly += avgA / ranks
+		st.AvgPrecond += avgP / ranks
+		st.AvgSolve += avgS / ranks
+		st.AvgOther += avgO / ranks
+		st.MaxTotal += maxTot
+		st.Steps++
+	}
+	k := float64(st.Steps)
+	st.AvgAssembly /= k
+	st.AvgPrecond /= k
+	st.AvgSolve /= k
+	st.AvgOther /= k
+	st.MaxTotal /= k
+	if totalSum > 0 {
+		st.CommFraction = commSum / totalSum
+	}
+	return st, nil
+}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"heterohpc/internal/mp"
+	"heterohpc/internal/sched"
+	"heterohpc/internal/vclock"
+)
+
+func TestNewTarget(t *testing.T) {
+	for _, name := range []string{"puma", "ellipse", "lagrange", "ec2"} {
+		tg, err := NewTarget(name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if tg.Platform.Name != name {
+			t.Errorf("wrong platform %s", tg.Platform.Name)
+		}
+	}
+	if _, err := NewTarget("bogus", 1); err == nil {
+		t.Error("unknown target accepted")
+	}
+}
+
+func TestRunRDSmall(t *testing.T) {
+	tg, _ := NewTarget("puma", 1)
+	app, err := WeakRD(8, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tg.Run(JobSpec{Ranks: 8, App: app, SkipSteps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ranks != 8 || rep.Nodes != 2 {
+		t.Errorf("geometry: %d ranks on %d nodes", rep.Ranks, rep.Nodes)
+	}
+	if rep.Iter.Steps != 2 {
+		t.Errorf("kept %d steps, want 2", rep.Iter.Steps)
+	}
+	if rep.Iter.AvgAssembly <= 0 || rep.Iter.AvgPrecond <= 0 || rep.Iter.AvgSolve <= 0 {
+		t.Errorf("phases must be positive: %+v", rep.Iter)
+	}
+	if rep.Iter.MaxTotal < rep.Iter.AvgAssembly+rep.Iter.AvgPrecond+rep.Iter.AvgSolve {
+		t.Errorf("max total %v below sum of phase averages %+v", rep.Iter.MaxTotal, rep.Iter)
+	}
+	if rep.CostPerIter <= 0 {
+		t.Errorf("cost %v", rep.CostPerIter)
+	}
+	if rep.SpotCostPerIter != 0 {
+		t.Errorf("puma has no spot market, got %v", rep.SpotCostPerIter)
+	}
+	if rep.QueueWaitS <= 0 {
+		t.Errorf("queue wait %v", rep.QueueWaitS)
+	}
+	if rep.Metrics["max_err"] > 1e-4 {
+		t.Errorf("solution wrong: max_err %v", rep.Metrics["max_err"])
+	}
+}
+
+func TestRunNSSmall(t *testing.T) {
+	tg, _ := NewTarget("ec2", 1)
+	app, err := WeakNS(8, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tg.Run(JobSpec{Ranks: 8, App: app})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Nodes != 1 { // 8 ranks fit one 16-core cc2.8xlarge
+		t.Errorf("ns on ec2: %d nodes", rep.Nodes)
+	}
+	if rep.SpotCostPerIter <= 0 || rep.SpotCostPerIter >= rep.CostPerIter {
+		t.Errorf("spot %v vs on-demand %v", rep.SpotCostPerIter, rep.CostPerIter)
+	}
+	if rep.Metrics["vel_l2_err"] > 0.5 {
+		t.Errorf("velocity error %v", rep.Metrics["vel_l2_err"])
+	}
+}
+
+// NS must cost more virtual time per iteration than RD at equal loading
+// (§VII-C: "The Navier-Stokes test is more computationally demanding").
+func TestNSHeavierThanRD(t *testing.T) {
+	tg, _ := NewTarget("ec2", 1)
+	rdApp, _ := WeakRD(8, 4, 2)
+	nsApp, _ := WeakNS(8, 4, 2)
+	rdRep, err := tg.Run(JobSpec{Ranks: 8, App: rdApp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsRep, err := tg.Run(JobSpec{Ranks: 8, App: nsApp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nsRep.Iter.MaxTotal <= rdRep.Iter.MaxTotal {
+		t.Fatalf("NS iteration %v not heavier than RD %v",
+			nsRep.Iter.MaxTotal, rdRep.Iter.MaxTotal)
+	}
+}
+
+func TestSchedulingErrorsSurface(t *testing.T) {
+	app, _ := WeakRD(216, 2, 1)
+	tg, _ := NewTarget("puma", 1)
+	_, err := tg.Run(JobSpec{Ranks: 216, App: app})
+	if !errors.Is(err, sched.ErrTooLarge) {
+		t.Errorf("puma 216 ranks: %v", err)
+	}
+	tg, _ = NewTarget("lagrange", 1)
+	app512, _ := WeakRD(512, 2, 1)
+	_, err = tg.Run(JobSpec{Ranks: 512, App: app512})
+	if !errors.Is(err, sched.ErrIBVolumeCap) {
+		t.Errorf("lagrange 512 ranks: %v", err)
+	}
+	tg, _ = NewTarget("ellipse", 1)
+	app729, _ := WeakRD(729, 2, 1)
+	_, err = tg.Run(JobSpec{Ranks: 729, App: app729})
+	if !errors.Is(err, sched.ErrLaunchLimit) {
+		t.Errorf("ellipse 729 ranks: %v", err)
+	}
+}
+
+func TestGroupAssignmentValidated(t *testing.T) {
+	tg, _ := NewTarget("ec2", 1)
+	app, _ := WeakRD(8, 3, 1)
+	if _, err := tg.Run(JobSpec{Ranks: 8, App: app, GroupOfNode: []int{0, 1}}); err == nil {
+		t.Error("mismatched group list accepted (8 ranks = 1 ec2 node)")
+	}
+}
+
+func TestWeakAppValidation(t *testing.T) {
+	if _, err := WeakRD(7, 4, 1); err == nil {
+		t.Error("non-cubic rank count accepted")
+	}
+	if _, err := WeakNS(10, 4, 1); err == nil {
+		t.Error("non-cubic rank count accepted")
+	}
+}
+
+func TestMemPerRankGB(t *testing.T) {
+	if m := MemPerRankGB(20, 1); m <= 0 || m > 1 {
+		t.Errorf("20³ scalar working set %v GB implausible", m)
+	}
+	if MemPerRankGB(20, 4) <= MemPerRankGB(20, 1) {
+		t.Error("4-field problem must need more memory")
+	}
+}
+
+type fakeApp struct {
+	perRank func(rank int) []vclock.PhaseTimes
+	fail    bool
+}
+
+func (f fakeApp) Name() string { return "fake" }
+func (f fakeApp) Run(r *mp.Rank) ([]vclock.PhaseTimes, map[string]float64, error) {
+	if f.fail {
+		return nil, nil, fmt.Errorf("deliberate failure")
+	}
+	return f.perRank(r.ID()), map[string]float64{"ok": 1}, nil
+}
+
+func TestAggregateStatistics(t *testing.T) {
+	tg, _ := NewTarget("puma", 1)
+	// Two ranks (one node), two steps; rank 1 is slower in solve.
+	mk := func(a, s float64) vclock.PhaseTimes {
+		var pt vclock.PhaseTimes
+		pt.Compute[vclock.PhaseAssembly] = a
+		pt.Compute[vclock.PhaseSolve] = s
+		return pt
+	}
+	app := fakeApp{perRank: func(rank int) []vclock.PhaseTimes {
+		if rank == 0 {
+			return []vclock.PhaseTimes{mk(1, 2), mk(1, 2)}
+		}
+		return []vclock.PhaseTimes{mk(1, 4), mk(1, 4)}
+	}}
+	rep, err := tg.Run(JobSpec{Ranks: 2, App: app})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Iter.AvgAssembly-1) > 1e-12 {
+		t.Errorf("avg assembly %v", rep.Iter.AvgAssembly)
+	}
+	if math.Abs(rep.Iter.AvgSolve-3) > 1e-12 {
+		t.Errorf("avg solve %v, want mean(2,4)=3", rep.Iter.AvgSolve)
+	}
+	if math.Abs(rep.Iter.MaxTotal-5) > 1e-12 {
+		t.Errorf("max total %v, want 5 (slow rank)", rep.Iter.MaxTotal)
+	}
+}
+
+func TestAppFailurePropagates(t *testing.T) {
+	tg, _ := NewTarget("puma", 1)
+	if _, err := tg.Run(JobSpec{Ranks: 2, App: fakeApp{fail: true}}); err == nil {
+		t.Error("app failure swallowed")
+	}
+	if _, err := tg.Run(JobSpec{Ranks: 2}); err == nil {
+		t.Error("nil app accepted")
+	}
+}
+
+func TestSkipStepsClamped(t *testing.T) {
+	tg, _ := NewTarget("puma", 1)
+	app := fakeApp{perRank: func(int) []vclock.PhaseTimes {
+		var pt vclock.PhaseTimes
+		pt.Compute[vclock.PhaseSolve] = 1
+		return []vclock.PhaseTimes{pt, pt}
+	}}
+	rep, err := tg.Run(JobSpec{Ranks: 1, App: app, SkipSteps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iter.Steps != 1 {
+		t.Errorf("kept %d steps; clamping should keep the last", rep.Iter.Steps)
+	}
+}
+
+func TestDeterministicReports(t *testing.T) {
+	run := func() *Report {
+		tg, _ := NewTarget("ellipse", 7)
+		app, _ := WeakRD(8, 3, 2)
+		rep, err := tg.Run(JobSpec{Ranks: 8, App: app})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Iter.MaxTotal != b.Iter.MaxTotal || a.CostPerIter != b.CostPerIter ||
+		a.QueueWaitS != b.QueueWaitS {
+		t.Fatalf("reports not deterministic: %+v vs %+v", a.Iter, b.Iter)
+	}
+}
+
+func TestRanksPerNodeOverride(t *testing.T) {
+	tg, _ := NewTarget("ec2", 1)
+	app, _ := WeakRD(8, 3, 2)
+	dense, err := tg.Run(JobSpec{Ranks: 8, App: app})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app2, _ := WeakRD(8, 3, 2)
+	spread, err := tg.Run(JobSpec{Ranks: 8, App: app2, RanksPerNode: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.Nodes != 1 || spread.Nodes != 8 {
+		t.Fatalf("nodes: dense %d spread %d", dense.Nodes, spread.Nodes)
+	}
+	// Spreading across whole nodes multiplies the whole-node bill.
+	if spread.CostPerIter <= dense.CostPerIter {
+		t.Errorf("spread cost %v should exceed dense cost %v",
+			spread.CostPerIter, dense.CostPerIter)
+	}
+	// Over-packing is rejected.
+	app3, _ := WeakRD(8, 3, 1)
+	if _, err := tg.Run(JobSpec{Ranks: 8, App: app3, RanksPerNode: 99}); err == nil {
+		t.Error("ranks-per-node above cores accepted")
+	}
+	// Spreading beyond the machine is rejected.
+	puma, _ := NewTarget("puma", 1)
+	app4, _ := WeakRD(64, 3, 1)
+	if _, err := puma.Run(JobSpec{Ranks: 64, App: app4, RanksPerNode: 1}); err == nil {
+		t.Error("64 single-rank nodes on a 32-node machine accepted")
+	}
+}

@@ -1,0 +1,212 @@
+// Package fem implements the finite-element layer that the LifeV library
+// provided in the paper's stack: trilinear (Q1) hexahedral elements with
+// Gauss quadrature, element matrices for mass, diffusion, convection and
+// pressure-gradient operators, distributed assembly over a mesh.Local, and
+// nodal interpolation/error evaluation against exact solutions.
+//
+// The paper's applications use P2 (and P2/P1) elements; Q1 elements on the
+// same structured cubes preserve the phase structure (assembly →
+// preconditioner → solve per BDF2 step), the communication pattern and the
+// exact-solution verification workflow, which is what the reproduction
+// needs (see DESIGN.md §2).
+package fem
+
+import "fmt"
+
+// QuadPoint is one quadrature point on the reference cube [-1,1]³.
+type QuadPoint struct {
+	Xi [3]float64
+	W  float64
+}
+
+// Gauss222 returns the 2×2×2 Gauss–Legendre rule on [-1,1]³ (exact for
+// tri-cubic polynomials, the standard rule for Q1 operators).
+func Gauss222() []QuadPoint {
+	const g = 0.5773502691896257 // 1/sqrt(3)
+	pts := make([]QuadPoint, 0, 8)
+	for _, z := range [2]float64{-g, g} {
+		for _, y := range [2]float64{-g, g} {
+			for _, x := range [2]float64{-g, g} {
+				pts = append(pts, QuadPoint{Xi: [3]float64{x, y, z}, W: 1})
+			}
+		}
+	}
+	return pts
+}
+
+// ShapeQ1 evaluates the 8 trilinear shape functions and their reference
+// gradients at ξ. Local node ordering matches mesh.ElemVerts: x fastest,
+// then y, then z.
+func ShapeQ1(xi [3]float64) (n [8]float64, dn [8][3]float64) {
+	signs := [2]float64{-1, 1}
+	a := 0
+	for kz := 0; kz < 2; kz++ {
+		for ky := 0; ky < 2; ky++ {
+			for kx := 0; kx < 2; kx++ {
+				sx, sy, sz := signs[kx], signs[ky], signs[kz]
+				fx := (1 + sx*xi[0]) / 2
+				fy := (1 + sy*xi[1]) / 2
+				fz := (1 + sz*xi[2]) / 2
+				n[a] = fx * fy * fz
+				dn[a][0] = sx / 2 * fy * fz
+				dn[a][1] = fx * sy / 2 * fz
+				dn[a][2] = fx * fy * sz / 2
+				a++
+			}
+		}
+	}
+	return
+}
+
+// Charger mirrors sparse.Charger to avoid an import cycle concern; any
+// charger (including mp.Rank) satisfies it.
+type Charger interface {
+	ChargeCompute(flops, bytes float64)
+}
+
+type nopCharger struct{}
+
+func (nopCharger) ChargeCompute(float64, float64) {}
+
+// Element holds the quadrature data of a uniform hexahedral element of size
+// hx×hy×hz. Shape values at quadrature points are precomputed once; the
+// per-element integration loops still run for every element (the paper's
+// assembly phase is exactly this work).
+type Element struct {
+	Hx, Hy, Hz float64
+	qp         []QuadPoint
+	n          [][8]float64    // shape values per qp
+	dphys      [][8][3]float64 // physical gradients per qp
+	jac        float64         // |J| = hx·hy·hz/8
+}
+
+// NewElement precomputes quadrature data for an hx×hy×hz element.
+func NewElement(hx, hy, hz float64) (*Element, error) {
+	if hx <= 0 || hy <= 0 || hz <= 0 {
+		return nil, fmt.Errorf("fem: non-positive element size %v×%v×%v", hx, hy, hz)
+	}
+	el := &Element{Hx: hx, Hy: hy, Hz: hz, qp: Gauss222(), jac: hx * hy * hz / 8}
+	inv := [3]float64{2 / hx, 2 / hy, 2 / hz}
+	for _, q := range el.qp {
+		n, dn := ShapeQ1(q.Xi)
+		var dp [8][3]float64
+		for a := 0; a < 8; a++ {
+			for d := 0; d < 3; d++ {
+				dp[a][d] = dn[a][d] * inv[d]
+			}
+		}
+		el.n = append(el.n, n)
+		el.dphys = append(el.dphys, dp)
+	}
+	return el, nil
+}
+
+// Mass accumulates c·∫ N_a N_b into out (overwriting it).
+func (el *Element) Mass(c float64, out *[8][8]float64, ch Charger) {
+	if ch == nil {
+		ch = nopCharger{}
+	}
+	*out = [8][8]float64{}
+	for q := range el.qp {
+		w := el.qp[q].W * el.jac * c
+		n := &el.n[q]
+		for a := 0; a < 8; a++ {
+			wa := w * n[a]
+			for b := 0; b < 8; b++ {
+				out[a][b] += wa * n[b]
+			}
+		}
+	}
+	ch.ChargeCompute(float64(len(el.qp))*(8*8*2+8), 8*8*8)
+}
+
+// Stiffness accumulates c·∫ ∇N_a·∇N_b into out (overwriting it).
+func (el *Element) Stiffness(c float64, out *[8][8]float64, ch Charger) {
+	if ch == nil {
+		ch = nopCharger{}
+	}
+	*out = [8][8]float64{}
+	for q := range el.qp {
+		w := el.qp[q].W * el.jac * c
+		dp := &el.dphys[q]
+		for a := 0; a < 8; a++ {
+			for b := 0; b < 8; b++ {
+				out[a][b] += w * (dp[a][0]*dp[b][0] + dp[a][1]*dp[b][1] + dp[a][2]*dp[b][2])
+			}
+		}
+	}
+	ch.ChargeCompute(float64(len(el.qp))*8*8*6, 8*8*8)
+}
+
+// Convection accumulates ∫ (w·∇N_b)·N_a into out (overwriting it), with w a
+// constant advecting velocity over the element (evaluated at its centroid
+// by the caller — the standard low-order linearisation).
+func (el *Element) Convection(w [3]float64, out *[8][8]float64, ch Charger) {
+	if ch == nil {
+		ch = nopCharger{}
+	}
+	*out = [8][8]float64{}
+	for q := range el.qp {
+		wq := el.qp[q].W * el.jac
+		n := &el.n[q]
+		dp := &el.dphys[q]
+		for b := 0; b < 8; b++ {
+			adv := wq * (w[0]*dp[b][0] + w[1]*dp[b][1] + w[2]*dp[b][2])
+			for a := 0; a < 8; a++ {
+				out[a][b] += n[a] * adv
+			}
+		}
+	}
+	ch.ChargeCompute(float64(len(el.qp))*(8*6+8*8*2), 8*8*8)
+}
+
+// Gradient accumulates ∫ N_a ∂N_b/∂x_d into out (overwriting it) — the
+// discrete pressure-gradient/divergence coupling block of the Navier–Stokes
+// solver.
+func (el *Element) Gradient(d int, out *[8][8]float64, ch Charger) {
+	if ch == nil {
+		ch = nopCharger{}
+	}
+	if d < 0 || d > 2 {
+		panic(fmt.Sprintf("fem: gradient direction %d", d))
+	}
+	*out = [8][8]float64{}
+	for q := range el.qp {
+		wq := el.qp[q].W * el.jac
+		n := &el.n[q]
+		dp := &el.dphys[q]
+		for a := 0; a < 8; a++ {
+			wa := wq * n[a]
+			for b := 0; b < 8; b++ {
+				out[a][b] += wa * dp[b][d]
+			}
+		}
+	}
+	ch.ChargeCompute(float64(len(el.qp))*8*8*2, 8*8*8)
+}
+
+// Load accumulates ∫ f·N_a over the element into out (overwriting it). f is
+// evaluated at quadrature points; corner is the element's minimal vertex
+// coordinate.
+func (el *Element) Load(f func(x, y, z float64) float64, corner [3]float64, out *[8]float64, ch Charger) {
+	if ch == nil {
+		ch = nopCharger{}
+	}
+	*out = [8]float64{}
+	for q := range el.qp {
+		xi := el.qp[q].Xi
+		x := corner[0] + (xi[0]+1)/2*el.Hx
+		y := corner[1] + (xi[1]+1)/2*el.Hy
+		z := corner[2] + (xi[2]+1)/2*el.Hz
+		w := el.qp[q].W * el.jac * f(x, y, z)
+		n := &el.n[q]
+		for a := 0; a < 8; a++ {
+			out[a] += w * n[a]
+		}
+	}
+	ch.ChargeCompute(float64(len(el.qp))*(8*2+20), 8*8)
+}
+
+// Volume returns the element volume (a sanity identity: the row sums of the
+// mass matrix with c=1 integrate to it).
+func (el *Element) Volume() float64 { return el.Hx * el.Hy * el.Hz }

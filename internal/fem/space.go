@@ -1,0 +1,203 @@
+package fem
+
+import (
+	"fmt"
+	"math"
+
+	"heterohpc/internal/mesh"
+	"heterohpc/internal/mp"
+	"heterohpc/internal/sparse"
+)
+
+// Space is one rank's scalar Q1 finite-element space over a distributed
+// mesh: the local patch, row distribution, vertex ownership, and the patch
+// importer used to accumulate right-hand sides across ranks.
+type Space struct {
+	R      *mp.Rank
+	M      *mesh.Mesh
+	L      *mesh.Local
+	RowMap *sparse.RowMap
+	// Owner maps any global vertex id to its owning rank.
+	Owner func(int) int
+	// El is the uniform element integrator.
+	El *Element
+
+	patchImp *sparse.Importer
+}
+
+// NewSpaceBlock builds the space for the px×py×pz block decomposition with
+// this rank's block. tag reserves message tags [tag, tag+2).
+func NewSpaceBlock(r *mp.Rank, m *mesh.Mesh, px, py, pz, tag int) (*Space, error) {
+	if px*py*pz != r.Size() {
+		return nil, fmt.Errorf("fem: %d blocks for %d ranks", px*py*pz, r.Size())
+	}
+	l, err := mesh.NewLocalFromBlock(m, px, py, pz, r.ID())
+	if err != nil {
+		return nil, err
+	}
+	owner := func(g int) int { return mesh.VertexOwnerOnBlocks(m, px, py, pz, g) }
+	return newSpace(r, m, l, owner, tag)
+}
+
+// NewSpaceParts builds the space for an arbitrary element partition
+// (part[e] = rank). tag reserves message tags [tag, tag+2).
+func NewSpaceParts(r *mp.Rank, m *mesh.Mesh, part []int, tag int) (*Space, error) {
+	l, err := mesh.NewLocalFromParts(m, part, r.ID())
+	if err != nil {
+		return nil, err
+	}
+	owner := func(g int) int { return mesh.VertexOwnerOnParts(m, part, g) }
+	return newSpace(r, m, l, owner, tag)
+}
+
+func newSpace(r *mp.Rank, m *mesh.Mesh, l *mesh.Local, owner func(int) int, tag int) (*Space, error) {
+	hx, hy, hz := m.H()
+	el, err := NewElement(hx, hy, hz)
+	if err != nil {
+		return nil, err
+	}
+	s := &Space{
+		R:      r,
+		M:      m,
+		L:      l,
+		RowMap: sparse.NewRowMap(l.VertGlobal[:l.NumOwned]),
+		Owner:  owner,
+		El:     el,
+	}
+	ghosts := l.VertGlobal[l.NumOwned:]
+	s.patchImp, err = sparse.NewImporter(r, s.RowMap, ghosts, owner, tag)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NOwned returns the owned dof count.
+func (s *Space) NOwned() int { return s.RowMap.N() }
+
+// NPatch returns the local patch size (owned + patch ghosts).
+func (s *Space) NPatch() int { return s.L.NumVerts() }
+
+// PatchImporter returns the importer over the local patch layout
+// [owned | patch ghosts].
+func (s *Space) PatchImporter() *sparse.Importer { return s.patchImp }
+
+// ElemCorner returns the minimal-vertex coordinates of global element e.
+func (s *Space) ElemCorner(e int) [3]float64 {
+	i, j, k := s.M.ElemIJK(e)
+	hx, hy, hz := s.M.H()
+	return [3]float64{
+		s.M.Box.Lo[0] + float64(i)*hx,
+		s.M.Box.Lo[1] + float64(j)*hy,
+		s.M.Box.Lo[2] + float64(k)*hz,
+	}
+}
+
+// AssembleMatrix fills coo (reset first) with element contributions in a
+// deterministic order: for each local element, elemMat produces the 8×8
+// block, which is scattered by global vertex ids. The resulting COO is
+// suitable both for sparse.NewDistMatrix and for later SetValues refills
+// (the triplet order is stable across calls).
+func (s *Space) AssembleMatrix(coo *sparse.COO, elemMat func(e int, out *[8][8]float64)) {
+	coo.Reset()
+	var ke [8][8]float64
+	for _, e := range s.L.Elems {
+		elemMat(e, &ke)
+		vs := s.M.ElemVerts(e)
+		for a := 0; a < 8; a++ {
+			for b := 0; b < 8; b++ {
+				coo.Add(vs[a], vs[b], ke[a][b])
+			}
+		}
+	}
+	nt := float64(64 * len(s.L.Elems))
+	s.R.ChargeCompute(nt, 24*nt)
+}
+
+// AssembleMatrixValues recomputes only the values of a COO previously
+// built by AssembleMatrix, appending them to coo.Vals[:0] in the identical
+// deterministic order. Re-assembling through this path lets callers free
+// the COO's Rows/Cols after the distributed structure exists (they are
+// never read again), which matters at the paper's 1000-rank scale.
+func (s *Space) AssembleMatrixValues(coo *sparse.COO, elemMat func(e int, out *[8][8]float64)) {
+	coo.Vals = coo.Vals[:0]
+	var ke [8][8]float64
+	for _, e := range s.L.Elems {
+		elemMat(e, &ke)
+		for a := 0; a < 8; a++ {
+			for b := 0; b < 8; b++ {
+				coo.Vals = append(coo.Vals, ke[a][b])
+			}
+		}
+	}
+	nt := float64(64 * len(s.L.Elems))
+	s.R.ChargeCompute(nt, 8*nt)
+}
+
+// AssembleVector accumulates element load vectors into an owned-length
+// vector: contributions to patch-ghost vertices are exported to their
+// owners (the vector GlobalAssemble). out must have length ≥ NOwned and is
+// overwritten.
+func (s *Space) AssembleVector(out []float64, elemVec func(e int, out *[8]float64)) {
+	buf := make([]float64, s.NPatch())
+	var fe [8]float64
+	for _, e := range s.L.Elems {
+		elemVec(e, &fe)
+		vs := s.M.ElemVerts(e)
+		for a := 0; a < 8; a++ {
+			buf[s.L.G2L[vs[a]]] += fe[a]
+		}
+	}
+	nt := float64(8 * len(s.L.Elems))
+	s.R.ChargeCompute(nt, 24*nt)
+	s.patchImp.ExportAdd(buf)
+	copy(out[:s.NOwned()], buf[:s.NOwned()])
+}
+
+// Interpolate evaluates f at owned vertices into out (length ≥ NOwned).
+func (s *Space) Interpolate(f func(x, y, z float64) float64, out []float64) {
+	for i, g := range s.RowMap.Owned {
+		x, y, z := s.M.VertexCoord(g)
+		out[i] = f(x, y, z)
+	}
+	s.R.ChargeCompute(20*float64(s.NOwned()), 8*float64(s.NOwned()))
+}
+
+// MaxNodalError returns the global max |u_i − f(x_i)| over all owned dofs.
+func (s *Space) MaxNodalError(u []float64, f func(x, y, z float64) float64) float64 {
+	var local float64
+	for i, g := range s.RowMap.Owned {
+		x, y, z := s.M.VertexCoord(g)
+		if d := math.Abs(u[i] - f(x, y, z)); d > local {
+			local = d
+		}
+	}
+	s.R.ChargeCompute(22*float64(s.NOwned()), 8*float64(s.NOwned()))
+	return s.R.AllreduceScalar(mp.OpMax, local)
+}
+
+// L2NodalError returns the global discrete L2 error
+// sqrt(Σ(u_i−f(x_i))²·h³), a mesh-weighted nodal norm.
+func (s *Space) L2NodalError(u []float64, f func(x, y, z float64) float64) float64 {
+	var local float64
+	for i, g := range s.RowMap.Owned {
+		x, y, z := s.M.VertexCoord(g)
+		d := u[i] - f(x, y, z)
+		local += d * d
+	}
+	s.R.ChargeCompute(24*float64(s.NOwned()), 8*float64(s.NOwned()))
+	hx, hy, hz := s.M.H()
+	return math.Sqrt(s.R.AllreduceScalar(mp.OpSum, local) * hx * hy * hz)
+}
+
+// IsBoundary reports whether global vertex id v is on the domain boundary.
+func (s *Space) IsBoundary(v int) bool { return s.M.OnBoundary(v) }
+
+// BoundaryFunc adapts a coordinate function of space and time to a global-
+// vertex-id function at fixed time (for Dirichlet application).
+func (s *Space) BoundaryFunc(g func(x, y, z, t float64) float64, t float64) func(int) float64 {
+	return func(v int) float64 {
+		x, y, z := s.M.VertexCoord(v)
+		return g(x, y, z, t)
+	}
+}

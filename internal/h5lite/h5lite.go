@@ -1,0 +1,340 @@
+// Package h5lite is a minimal hierarchical scientific data container — the
+// role HDF5 1.8.7 plays in the paper's stack ("for the storage of large
+// data on file", §IV-D). It stores named n-dimensional float64/int64
+// datasets with string attributes under slash-separated group paths, in a
+// self-describing little-endian binary format.
+//
+// The format is intentionally simple (a sequential record stream with a
+// magic header and per-record checks), but preserves the properties the
+// applications rely on: hierarchical names, shape metadata, attributes,
+// and exact round-tripping of float64 data for checkpoint/restart.
+package h5lite
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Magic identifies an h5lite stream (version 1).
+const Magic = "H5L1"
+
+const (
+	dtypeF64 = 0
+	dtypeI64 = 1
+)
+
+// Dataset is one named n-dimensional array with attributes. Exactly one of
+// F64/I64 is non-nil, with length equal to the product of Dims.
+type Dataset struct {
+	Name  string
+	Dims  []int
+	F64   []float64
+	I64   []int64
+	Attrs map[string]string
+}
+
+// Len returns the element count implied by Dims.
+func (d *Dataset) Len() int {
+	n := 1
+	for _, dim := range d.Dims {
+		n *= dim
+	}
+	return n
+}
+
+// File is an in-memory h5lite container.
+type File struct {
+	ds    map[string]*Dataset
+	order []string
+}
+
+// New returns an empty container.
+func New() *File {
+	return &File{ds: map[string]*Dataset{}}
+}
+
+func validName(name string) error {
+	if name == "" || strings.HasPrefix(name, "/") || strings.HasSuffix(name, "/") {
+		return fmt.Errorf("h5lite: invalid dataset name %q", name)
+	}
+	return nil
+}
+
+func (f *File) create(name string, dims []int) (*Dataset, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	if _, dup := f.ds[name]; dup {
+		return nil, fmt.Errorf("h5lite: dataset %q exists", name)
+	}
+	n := 1
+	for _, d := range dims {
+		if d < 0 {
+			return nil, fmt.Errorf("h5lite: negative dimension in %v", dims)
+		}
+		n *= d
+	}
+	d := &Dataset{Name: name, Dims: append([]int(nil), dims...), Attrs: map[string]string{}}
+	f.ds[name] = d
+	f.order = append(f.order, name)
+	return d, nil
+}
+
+// CreateF64 adds a float64 dataset; len(data) must equal the product of
+// dims. The data is copied.
+func (f *File) CreateF64(name string, dims []int, data []float64) error {
+	d, err := f.create(name, dims)
+	if err != nil {
+		return err
+	}
+	if len(data) != d.Len() {
+		delete(f.ds, name)
+		f.order = f.order[:len(f.order)-1]
+		return fmt.Errorf("h5lite: %q has %d elements for shape %v", name, len(data), dims)
+	}
+	d.F64 = append([]float64(nil), data...)
+	return nil
+}
+
+// CreateI64 adds an int64 dataset.
+func (f *File) CreateI64(name string, dims []int, data []int64) error {
+	d, err := f.create(name, dims)
+	if err != nil {
+		return err
+	}
+	if len(data) != d.Len() {
+		delete(f.ds, name)
+		f.order = f.order[:len(f.order)-1]
+		return fmt.Errorf("h5lite: %q has %d elements for shape %v", name, len(data), dims)
+	}
+	d.I64 = append([]int64(nil), data...)
+	return nil
+}
+
+// SetAttr attaches a string attribute to an existing dataset.
+func (f *File) SetAttr(name, key, value string) error {
+	d, ok := f.ds[name]
+	if !ok {
+		return fmt.Errorf("h5lite: no dataset %q", name)
+	}
+	d.Attrs[key] = value
+	return nil
+}
+
+// Get returns a dataset by full path.
+func (f *File) Get(name string) (*Dataset, bool) {
+	d, ok := f.ds[name]
+	return d, ok
+}
+
+// List returns the dataset paths under the given group prefix
+// ("" for all), sorted. A prefix "a/b" matches "a/b/..." and "a/b" itself.
+func (f *File) List(prefix string) []string {
+	var out []string
+	for name := range f.ds {
+		if prefix == "" || name == prefix || strings.HasPrefix(name, prefix+"/") {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteTo serialises the container. Datasets are written in creation order.
+func (f *File) WriteTo(w io.Writer) (int64, error) {
+	cw := &countWriter{w: w}
+	if _, err := cw.Write([]byte(Magic)); err != nil {
+		return cw.n, err
+	}
+	if err := binary.Write(cw, binary.LittleEndian, uint32(len(f.order))); err != nil {
+		return cw.n, err
+	}
+	for _, name := range f.order {
+		d := f.ds[name]
+		if err := writeString(cw, name); err != nil {
+			return cw.n, err
+		}
+		var dtype byte = dtypeF64
+		if d.I64 != nil {
+			dtype = dtypeI64
+		}
+		if err := binary.Write(cw, binary.LittleEndian, dtype); err != nil {
+			return cw.n, err
+		}
+		if err := binary.Write(cw, binary.LittleEndian, uint32(len(d.Dims))); err != nil {
+			return cw.n, err
+		}
+		for _, dim := range d.Dims {
+			if err := binary.Write(cw, binary.LittleEndian, uint64(dim)); err != nil {
+				return cw.n, err
+			}
+		}
+		// Attributes, sorted for deterministic output.
+		keys := make([]string, 0, len(d.Attrs))
+		for k := range d.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if err := binary.Write(cw, binary.LittleEndian, uint32(len(keys))); err != nil {
+			return cw.n, err
+		}
+		for _, k := range keys {
+			if err := writeString(cw, k); err != nil {
+				return cw.n, err
+			}
+			if err := writeString(cw, d.Attrs[k]); err != nil {
+				return cw.n, err
+			}
+		}
+		switch dtype {
+		case dtypeF64:
+			for _, v := range d.F64 {
+				if err := binary.Write(cw, binary.LittleEndian, math.Float64bits(v)); err != nil {
+					return cw.n, err
+				}
+			}
+		case dtypeI64:
+			for _, v := range d.I64 {
+				if err := binary.Write(cw, binary.LittleEndian, uint64(v)); err != nil {
+					return cw.n, err
+				}
+			}
+		}
+	}
+	return cw.n, nil
+}
+
+// ReadFrom parses a serialised container.
+func ReadFrom(r io.Reader) (*File, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("h5lite: reading magic: %w", err)
+	}
+	if string(magic[:]) != Magic {
+		return nil, fmt.Errorf("h5lite: bad magic %q", magic)
+	}
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("h5lite: reading count: %w", err)
+	}
+	const maxDatasets = 1 << 20
+	if count > maxDatasets {
+		return nil, fmt.Errorf("h5lite: implausible dataset count %d", count)
+	}
+	f := New()
+	for i := uint32(0); i < count; i++ {
+		name, err := readString(r)
+		if err != nil {
+			return nil, fmt.Errorf("h5lite: dataset %d name: %w", i, err)
+		}
+		var dtype byte
+		if err := binary.Read(r, binary.LittleEndian, &dtype); err != nil {
+			return nil, err
+		}
+		var ndims uint32
+		if err := binary.Read(r, binary.LittleEndian, &ndims); err != nil {
+			return nil, err
+		}
+		if ndims > 16 {
+			return nil, fmt.Errorf("h5lite: %q has %d dimensions", name, ndims)
+		}
+		dims := make([]int, ndims)
+		n := 1
+		for j := range dims {
+			var d uint64
+			if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
+				return nil, err
+			}
+			dims[j] = int(d)
+			n *= dims[j]
+		}
+		var nattrs uint32
+		if err := binary.Read(r, binary.LittleEndian, &nattrs); err != nil {
+			return nil, err
+		}
+		attrs := map[string]string{}
+		for j := uint32(0); j < nattrs; j++ {
+			k, err := readString(r)
+			if err != nil {
+				return nil, err
+			}
+			v, err := readString(r)
+			if err != nil {
+				return nil, err
+			}
+			attrs[k] = v
+		}
+		switch dtype {
+		case dtypeF64:
+			data := make([]float64, n)
+			for j := range data {
+				var bits uint64
+				if err := binary.Read(r, binary.LittleEndian, &bits); err != nil {
+					return nil, fmt.Errorf("h5lite: %q data: %w", name, err)
+				}
+				data[j] = math.Float64frombits(bits)
+			}
+			if err := f.CreateF64(name, dims, data); err != nil {
+				return nil, err
+			}
+		case dtypeI64:
+			data := make([]int64, n)
+			for j := range data {
+				var bits uint64
+				if err := binary.Read(r, binary.LittleEndian, &bits); err != nil {
+					return nil, fmt.Errorf("h5lite: %q data: %w", name, err)
+				}
+				data[j] = int64(bits)
+			}
+			if err := f.CreateI64(name, dims, data); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("h5lite: %q has unknown dtype %d", name, dtype)
+		}
+		for k, v := range attrs {
+			if err := f.SetAttr(name, k, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return f, nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := w.Write([]byte(s))
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("h5lite: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}

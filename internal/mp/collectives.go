@@ -1,0 +1,311 @@
+package mp
+
+import "fmt"
+
+// ReduceOp is an element-wise reduction operator for collectives.
+type ReduceOp int
+
+const (
+	// OpSum adds elements.
+	OpSum ReduceOp = iota
+	// OpMax keeps the element-wise maximum.
+	OpMax
+	// OpMin keeps the element-wise minimum.
+	OpMin
+)
+
+func (op ReduceOp) apply(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("mp: reduce length mismatch %d vs %d", len(dst), len(src)))
+	}
+	switch op {
+	case OpSum:
+		for i, v := range src {
+			dst[i] += v
+		}
+	case OpMax:
+		for i, v := range src {
+			if v > dst[i] {
+				dst[i] = v
+			}
+		}
+	case OpMin:
+		for i, v := range src {
+			if v < dst[i] {
+				dst[i] = v
+			}
+		}
+	default:
+		panic(fmt.Sprintf("mp: unknown reduce op %d", op))
+	}
+}
+
+// Collective tags live in their own negative namespace: every collective
+// call consumes one sequence number; all ranks execute the same collective
+// sequence so equal numbers pair up. The kind is mixed in so that a
+// mismatched program (rank 0 in a Bcast while rank 1 is in a Reduce) fails
+// loudly by deadlocking in tests rather than silently exchanging data.
+const (
+	collKinds    = 8
+	kindBarrier  = 0
+	kindBcast    = 1
+	kindReduce   = 2
+	kindGather   = 3
+	kindAGather  = 4
+	kindAlltoall = 5
+	kindScatter  = 6
+	kindScan     = 7
+)
+
+func (r *Rank) collTag(kind int) int {
+	tag := -(1 + r.collSeq*collKinds + kind)
+	r.collSeq++
+	return tag
+}
+
+// Barrier blocks until every rank has entered it, using a dissemination
+// pattern (ceil(log2 P) rounds of paired messages).
+func (r *Rank) Barrier() {
+	p := r.Size()
+	if p == 1 {
+		r.collSeq++
+		return
+	}
+	tag := r.collTag(kindBarrier)
+	for k := 1; k < p; k <<= 1 {
+		dst := (r.id + k) % p
+		src := (r.id - k + p) % p
+		r.sendF64(dst, tag, nil)
+		r.RecvF64(src, tag)
+	}
+}
+
+// Bcast distributes root's data to every rank along a binomial tree and
+// returns each rank's copy. Non-root ranks pass their (possibly nil) buffer;
+// the returned slice holds the broadcast data.
+func (r *Rank) Bcast(root int, data []float64) []float64 {
+	p := r.Size()
+	if root < 0 || root >= p {
+		panic(fmt.Sprintf("mp: bcast root %d out of range", root))
+	}
+	tag := r.collTag(kindBcast)
+	if p == 1 {
+		out := make([]float64, len(data))
+		copy(out, data)
+		return out
+	}
+	rel := (r.id - root + p) % p
+	buf := data
+	// Receive once from the parent (unless root).
+	mask := 1
+	for mask < p {
+		if rel&mask != 0 {
+			src := (rel - mask + root) % p
+			buf = r.RecvF64(src, tag)
+			break
+		}
+		mask <<= 1
+	}
+	// Forward to children below the mask at which we received.
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < p {
+			dst := (rel + mask + root) % p
+			r.sendF64(dst, tag, buf)
+		}
+		mask >>= 1
+	}
+	if rel == 0 {
+		out := make([]float64, len(buf))
+		copy(out, buf)
+		return out
+	}
+	return buf
+}
+
+// Reduce combines data from all ranks with op along a binomial tree and
+// returns the result on root (nil elsewhere). data is not modified.
+func (r *Rank) Reduce(root int, op ReduceOp, data []float64) []float64 {
+	p := r.Size()
+	if root < 0 || root >= p {
+		panic(fmt.Sprintf("mp: reduce root %d out of range", root))
+	}
+	tag := r.collTag(kindReduce)
+	acc := make([]float64, len(data))
+	copy(acc, data)
+	if p == 1 {
+		return acc
+	}
+	rel := (r.id - root + p) % p
+	mask := 1
+	for mask < p {
+		if rel&mask == 0 {
+			if rel+mask < p {
+				src := (rel + mask + root) % p
+				op.apply(acc, r.RecvF64(src, tag))
+			}
+		} else {
+			dst := (rel - mask + root) % p
+			r.sendF64(dst, tag, acc)
+			acc = nil
+			break
+		}
+		mask <<= 1
+	}
+	return acc
+}
+
+// Allreduce combines data from all ranks with op and returns the result on
+// every rank (Reduce to rank 0 followed by Bcast, 2·ceil(log2 P) stages).
+func (r *Rank) Allreduce(op ReduceOp, data []float64) []float64 {
+	acc := r.Reduce(0, op, data)
+	return r.Bcast(0, acc)
+}
+
+// AllreduceScalar is Allreduce for a single value.
+func (r *Rank) AllreduceScalar(op ReduceOp, x float64) float64 {
+	return r.Allreduce(op, []float64{x})[0]
+}
+
+// Gather collects each rank's (variable-length) data on root, returned as a
+// per-rank slice on root and nil elsewhere.
+func (r *Rank) Gather(root int, data []float64) [][]float64 {
+	p := r.Size()
+	if root < 0 || root >= p {
+		panic(fmt.Sprintf("mp: gather root %d out of range", root))
+	}
+	tag := r.collTag(kindGather)
+	if r.id != root {
+		r.sendF64(root, tag, data)
+		return nil
+	}
+	out := make([][]float64, p)
+	own := make([]float64, len(data))
+	copy(own, data)
+	out[root] = own
+	for src := 0; src < p; src++ {
+		if src == root {
+			continue
+		}
+		out[src] = r.RecvF64(src, tag)
+	}
+	return out
+}
+
+// Allgather collects each rank's (variable-length) data on every rank using
+// a ring: P−1 steps, each forwarding one block to the right neighbour.
+func (r *Rank) Allgather(data []float64) [][]float64 {
+	p := r.Size()
+	tag := r.collTag(kindAGather)
+	out := make([][]float64, p)
+	own := make([]float64, len(data))
+	copy(own, data)
+	out[r.id] = own
+	right := (r.id + 1) % p
+	left := (r.id - 1 + p) % p
+	cur := own
+	for step := 1; step < p; step++ {
+		r.sendF64(right, tag, cur)
+		cur = r.RecvF64(left, tag)
+		out[(r.id-step+p)%p] = cur
+	}
+	return out
+}
+
+// Scatter distributes root's per-rank blocks: rank i receives send[i]
+// (send is ignored on non-root ranks).
+func (r *Rank) Scatter(root int, send [][]float64) []float64 {
+	p := r.Size()
+	if root < 0 || root >= p {
+		panic(fmt.Sprintf("mp: scatter root %d out of range", root))
+	}
+	tag := r.collTag(kindScatter)
+	if r.id == root {
+		if len(send) != p {
+			panic(fmt.Sprintf("mp: scatter needs %d blocks, got %d", p, len(send)))
+		}
+		for dst := 0; dst < p; dst++ {
+			if dst == root {
+				continue
+			}
+			r.sendF64(dst, tag, send[dst])
+		}
+		own := make([]float64, len(send[root]))
+		copy(own, send[root])
+		return own
+	}
+	return r.RecvF64(root, tag)
+}
+
+// Scan computes the inclusive prefix reduction: rank i receives
+// op(data₀, …, dataᵢ), using a linear chain (deterministic and exact for
+// the rank-ordered partial sums distributed assembly needs).
+func (r *Rank) Scan(op ReduceOp, data []float64) []float64 {
+	p := r.Size()
+	tag := r.collTag(kindScan)
+	acc := make([]float64, len(data))
+	copy(acc, data)
+	if r.id > 0 {
+		prev := r.RecvF64(r.id-1, tag)
+		// acc = op(prefix, own): apply onto the prefix to preserve order.
+		op.apply(prev, acc)
+		acc = prev
+	}
+	if r.id < p-1 {
+		r.sendF64(r.id+1, tag, acc)
+	}
+	return acc
+}
+
+// ReduceScatter reduces send element-wise across ranks and scatters the
+// result: rank i receives the reduced block that rank-local send[i]
+// contributed to. Implemented as Reduce followed by Scatter.
+func (r *Rank) ReduceScatter(op ReduceOp, send [][]float64) []float64 {
+	p := r.Size()
+	if len(send) != p {
+		panic(fmt.Sprintf("mp: reduce-scatter needs %d blocks, got %d", p, len(send)))
+	}
+	// Flatten for the tree reduction.
+	sizes := make([]int, p)
+	total := 0
+	for i, blk := range send {
+		sizes[i] = len(blk)
+		total += len(blk)
+	}
+	flat := make([]float64, 0, total)
+	for _, blk := range send {
+		flat = append(flat, blk...)
+	}
+	reduced := r.Reduce(0, op, flat)
+	var blocks [][]float64
+	if r.id == 0 {
+		blocks = make([][]float64, p)
+		off := 0
+		for i := range blocks {
+			blocks[i] = reduced[off : off+sizes[i]]
+			off += sizes[i]
+		}
+	}
+	return r.Scatter(0, blocks)
+}
+
+// Alltoall delivers send[i] from this rank to rank i and returns the blocks
+// received from every rank, using a pairwise exchange schedule.
+func (r *Rank) Alltoall(send [][]float64) [][]float64 {
+	p := r.Size()
+	if len(send) != p {
+		panic(fmt.Sprintf("mp: alltoall needs %d blocks, got %d", p, len(send)))
+	}
+	tag := r.collTag(kindAlltoall)
+	out := make([][]float64, p)
+	own := make([]float64, len(send[r.id]))
+	copy(own, send[r.id])
+	out[r.id] = own
+	for step := 1; step < p; step++ {
+		dst := (r.id + step) % p
+		src := (r.id - step + p) % p
+		r.sendF64(dst, tag, send[dst])
+		out[src] = r.RecvF64(src, tag)
+	}
+	return out
+}

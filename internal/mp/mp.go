@@ -1,0 +1,373 @@
+// Package mp is the message-passing substrate that stands in for MPI.
+//
+// A World runs an SPMD body on NRanks ranks; each rank is a goroutine with a
+// private mailbox, a virtual clock (internal/vclock) and a view of the job
+// topology (which node each rank lives on, which EC2 placement group each
+// node belongs to). Point-to-point sends move real data between goroutines
+// and simultaneously charge virtual communication time computed by the
+// platform's network fabric (internal/netmodel), so a run yields both a
+// numerical result that can be verified against exact solutions and a
+// per-phase virtual-time profile that stands in for the paper's wall-clock
+// measurements.
+//
+// Collective operations (Barrier, Bcast, Reduce, Allreduce, Gather,
+// Allgather, Alltoall) are implemented on top of point-to-point messages
+// with binomial-tree / ring algorithms, so their virtual cost emerges from
+// the same network model rather than being postulated separately.
+package mp
+
+import (
+	"fmt"
+	"sync"
+
+	"heterohpc/internal/netmodel"
+	"heterohpc/internal/vclock"
+)
+
+// Topology describes how job ranks map onto nodes and placement groups.
+type Topology struct {
+	// NodeOf maps rank -> node index; its length is the rank count.
+	NodeOf []int
+	// GroupOfNode maps node index -> placement-group index. All-zero for
+	// physical clusters; EC2 "mix" assemblies use several groups.
+	GroupOfNode []int
+	// ranksOnNode caches the number of job ranks per node (the NIC share).
+	ranksOnNode []int
+}
+
+// BlockTopology places nranks ranks onto consecutive nodes, ranksPerNode at
+// a time, all in placement group 0. This matches how PBS/SGE fill nodes and
+// how the paper packed 16 ranks per cc2.8xlarge instance.
+func BlockTopology(nranks, ranksPerNode int) (Topology, error) {
+	if nranks < 1 {
+		return Topology{}, fmt.Errorf("mp: nranks %d < 1", nranks)
+	}
+	if ranksPerNode < 1 {
+		return Topology{}, fmt.Errorf("mp: ranksPerNode %d < 1", ranksPerNode)
+	}
+	nodeOf := make([]int, nranks)
+	for r := range nodeOf {
+		nodeOf[r] = r / ranksPerNode
+	}
+	nnodes := (nranks + ranksPerNode - 1) / ranksPerNode
+	return NewTopology(nodeOf, make([]int, nnodes))
+}
+
+// NewTopology builds a topology from explicit rank->node and node->group
+// maps, validating their consistency.
+func NewTopology(nodeOf, groupOfNode []int) (Topology, error) {
+	if len(nodeOf) == 0 {
+		return Topology{}, fmt.Errorf("mp: empty topology")
+	}
+	nnodes := len(groupOfNode)
+	ranksOn := make([]int, nnodes)
+	for r, n := range nodeOf {
+		if n < 0 || n >= nnodes {
+			return Topology{}, fmt.Errorf("mp: rank %d on node %d, have %d nodes", r, n, nnodes)
+		}
+		ranksOn[n]++
+	}
+	for n, k := range ranksOn {
+		if k == 0 {
+			return Topology{}, fmt.Errorf("mp: node %d has no ranks", n)
+		}
+	}
+	for n, g := range groupOfNode {
+		if g < 0 {
+			return Topology{}, fmt.Errorf("mp: node %d in negative group %d", n, g)
+		}
+	}
+	return Topology{NodeOf: nodeOf, GroupOfNode: groupOfNode, ranksOnNode: ranksOn}, nil
+}
+
+// NRanks returns the number of ranks in the topology.
+func (t Topology) NRanks() int { return len(t.NodeOf) }
+
+// NNodes returns the number of nodes in the topology.
+func (t Topology) NNodes() int { return len(t.GroupOfNode) }
+
+// SameNode reports whether ranks a and b share a node.
+func (t Topology) SameNode(a, b int) bool { return t.NodeOf[a] == t.NodeOf[b] }
+
+// SameGroup reports whether ranks a and b are in the same placement group.
+func (t Topology) SameGroup(a, b int) bool {
+	return t.GroupOfNode[t.NodeOf[a]] == t.GroupOfNode[t.NodeOf[b]]
+}
+
+// NICShare returns the number of job ranks sharing rank r's NIC.
+func (t Topology) NICShare(r int) int { return t.ranksOnNode[t.NodeOf[r]] }
+
+// message is one in-flight payload. Payloads are defensive copies, so a
+// sender may reuse its buffer immediately (MPI buffered-send semantics).
+type message struct {
+	src, tag int
+	f64      []float64
+	ints     []int
+	// arriveAt is the sender's virtual time at which the payload is fully
+	// delivered; the receiver's clock advances to at least this time.
+	arriveAt float64
+}
+
+// msgKey identifies a matched-receive queue.
+type msgKey struct{ src, tag int }
+
+// mailbox is an unbounded matched-receive queue with O(1) matching.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending map[msgKey][]message
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{pending: make(map[msgKey][]message)}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m message) {
+	k := msgKey{m.src, m.tag}
+	mb.mu.Lock()
+	mb.pending[k] = append(mb.pending[k], m)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// takeAny blocks until a message with the given tag is available from any
+// source and removes it. Used only for sparse communication-plan setup,
+// where receivers know how many peers will contact them but not which.
+func (mb *mailbox) takeAny(tag int) message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for k, q := range mb.pending {
+			if k.tag == tag && len(q) > 0 {
+				m := q[0]
+				if len(q) == 1 {
+					delete(mb.pending, k)
+				} else {
+					mb.pending[k] = q[1:]
+				}
+				return m
+			}
+		}
+		mb.cond.Wait()
+	}
+}
+
+// take blocks until a message with the given src and tag is available and
+// removes the oldest match (messages between a fixed pair with a fixed tag
+// are delivered in order).
+func (mb *mailbox) take(src, tag int) message {
+	k := msgKey{src, tag}
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		if q := mb.pending[k]; len(q) > 0 {
+			m := q[0]
+			if len(q) == 1 {
+				delete(mb.pending, k)
+			} else {
+				mb.pending[k] = q[1:]
+			}
+			return m
+		}
+		mb.cond.Wait()
+	}
+}
+
+// World owns the ranks, clocks and fabric of one SPMD job.
+type World struct {
+	topo   Topology
+	fabric *netmodel.Fabric
+	clocks []*vclock.Clock
+	boxes  []*mailbox
+}
+
+// NewWorld builds a world for the given topology over the given fabric.
+// Every rank gets a virtual clock driven by rater (the platform's per-core
+// compute model).
+func NewWorld(topo Topology, fabric *netmodel.Fabric, rater vclock.ComputeRater) (*World, error) {
+	if topo.NRanks() == 0 {
+		return nil, fmt.Errorf("mp: world needs a topology; use BlockTopology")
+	}
+	if fabric == nil {
+		return nil, fmt.Errorf("mp: nil fabric")
+	}
+	if rater == nil {
+		return nil, fmt.Errorf("mp: nil compute rater")
+	}
+	p := topo.NRanks()
+	w := &World{
+		topo:   topo,
+		fabric: fabric,
+		clocks: make([]*vclock.Clock, p),
+		boxes:  make([]*mailbox, p),
+	}
+	for i := 0; i < p; i++ {
+		w.clocks[i] = vclock.New(rater)
+		w.boxes[i] = newMailbox()
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.topo.NRanks() }
+
+// Topology returns the world's rank/node/group layout.
+func (w *World) Topology() Topology { return w.topo }
+
+// Clocks returns the per-rank virtual clocks (valid after Run for reports).
+func (w *World) Clocks() []*vclock.Clock { return w.clocks }
+
+// RankError wraps an error raised by one rank of an SPMD body.
+type RankError struct {
+	Rank int
+	Err  error
+}
+
+func (e *RankError) Error() string { return fmt.Sprintf("rank %d: %v", e.Rank, e.Err) }
+
+// Unwrap returns the underlying rank error.
+func (e *RankError) Unwrap() error { return e.Err }
+
+// Run executes body on every rank concurrently and returns the first error
+// (by rank order) if any rank fails or panics. Run may be called once per
+// World.
+func (w *World) Run(body func(r *Rank) error) error {
+	p := w.Size()
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for i := 0; i < p; i++ {
+		rank := &Rank{world: w, id: i, clk: w.clocks[i]}
+		go func(rk *Rank) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[rk.id] = fmt.Errorf("panic: %v", rec)
+				}
+			}()
+			errs[rk.id] = body(rk)
+		}(rank)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return &RankError{Rank: i, Err: err}
+		}
+	}
+	return nil
+}
+
+// Rank is one SPMD process: the handle through which application code sends,
+// receives and charges compute time.
+type Rank struct {
+	world *World
+	id    int
+	clk   *vclock.Clock
+	// collSeq disambiguates successive collectives; all ranks execute the
+	// same collective sequence, so equal sequence numbers match up.
+	collSeq int
+}
+
+// ID returns the rank number in [0, Size).
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the number of ranks in the world.
+func (r *Rank) Size() int { return r.world.Size() }
+
+// Clock returns the rank's virtual clock.
+func (r *Rank) Clock() *vclock.Clock { return r.clk }
+
+// Topology returns the world's layout.
+func (r *Rank) Topology() Topology { return r.world.topo }
+
+// Wtime returns the rank's current virtual time (the MPI_Wtime analogue).
+func (r *Rank) Wtime() float64 { return r.clk.Now() }
+
+// ChargeCompute records local floating-point work on this rank.
+func (r *Rank) ChargeCompute(flops, bytes float64) { r.clk.ChargeCompute(flops, bytes) }
+
+// msgHeaderBytes approximates per-message protocol overhead.
+const msgHeaderBytes = 64
+
+// chargeSend advances the sender clock for a payload of n bytes to dst and
+// returns the virtual arrival time at dst.
+func (r *Rank) chargeSend(dst, payloadBytes int) float64 {
+	w := r.world
+	t := w.fabric.P2P(
+		payloadBytes+msgHeaderBytes,
+		w.topo.SameNode(r.id, dst),
+		w.topo.SameGroup(r.id, dst),
+		w.topo.NICShare(r.id),
+	)
+	start := r.clk.Now()
+	r.clk.ChargeComm(t, payloadBytes)
+	return start + t
+}
+
+// SendF64 sends a copy of data to rank dst with the given tag (tag >= 0 is
+// reserved for applications; collectives use negative tags internally).
+func (r *Rank) SendF64(dst, tag int, data []float64) {
+	r.sendF64(dst, tag, data)
+}
+
+func (r *Rank) sendF64(dst, tag int, data []float64) {
+	if dst < 0 || dst >= r.Size() {
+		panic(fmt.Sprintf("mp: send to invalid rank %d", dst))
+	}
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	at := r.chargeSend(dst, 8*len(data))
+	r.world.boxes[dst].put(message{src: r.id, tag: tag, f64: cp, arriveAt: at})
+}
+
+// RecvF64 blocks until a float64 message with the given source and tag
+// arrives, advances this rank's clock to the arrival time, and returns the
+// payload.
+func (r *Rank) RecvF64(src, tag int) []float64 {
+	m := r.world.boxes[r.id].take(src, tag)
+	r.clk.AdvanceTo(m.arriveAt)
+	return m.f64
+}
+
+// SendInts sends a copy of an int slice to rank dst.
+func (r *Rank) SendInts(dst, tag int, data []int) {
+	if dst < 0 || dst >= r.Size() {
+		panic(fmt.Sprintf("mp: send to invalid rank %d", dst))
+	}
+	cp := make([]int, len(data))
+	copy(cp, data)
+	at := r.chargeSend(dst, 8*len(data))
+	r.world.boxes[dst].put(message{src: r.id, tag: tag, ints: cp, arriveAt: at})
+}
+
+// RecvInts blocks for an int message with the given source and tag.
+func (r *Rank) RecvInts(src, tag int) []int {
+	m := r.world.boxes[r.id].take(src, tag)
+	r.clk.AdvanceTo(m.arriveAt)
+	return m.ints
+}
+
+// SendRecvF64 exchanges float64 slices with a peer (both sides must call
+// it). Sends are buffered, so the exchange cannot deadlock.
+func (r *Rank) SendRecvF64(peer, tag int, send []float64) []float64 {
+	r.SendF64(peer, tag, send)
+	return r.RecvF64(peer, tag)
+}
+
+// RecvAnyInts blocks for an int message with the given tag from any source
+// and returns the source rank and payload.
+func (r *Rank) RecvAnyInts(tag int) (src int, data []int) {
+	m := r.world.boxes[r.id].takeAny(tag)
+	r.clk.AdvanceTo(m.arriveAt)
+	return m.src, m.ints
+}
+
+// RecvAnyF64 blocks for a float64 message with the given tag from any source
+// and returns the source rank and payload.
+func (r *Rank) RecvAnyF64(tag int) (src int, data []float64) {
+	m := r.world.boxes[r.id].takeAny(tag)
+	r.clk.AdvanceTo(m.arriveAt)
+	return m.src, m.f64
+}

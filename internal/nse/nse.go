@@ -1,0 +1,392 @@
+package nse
+
+import (
+	"fmt"
+
+	"heterohpc/internal/fem"
+	"heterohpc/internal/krylov"
+	"heterohpc/internal/mesh"
+	"heterohpc/internal/mp"
+	"heterohpc/internal/sparse"
+	"heterohpc/internal/vclock"
+)
+
+// Config describes one Navier–Stokes run on the Ethier–Steinman benchmark.
+type Config struct {
+	// Mesh is the global mesh (typically of mesh.SymmetricBox).
+	Mesh *mesh.Mesh
+	// Grid is the block decomposition; its product must equal the world size.
+	Grid [3]int
+	// T0 is the initial time.
+	T0 float64
+	// Dt is the BDF2 step size.
+	Dt float64
+	// Steps is the number of BDF2 steps.
+	Steps int
+	// Tol is the linear-solver relative tolerance (default 1e-8).
+	Tol float64
+	// Precond selects the preconditioner ("ilu0" default, "jacobi", "sgs",
+	// "none").
+	Precond string
+	// VelocitySolver selects the nonsymmetric solver for the three velocity
+	// systems: "bicgstab" (default) or "gmres".
+	VelocitySolver string
+	// MaxIter caps linear iterations per solve (default 600).
+	MaxIter int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Dt == 0 {
+		c.Dt = 0.002
+	}
+	if c.Steps == 0 {
+		c.Steps = 4
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-8
+	}
+	if c.Precond == "" {
+		c.Precond = "ilu0"
+	}
+	if c.VelocitySolver == "" {
+		c.VelocitySolver = "bicgstab"
+	}
+	if c.MaxIter == 0 {
+		c.MaxIter = 600
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.Mesh == nil {
+		return fmt.Errorf("nse: nil mesh")
+	}
+	if c.Dt <= 0 || c.Steps < 1 {
+		return fmt.Errorf("nse: bad time stepping dt=%v steps=%d", c.Dt, c.Steps)
+	}
+	switch c.VelocitySolver {
+	case "bicgstab", "gmres":
+	default:
+		return fmt.Errorf("nse: unknown velocity solver %q", c.VelocitySolver)
+	}
+	return nil
+}
+
+// Result is one rank's view of a completed run.
+type Result struct {
+	// StepTimes[k] is this rank's phase breakdown for BDF2 step k.
+	StepTimes []vclock.PhaseTimes
+	// VelIters[k] sums the BiCGStab iterations of the three velocity solves
+	// at step k; PresIters[k] is the pressure CG count.
+	VelIters  []int
+	PresIters []int
+	// VelMaxErr and VelL2Err are global errors of the velocity (max over
+	// components) at the final time; PresL2Err is the pressure error.
+	VelMaxErr, VelL2Err, PresL2Err float64
+	// NOwned is this rank's owned dof count per scalar field.
+	NOwned int
+	// FinalTime is the PDE time reached.
+	FinalTime float64
+	// OwnedIDs lists this rank's owned global vertex ids; Velocity holds
+	// the final velocity components and Pressure the final pressure at them
+	// (for visualisation export — the paper's Figure 2).
+	OwnedIDs []int
+	Velocity [3][]float64
+	Pressure []float64
+}
+
+// Run executes the Navier–Stokes solver as the SPMD body of rank r.
+func Run(r *mp.Rank, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	clk := r.Clock()
+	clk.SetPhase(vclock.PhaseOther)
+
+	s, err := fem.NewSpaceBlock(r, cfg.Mesh, cfg.Grid[0], cfg.Grid[1], cfg.Grid[2], 2000)
+	if err != nil {
+		return nil, err
+	}
+	n := s.NOwned()
+	bdf := 3 / (2 * cfg.Dt)
+
+	// Constant operators: mass, pressure Laplacian, gradient blocks.
+	var massCOO sparse.COO
+	s.AssembleMatrix(&massCOO, func(e int, out *[8][8]float64) { s.El.Mass(1, out, r) })
+	massDM, err := sparse.NewDistMatrix(r, s.RowMap, &massCOO, s.Owner, 2100)
+	if err != nil {
+		return nil, err
+	}
+	massDM.Compact() // values never change; drop refill plans
+	massCOO = sparse.COO{}
+
+	var presCOO sparse.COO
+	s.AssembleMatrix(&presCOO, func(e int, out *[8][8]float64) { s.El.Stiffness(1, out, r) })
+	presDM, err := sparse.NewDistMatrix(r, s.RowMap, &presCOO, s.Owner, 2200)
+	if err != nil {
+		return nil, err
+	}
+	presDM.Compact()
+	presCOO = sparse.COO{}
+	presBC := presDM.NewDirichlet(s.IsBoundary)
+	presPC, err := newPrecond(cfg.Precond, presDM, r)
+	if err != nil {
+		return nil, err
+	}
+	if err := presPC.Setup(); err != nil {
+		return nil, err
+	}
+
+	grad := make([]*sparse.DistMatrix, 3)
+	for d := 0; d < 3; d++ {
+		var gcoo sparse.COO
+		dd := d
+		s.AssembleMatrix(&gcoo, func(e int, out *[8][8]float64) { s.El.Gradient(dd, out, r) })
+		grad[d], err = sparse.NewDistMatrix(r, s.RowMap, &gcoo, s.Owner, 2300+100*d)
+		if err != nil {
+			return nil, err
+		}
+		grad[d].Compact()
+	}
+
+	// Lumped mass (row sums of M = ∫N_a) for the velocity correction.
+	mL := make([]float64, n)
+	s.AssembleVector(mL, func(e int, out *[8]float64) {
+		s.El.Load(func(x, y, z float64) float64 { return 1 }, s.ElemCorner(e), out, r)
+	})
+
+	// Velocity operator: (3/2Δt)·M + ν·K + C(w); values refilled per step.
+	// The convecting field w = 2u^{n-1} − u^{n-2} is evaluated per element at
+	// the centroid from nodal patch values (ghosts imported each step).
+	patchW := [3][]float64{}
+	for d := 0; d < 3; d++ {
+		patchW[d] = make([]float64, s.NPatch())
+	}
+	var velCOO sparse.COO
+	velElem := func() func(e int, out *[8][8]float64) {
+		return func(e int, out *[8][8]float64) {
+			vs := s.M.ElemVerts(e)
+			var w [3]float64
+			for _, gv := range vs {
+				lv := s.L.G2L[gv]
+				for d := 0; d < 3; d++ {
+					w[d] += patchW[d][lv]
+				}
+			}
+			for d := 0; d < 3; d++ {
+				w[d] /= 8
+			}
+			var tmp [8][8]float64
+			s.El.Mass(bdf, out, r)
+			s.El.Stiffness(nu, &tmp, r)
+			for a := 0; a < 8; a++ {
+				for b := 0; b < 8; b++ {
+					out[a][b] += tmp[a][b]
+				}
+			}
+			s.El.Convection(w, &tmp, r)
+			for a := 0; a < 8; a++ {
+				for b := 0; b < 8; b++ {
+					out[a][b] += tmp[a][b]
+				}
+			}
+		}
+	}
+	s.AssembleMatrix(&velCOO, velElem())
+	velDM, err := sparse.NewDistMatrix(r, s.RowMap, &velCOO, s.Owner, 2600)
+	if err != nil {
+		return nil, err
+	}
+	// Fixed structure: per-step reassembly recomputes values only.
+	velCOO.Rows, velCOO.Cols = nil, nil
+	assembleVelocity := func() {
+		s.AssembleMatrixValues(&velCOO, velElem())
+	}
+	velPC, err := newPrecond(cfg.Precond, velDM, r)
+	if err != nil {
+		return nil, err
+	}
+
+	// History from the exact solution at t0 and t0+Δt.
+	uPrev2 := make([][]float64, 3)
+	uPrev1 := make([][]float64, 3)
+	for d := 0; d < 3; d++ {
+		uPrev2[d] = make([]float64, n)
+		uPrev1[d] = make([]float64, n)
+		comp := Component(d)
+		s.Interpolate(func(x, y, z float64) float64 { return comp(x, y, z, cfg.T0) }, uPrev2[d])
+		s.Interpolate(func(x, y, z float64) float64 { return comp(x, y, z, cfg.T0+cfg.Dt) }, uPrev1[d])
+	}
+	p := make([]float64, n)
+	s.Interpolate(func(x, y, z float64) float64 { return ExactPressure(x, y, z, cfg.T0+cfg.Dt) }, p)
+
+	uStar := make([][]float64, 3)
+	for d := 0; d < 3; d++ {
+		uStar[d] = make([]float64, n)
+	}
+	rhs := make([]float64, n)
+	hist := make([]float64, n)
+	gp := make([]float64, n)
+	phi := make([]float64, n)
+	div := make([]float64, n)
+	res := &Result{NOwned: n}
+	tPrev := cfg.T0 + cfg.Dt
+
+	for step := 0; step < cfg.Steps; step++ {
+		t := cfg.T0 + float64(step+2)*cfg.Dt
+		snap := clk.Snapshot()
+
+		// Phase (ii): assembly. Import the extrapolated convecting field,
+		// reassemble the velocity operator, build the three right-hand sides.
+		clk.SetPhase(vclock.PhaseAssembly)
+		for d := 0; d < 3; d++ {
+			for i := 0; i < n; i++ {
+				patchW[d][i] = 2*uPrev1[d][i] - uPrev2[d][i]
+			}
+			r.ChargeCompute(2*float64(n), 24*float64(n))
+			s.PatchImporter().Exchange(patchW[d])
+		}
+		assembleVelocity()
+		velDM.SetValues(&velCOO)
+		velBC := velDM.NewDirichlet(s.IsBoundary)
+
+		rhss := make([][]float64, 3)
+		for d := 0; d < 3; d++ {
+			rhss[d] = make([]float64, n)
+			for i := 0; i < n; i++ {
+				hist[i] = bdf * (4*uPrev1[d][i] - uPrev2[d][i]) / 3
+			}
+			r.ChargeCompute(3*float64(n), 24*float64(n))
+			massDM.Apply(hist, rhss[d])
+			grad[d].Apply(p, gp)
+			sparse.Axpy(n, -1, gp, rhss[d], r)
+			comp := Component(d)
+			velBC.EliminateRHS(func(v int) float64 {
+				x, y, z := s.M.VertexCoord(v)
+				return comp(x, y, z, t)
+			}, rhss[d])
+		}
+
+		// Phase (iiia): preconditioner for the velocity operator.
+		clk.SetPhase(vclock.PhasePrecond)
+		if err := velPC.Setup(); err != nil {
+			return nil, fmt.Errorf("nse: step %d: %w", step, err)
+		}
+
+		// Phase (iiib): three BiCGStab velocity solves, one CG pressure
+		// solve, projection update.
+		clk.SetPhase(vclock.PhaseSolve)
+		velSolve := krylov.BiCGStab
+		if cfg.VelocitySolver == "gmres" {
+			velSolve = krylov.GMRES
+		}
+		velIters := 0
+		for d := 0; d < 3; d++ {
+			sparse.CopyN(n, uStar[d], uPrev1[d], r)
+			sol, err := velSolve(velDM, velPC, rhss[d], uStar[d], krylov.Options{
+				Tol: cfg.Tol, MaxIter: cfg.MaxIter,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("nse: step %d velocity %d: %w", step, d, err)
+			}
+			if !sol.Converged {
+				return nil, fmt.Errorf("nse: step %d velocity %d stalled at %v after %d iters",
+					step, d, sol.Residual, sol.Iterations)
+			}
+			velIters += sol.Iterations
+		}
+
+		// Pressure Poisson: K·φ = −(3/2Δt)·div(u*), φ = Δp_exact on the
+		// boundary (the exact increment pins the pressure constant).
+		for i := 0; i < n; i++ {
+			rhs[i] = 0
+		}
+		for d := 0; d < 3; d++ {
+			grad[d].Apply(uStar[d], div)
+			sparse.Axpy(n, -bdf, div, rhs, r)
+		}
+		tP := tPrev
+		presBC.EliminateRHS(func(v int) float64 {
+			x, y, z := s.M.VertexCoord(v)
+			return ExactPressure(x, y, z, t) - ExactPressure(x, y, z, tP)
+		}, rhs)
+		for i := 0; i < n; i++ {
+			phi[i] = 0
+		}
+		sol, err := krylov.CG(presDM, presPC, rhs, phi, krylov.Options{
+			Tol: cfg.Tol, MaxIter: cfg.MaxIter,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("nse: step %d pressure: %w", step, err)
+		}
+		if !sol.Converged {
+			return nil, fmt.Errorf("nse: step %d pressure stalled at %v after %d iters",
+				step, sol.Residual, sol.Iterations)
+		}
+
+		// Projection update: uⁿ = u* − (2Δt/3)·M_L⁻¹·∇φ; pⁿ = pⁿ⁻¹ + φ;
+		// boundary dofs re-pinned to the exact velocity.
+		for d := 0; d < 3; d++ {
+			grad[d].Apply(phi, gp)
+			for i := 0; i < n; i++ {
+				uStar[d][i] -= gp[i] / (bdf * mL[i])
+			}
+			r.ChargeCompute(2*float64(n), 24*float64(n))
+			comp := Component(d)
+			velBC.SetSolution(func(v int) float64 {
+				x, y, z := s.M.VertexCoord(v)
+				return comp(x, y, z, t)
+			}, uStar[d])
+		}
+		sparse.Axpy(n, 1, phi, p, r)
+		clk.SetPhase(vclock.PhaseOther)
+
+		res.StepTimes = append(res.StepTimes, clk.Since(snap))
+		res.VelIters = append(res.VelIters, velIters)
+		res.PresIters = append(res.PresIters, sol.Iterations)
+		for d := 0; d < 3; d++ {
+			uPrev2[d], uPrev1[d], uStar[d] = uPrev1[d], uStar[d], uPrev2[d]
+		}
+		tPrev = t
+		res.FinalTime = t
+	}
+
+	// Global errors vs. the exact solution at the final time.
+	for d := 0; d < 3; d++ {
+		comp := Component(d)
+		exact := func(x, y, z float64) float64 { return comp(x, y, z, res.FinalTime) }
+		if e := s.MaxNodalError(uPrev1[d], exact); e > res.VelMaxErr {
+			res.VelMaxErr = e
+		}
+		if e := s.L2NodalError(uPrev1[d], exact); e > res.VelL2Err {
+			res.VelL2Err = e
+		}
+	}
+	res.PresL2Err = s.L2NodalError(p, func(x, y, z float64) float64 {
+		return ExactPressure(x, y, z, res.FinalTime)
+	})
+	res.OwnedIDs = append([]int(nil), s.RowMap.Owned...)
+	for d := 0; d < 3; d++ {
+		res.Velocity[d] = append([]float64(nil), uPrev1[d][:n]...)
+	}
+	res.Pressure = append([]float64(nil), p[:n]...)
+	return res, nil
+}
+
+func newPrecond(name string, dm *sparse.DistMatrix, r *mp.Rank) (krylov.Preconditioner, error) {
+	switch name {
+	case "ilu0":
+		return krylov.NewILU0(dm.Local(), dm.NOwned(), r), nil
+	case "jacobi":
+		return krylov.NewJacobi(dm.Local(), dm.NOwned(), r), nil
+	case "sgs":
+		return krylov.NewSGS(dm.Local(), dm.NOwned(), r), nil
+	case "none":
+		return krylov.Identity{}, nil
+	default:
+		return nil, fmt.Errorf("nse: unknown preconditioner %q", name)
+	}
+}

@@ -1,0 +1,301 @@
+// Package partition plays the role ParMETIS played in the paper's software
+// stack: decomposing the element dual graph of a mesh into balanced parts
+// with small inter-part surface, "guaranteeing a proper load balancing among
+// processes. The load is measured as the number of mesh elements assigned to
+// each process" (§IV-C).
+//
+// Three partitioners are provided:
+//
+//   - Block: the exact structured px×py×pz decomposition (optimal on the
+//     paper's cube meshes; used by the weak-scaling harness).
+//   - RCB: recursive coordinate bisection over element centroids, for
+//     arbitrary part counts.
+//   - Greedy: greedy graph growing over the dual graph (a classic
+//     METIS-style heuristic baseline).
+//
+// Evaluate computes the load-imbalance and edge-cut metrics used by the
+// ablation benchmarks.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"heterohpc/internal/mesh"
+)
+
+// Graph is the dual-graph view a partitioner needs.
+type Graph interface {
+	// NumVerts returns the number of graph vertices (mesh elements).
+	NumVerts() int
+	// Neighbors appends the neighbours of v to buf and returns it.
+	Neighbors(v int, buf []int) []int
+}
+
+// DualGraph adapts a mesh's element adjacency to the Graph interface.
+type DualGraph struct {
+	M *mesh.Mesh
+}
+
+// NumVerts implements Graph.
+func (g DualGraph) NumVerts() int { return g.M.NumElems() }
+
+// Neighbors implements Graph.
+func (g DualGraph) Neighbors(v int, buf []int) []int { return g.M.ElemNeighbors(v, buf) }
+
+// Block returns the structured px×py×pz partition of m as an element->part
+// map with parts in rank order.
+func Block(m *mesh.Mesh, px, py, pz int) ([]int, error) {
+	blocks, err := mesh.Decompose(m, px, py, pz)
+	if err != nil {
+		return nil, err
+	}
+	part := make([]int, m.NumElems())
+	for rank, b := range blocks {
+		for k := b.Lo[2]; k < b.Hi[2]; k++ {
+			for j := b.Lo[1]; j < b.Hi[1]; j++ {
+				for i := b.Lo[0]; i < b.Hi[0]; i++ {
+					part[m.ElemID(i, j, k)] = rank
+				}
+			}
+		}
+	}
+	return part, nil
+}
+
+// RCB partitions m's elements into nparts by recursive coordinate bisection
+// of the element centroids. Part sizes differ by at most one element.
+func RCB(m *mesh.Mesh, nparts int) ([]int, error) {
+	if nparts < 1 {
+		return nil, fmt.Errorf("partition: nparts %d < 1", nparts)
+	}
+	n := m.NumElems()
+	if nparts > n {
+		return nil, fmt.Errorf("partition: %d parts for %d elements", nparts, n)
+	}
+	elems := make([]int, n)
+	for i := range elems {
+		elems[i] = i
+	}
+	part := make([]int, n)
+	var rec func(set []int, parts, offset int)
+	rec = func(set []int, parts, offset int) {
+		if parts == 1 {
+			for _, e := range set {
+				part[e] = offset
+			}
+			return
+		}
+		// Choose the axis with the largest centroid extent.
+		var lo, hi [3]float64
+		for d := 0; d < 3; d++ {
+			lo[d], hi[d] = 1e300, -1e300
+		}
+		for _, e := range set {
+			x, y, z := m.ElemCenter(e)
+			c := [3]float64{x, y, z}
+			for d := 0; d < 3; d++ {
+				if c[d] < lo[d] {
+					lo[d] = c[d]
+				}
+				if c[d] > hi[d] {
+					hi[d] = c[d]
+				}
+			}
+		}
+		axis := 0
+		for d := 1; d < 3; d++ {
+			if hi[d]-lo[d] > hi[axis]-lo[axis] {
+				axis = d
+			}
+		}
+		sort.Slice(set, func(a, b int) bool {
+			ca := center(m, set[a], axis)
+			cb := center(m, set[b], axis)
+			if ca != cb {
+				return ca < cb
+			}
+			return set[a] < set[b]
+		})
+		leftParts := parts / 2
+		rightParts := parts - leftParts
+		// Split the set proportionally to the part counts so every final
+		// part ends up within one element of the mean.
+		cut := (len(set)*leftParts + parts/2) / parts
+		if cut < 1 {
+			cut = 1
+		}
+		if cut > len(set)-1 {
+			cut = len(set) - 1
+		}
+		rec(set[:cut], leftParts, offset)
+		rec(set[cut:], rightParts, offset+leftParts)
+	}
+	rec(elems, nparts, 0)
+	return part, nil
+}
+
+func center(m *mesh.Mesh, e, axis int) float64 {
+	x, y, z := m.ElemCenter(e)
+	switch axis {
+	case 0:
+		return x
+	case 1:
+		return y
+	default:
+		return z
+	}
+}
+
+// Greedy partitions g into nparts by greedy graph growing: repeatedly seed
+// an unassigned vertex of minimal unassigned degree and grow it breadth-
+// first until its size quota is met.
+func Greedy(g Graph, nparts int) ([]int, error) {
+	n := g.NumVerts()
+	if nparts < 1 {
+		return nil, fmt.Errorf("partition: nparts %d < 1", nparts)
+	}
+	if nparts > n {
+		return nil, fmt.Errorf("partition: %d parts for %d vertices", nparts, n)
+	}
+	part := make([]int, n)
+	for i := range part {
+		part[i] = -1
+	}
+	assigned := 0
+	var nbrBuf []int
+	for p := 0; p < nparts; p++ {
+		quota := (n - assigned) / (nparts - p)
+		if quota < 1 {
+			quota = 1
+		}
+		seed := pickSeed(g, part)
+		if seed < 0 {
+			break
+		}
+		// BFS growth.
+		queue := []int{seed}
+		part[seed] = p
+		size := 1
+		assigned++
+		for len(queue) > 0 && size < quota {
+			v := queue[0]
+			queue = queue[1:]
+			nbrBuf = g.Neighbors(v, nbrBuf[:0])
+			for _, u := range nbrBuf {
+				if part[u] == -1 && size < quota {
+					part[u] = p
+					size++
+					assigned++
+					queue = append(queue, u)
+				}
+			}
+		}
+		// If the frontier died (disconnected remainder), top up from any
+		// unassigned vertices.
+		for size < quota {
+			s := pickSeed(g, part)
+			if s < 0 {
+				break
+			}
+			part[s] = p
+			size++
+			assigned++
+			queue = append(queue, s)
+			for len(queue) > 0 && size < quota {
+				v := queue[0]
+				queue = queue[1:]
+				nbrBuf = g.Neighbors(v, nbrBuf[:0])
+				for _, u := range nbrBuf {
+					if part[u] == -1 && size < quota {
+						part[u] = p
+						size++
+						assigned++
+						queue = append(queue, u)
+					}
+				}
+			}
+		}
+	}
+	// Any stragglers go to the last part.
+	for v := range part {
+		if part[v] == -1 {
+			part[v] = nparts - 1
+			assigned++
+		}
+	}
+	return part, nil
+}
+
+// pickSeed returns an unassigned vertex with minimal unassigned degree
+// (a boundary-ish seed, following Farhat's heuristic), or -1 if none left.
+func pickSeed(g Graph, part []int) int {
+	best, bestDeg := -1, 1<<31
+	var buf []int
+	for v := 0; v < g.NumVerts(); v++ {
+		if part[v] != -1 {
+			continue
+		}
+		buf = g.Neighbors(v, buf[:0])
+		deg := 0
+		for _, u := range buf {
+			if part[u] == -1 {
+				deg++
+			}
+		}
+		if deg < bestDeg {
+			best, bestDeg = v, deg
+			if deg == 0 {
+				break
+			}
+		}
+	}
+	return best
+}
+
+// Quality summarises a partition: per-part load extremes, the imbalance
+// ratio (max load / mean load), and the edge cut (dual-graph edges crossing
+// parts, counted once).
+type Quality struct {
+	NumParts  int
+	MaxLoad   int
+	MinLoad   int
+	Imbalance float64
+	EdgeCut   int
+}
+
+// Evaluate computes Quality for part over graph g.
+func Evaluate(g Graph, part []int, nparts int) (Quality, error) {
+	if len(part) != g.NumVerts() {
+		return Quality{}, fmt.Errorf("partition: part has %d entries for %d vertices",
+			len(part), g.NumVerts())
+	}
+	loads := make([]int, nparts)
+	for v, p := range part {
+		if p < 0 || p >= nparts {
+			return Quality{}, fmt.Errorf("partition: vertex %d in part %d of %d", v, p, nparts)
+		}
+		loads[p]++
+	}
+	q := Quality{NumParts: nparts, MinLoad: 1 << 31}
+	for _, l := range loads {
+		if l > q.MaxLoad {
+			q.MaxLoad = l
+		}
+		if l < q.MinLoad {
+			q.MinLoad = l
+		}
+	}
+	mean := float64(g.NumVerts()) / float64(nparts)
+	q.Imbalance = float64(q.MaxLoad) / mean
+	var buf []int
+	for v := 0; v < g.NumVerts(); v++ {
+		buf = g.Neighbors(v, buf[:0])
+		for _, u := range buf {
+			if u > v && part[u] != part[v] {
+				q.EdgeCut++
+			}
+		}
+	}
+	return q, nil
+}

@@ -1,0 +1,219 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"heterohpc/internal/mesh"
+)
+
+func checkValidPartition(t *testing.T, name string, part []int, n, nparts int) {
+	t.Helper()
+	if len(part) != n {
+		t.Fatalf("%s: %d entries for %d elements", name, len(part), n)
+	}
+	seen := make([]int, nparts)
+	for v, p := range part {
+		if p < 0 || p >= nparts {
+			t.Fatalf("%s: element %d in part %d", name, v, p)
+		}
+		seen[p]++
+	}
+	for p, c := range seen {
+		if c == 0 {
+			t.Fatalf("%s: part %d empty", name, p)
+		}
+	}
+}
+
+func TestBlockPartition(t *testing.T) {
+	m := mesh.NewUnitCube(6)
+	part, err := Block(m, 2, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValidPartition(t, "block", part, m.NumElems(), 6)
+	q, err := Evaluate(DualGraph{m}, part, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Imbalance != 1 {
+		t.Fatalf("block partition imbalance %v, want 1", q.Imbalance)
+	}
+}
+
+func TestRCBBalance(t *testing.T) {
+	m := mesh.NewUnitCube(6) // 216 elements
+	for _, nparts := range []int{1, 2, 3, 5, 8, 27} {
+		part, err := RCB(m, nparts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkValidPartition(t, "rcb", part, m.NumElems(), nparts)
+		q, err := Evaluate(DualGraph{m}, part, nparts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mean := float64(m.NumElems()) / float64(nparts)
+		if float64(q.MaxLoad) > mean+1.5 {
+			t.Fatalf("nparts=%d: max load %d exceeds mean %v by >1.5", nparts, q.MaxLoad, mean)
+		}
+	}
+}
+
+func TestRCBMatchesBlockOnPowerOfTwo(t *testing.T) {
+	// On a cube with 8 parts, RCB should find a partition with the same
+	// (optimal) edge cut as the 2×2×2 block decomposition.
+	m := mesh.NewUnitCube(4)
+	rcb, err := RCB(m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block, err := Block(m, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr, _ := Evaluate(DualGraph{m}, rcb, 8)
+	qb, _ := Evaluate(DualGraph{m}, block, 8)
+	if qr.EdgeCut != qb.EdgeCut {
+		t.Fatalf("RCB edge cut %d != block edge cut %d", qr.EdgeCut, qb.EdgeCut)
+	}
+}
+
+func TestGreedyBalance(t *testing.T) {
+	m := mesh.NewUnitCube(5)
+	for _, nparts := range []int{1, 2, 4, 5, 9} {
+		part, err := Greedy(DualGraph{m}, nparts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkValidPartition(t, "greedy", part, m.NumElems(), nparts)
+		q, _ := Evaluate(DualGraph{m}, part, nparts)
+		if q.Imbalance > 1.35 {
+			t.Fatalf("nparts=%d: greedy imbalance %v too high", nparts, q.Imbalance)
+		}
+	}
+}
+
+func TestPartitionersBeatScrambled(t *testing.T) {
+	// Both real partitioners must produce a far smaller edge cut than a
+	// scrambled round-robin assignment.
+	m := mesh.NewUnitCube(6)
+	const nparts = 8
+	scrambled := make([]int, m.NumElems())
+	for e := range scrambled {
+		scrambled[e] = (e * 13) % nparts
+	}
+	qs, _ := Evaluate(DualGraph{m}, scrambled, nparts)
+	rcb, _ := RCB(m, nparts)
+	qr, _ := Evaluate(DualGraph{m}, rcb, nparts)
+	greedy, _ := Greedy(DualGraph{m}, nparts)
+	qg, _ := Evaluate(DualGraph{m}, greedy, nparts)
+	if qr.EdgeCut*2 >= qs.EdgeCut {
+		t.Fatalf("RCB cut %d not clearly better than scrambled %d", qr.EdgeCut, qs.EdgeCut)
+	}
+	if qg.EdgeCut*2 >= qs.EdgeCut {
+		t.Fatalf("greedy cut %d not clearly better than scrambled %d", qg.EdgeCut, qs.EdgeCut)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	m := mesh.NewUnitCube(2)
+	if _, err := RCB(m, 0); err == nil {
+		t.Error("RCB nparts=0 accepted")
+	}
+	if _, err := RCB(m, m.NumElems()+1); err == nil {
+		t.Error("RCB nparts>n accepted")
+	}
+	if _, err := Greedy(DualGraph{m}, 0); err == nil {
+		t.Error("Greedy nparts=0 accepted")
+	}
+	if _, err := Greedy(DualGraph{m}, m.NumElems()+1); err == nil {
+		t.Error("Greedy nparts>n accepted")
+	}
+	if _, err := Evaluate(DualGraph{m}, []int{0}, 1); err == nil {
+		t.Error("Evaluate with short part accepted")
+	}
+	if _, err := Evaluate(DualGraph{m}, make([]int, m.NumElems()), 0); err == nil {
+		t.Error("Evaluate with out-of-range parts accepted")
+	}
+}
+
+// Property: RCB assigns every element exactly once for arbitrary meshes and
+// part counts, with every part within one of the mean size.
+func TestRCBProperty(t *testing.T) {
+	f := func(nRaw, pRaw uint8) bool {
+		n := int(nRaw%5) + 2 // mesh edge 2..6
+		m := mesh.NewUnitCube(n)
+		nparts := int(pRaw)%(m.NumElems()/2) + 1
+		part, err := RCB(m, nparts)
+		if err != nil {
+			return false
+		}
+		loads := make([]int, nparts)
+		for _, p := range part {
+			if p < 0 || p >= nparts {
+				return false
+			}
+			loads[p]++
+		}
+		lo := m.NumElems() / nparts
+		hi := lo + 1
+		if m.NumElems()%nparts == 0 {
+			hi = lo
+		}
+		for _, l := range loads {
+			// RCB rounding can drift by one extra element for odd splits.
+			if l < lo-1 || l > hi+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluateEdgeCutCounting(t *testing.T) {
+	// A 2-element mesh split across parts has exactly 1 cut edge.
+	m, err := mesh.NewBox(mesh.UnitBox, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := Evaluate(DualGraph{m}, []int{0, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.EdgeCut != 1 {
+		t.Fatalf("edge cut = %d, want 1", q.EdgeCut)
+	}
+	q, err = Evaluate(DualGraph{m}, []int{0, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.EdgeCut != 0 {
+		t.Fatalf("edge cut = %d, want 0", q.EdgeCut)
+	}
+}
+
+func BenchmarkRCB(b *testing.B) {
+	m := mesh.NewUnitCube(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RCB(m, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedy(b *testing.B) {
+	m := mesh.NewUnitCube(10)
+	g := DualGraph{m}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Greedy(g, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

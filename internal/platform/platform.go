@@ -1,0 +1,186 @@
+// Package platform describes the paper's four heterogeneous target
+// platforms (§V, Table I): the in-house cluster puma, the fee-for-use
+// university cluster ellipse, the CILEA supercomputer lagrange, and Amazon
+// EC2 cc2.8xlarge assemblies. Each platform bundles its node hardware
+// (calibrated per-core compute model), interconnect model, scheduler
+// behaviour, billing, and the capability matrix of Table I.
+//
+// Calibration note: the per-core compute rates are not raw hardware peaks.
+// The paper's applications use P2/P2-P1 elements through LifeV/Trilinos;
+// this reproduction uses Q1 elements, which perform roughly an order of
+// magnitude less arithmetic per mesh element. The rates therefore fold the
+// hardware-speed ratio between machines (the quantity that determines the
+// paper's qualitative results) together with a single global factor chosen
+// so that the P=1 reaction–diffusion iteration with the paper's 20³ loading
+// lands near Table II's measured 4.83 s on ec2. Relative speeds follow the
+// 2012 hardware: Opteron 2214 < Opteron 2218 < Xeon X5660 < Xeon E5-2670.
+package platform
+
+import (
+	"fmt"
+	"sort"
+
+	"heterohpc/internal/netmodel"
+	"heterohpc/internal/vclock"
+)
+
+// SchedulerKind identifies the execution manager of a platform (Table I
+// "execution" row).
+type SchedulerKind string
+
+const (
+	// PBS is the Portable Batch System (puma: Torque; lagrange: PBS Pro).
+	PBS SchedulerKind = "PBS"
+	// SGE is the Sun Grid Engine (ellipse), configured for serial batches
+	// only — Open MPI must liaise with it to place parallel tasks.
+	SGE SchedulerKind = "SGE"
+	// Shell is direct command-line execution (EC2: mpiexec with an explicit
+	// hosts list).
+	Shell SchedulerKind = "shell"
+)
+
+// Capabilities is the qualitative capability matrix of Table I, including
+// how missing capabilities were addressed during porting (§VI).
+type Capabilities struct {
+	Storage      string // e.g. "OK" or "insufficient disk quota"
+	Access       string // "user space" or "root"
+	Support      string // admin support level
+	BuildEnv     string // compiler/toolchain presence
+	Compiler     string
+	Dependencies string // which LifeV dependencies were present
+	MPI          string
+	ParallelJobs bool
+	Execution    string // job launch mechanism
+}
+
+// Platform is one target platform.
+type Platform struct {
+	// Name is the paper's lower-case platform name.
+	Name string
+	// Kind is the platform class (on-premise, university, grid, IaaS).
+	Kind string
+	// CPU describes the node processors.
+	CPU string
+	// SocketsPerNode and CoresPerSocket give the node layout.
+	SocketsPerNode int
+	CoresPerSocket int
+	RAMPerNodeGB   float64
+	MaxNodes       int
+	Net            *netmodel.Model
+	Rater          vclock.LinearRater
+	// CommScale multiplies modelled communication times, expressing them in
+	// the same workload-adjusted seconds as the calibrated Rater (the P2
+	// workload moves more bytes and iterations per step than the Q1 proxy;
+	// see the package comment and DESIGN.md §5). Zero means 1.
+	CommScale     float64
+	Scheduler     SchedulerKind
+	SchedulerName string
+	// MaxLaunchRanks is the largest rank count the launcher could start
+	// (ellipse: mpiexec failed to spawn >512 remote daemons). 0 = unlimited.
+	MaxLaunchRanks int
+	// MaxVolumeRanks is the largest rank count before the configured
+	// per-adapter InfiniBand data-volume cap aborted jobs (lagrange: 343).
+	// 0 = unlimited.
+	MaxVolumeRanks int
+	// QueueWaitMedianS and QueueWaitSigma parameterise the log-normal
+	// queue-wait (availability) model; see internal/sched.
+	QueueWaitMedianS float64
+	QueueWaitSigma   float64
+	// Billing.
+	CostPerCoreHour float64 // $ per core-hour (flat-rate platforms)
+	CostPerNodeHour float64 // $ per node-hour (whole-node platforms, EC2)
+	SpotPerNodeHour float64 // typical spot price (EC2 only)
+	BillWholeNodes  bool
+	RootAccess      bool
+	PlacementGroups bool // supports EC2-style placement groups
+	Caps            Capabilities
+}
+
+// CoresPerNode returns the total cores of one node.
+func (p *Platform) CoresPerNode() int { return p.SocketsPerNode * p.CoresPerSocket }
+
+// TotalCores returns the platform's aggregate core count.
+func (p *Platform) TotalCores() int { return p.MaxNodes * p.CoresPerNode() }
+
+// RAMPerCoreGB returns memory per core (Table I row "RAM/core").
+func (p *Platform) RAMPerCoreGB() float64 {
+	return p.RAMPerNodeGB / float64(p.CoresPerNode())
+}
+
+// NodesFor returns the node count a job of ranks ranks occupies (block
+// placement, CoresPerNode ranks per node).
+func (p *Platform) NodesFor(ranks int) int {
+	cpn := p.CoresPerNode()
+	return (ranks + cpn - 1) / cpn
+}
+
+// Validate reports inconsistent platform descriptions.
+func (p *Platform) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("platform: empty name")
+	}
+	if p.SocketsPerNode < 1 || p.CoresPerSocket < 1 || p.MaxNodes < 1 {
+		return fmt.Errorf("platform %s: bad node geometry", p.Name)
+	}
+	if p.RAMPerNodeGB <= 0 {
+		return fmt.Errorf("platform %s: no RAM", p.Name)
+	}
+	if p.Net == nil {
+		return fmt.Errorf("platform %s: no network model", p.Name)
+	}
+	if err := p.Net.Validate(); err != nil {
+		return fmt.Errorf("platform %s: %w", p.Name, err)
+	}
+	if p.Rater.FlopsPerSec <= 0 {
+		return fmt.Errorf("platform %s: no compute rate", p.Name)
+	}
+	if p.CostPerCoreHour < 0 || p.CostPerNodeHour < 0 || p.SpotPerNodeHour < 0 {
+		return fmt.Errorf("platform %s: negative price", p.Name)
+	}
+	return nil
+}
+
+// catalog holds the registered platforms.
+var catalog = map[string]*Platform{}
+
+// Register adds a platform to the catalog (panics on duplicates or invalid
+// descriptions — catalog population is programmer-controlled).
+func Register(p *Platform) {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if _, dup := catalog[p.Name]; dup {
+		panic(fmt.Sprintf("platform: duplicate %q", p.Name))
+	}
+	catalog[p.Name] = p
+}
+
+// Get returns the named platform.
+func Get(name string) (*Platform, error) {
+	p, ok := catalog[name]
+	if !ok {
+		return nil, fmt.Errorf("platform: unknown platform %q (have %v)", name, Names())
+	}
+	return p, nil
+}
+
+// Names returns the registered platform names, sorted.
+func Names() []string {
+	ns := make([]string, 0, len(catalog))
+	for n := range catalog {
+		ns = append(ns, n)
+	}
+	sort.Strings(ns)
+	return ns
+}
+
+// Defaults returns the paper's four platforms in presentation order.
+func Defaults() []*Platform {
+	out := make([]*Platform, 0, 4)
+	for _, n := range []string{"puma", "ellipse", "lagrange", "ec2"} {
+		if p, ok := catalog[n]; ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package provision
+
+import "fmt"
+
+// PlatformState returns the pre-porting state of one of the paper's four
+// platforms (§V, §VI).
+func PlatformState(name string) (*State, error) {
+	switch name {
+	case "puma":
+		// The home platform: "pre-provisioned with the entire set of
+		// packages required to run LifeV-based CFD simulations" — only the
+		// application itself is built, with a generic Makefile.
+		return &State{
+			Platform: "puma",
+			Preinstalled: map[string]string{
+				"gcc": "4.3.4", "gfortran": "4.3.4", "make": "GNU",
+				"autotools": "present", "cmake": "2.8",
+				"openmpi": "Open MPI", "blas-lapack": "present",
+				"boost": "present", "hdf5": "present", "parmetis": "present",
+				"suitesparse": "present", "trilinos": "present", "lifev": "present",
+			},
+		}, nil
+	case "ellipse":
+		// Compilers and build toolkits present; every scientific dependency
+		// built from source in user space; ACML for BLAS/LAPACK (§VI-B).
+		return &State{
+			Platform: "ellipse",
+			Preinstalled: map[string]string{
+				"gcc": "4.1.2", "gfortran": "4.1.2", "make": "GNU",
+				"autotools": "present", "cmake": "2.8",
+			},
+			BLASNote: "ACML 4.0.1 (CPU vendor implementation)",
+			ExtraTasks: []Task{
+				{Name: "SGE parallel-launch workaround", Hours: 0.5,
+					Note: "SGE schedules serial batches only; Open MPI detects and liaises with it"},
+			},
+		}, nil
+	case "lagrange":
+		// Compilers, MPI flavours and MKL provided by CILEA; Boost,
+		// SuiteSparse, HDF5, ParMETIS, Trilinos, LifeV built from source
+		// (§VI-C).
+		return &State{
+			Platform: "lagrange",
+			Preinstalled: map[string]string{
+				"gcc": "4.1.2 (and Intel 12.1)", "gfortran": "4.1.2", "make": "GNU",
+				"autotools": "present", "cmake": "2.8",
+				"openmpi": "Open MPI / Intel MPI", "blas-lapack": "MKL",
+			},
+			BLASNote: "Intel MKL (vendor implementation)",
+			ExtraTasks: []Task{
+				{Name: "admin interactions", Hours: 0.5,
+					Note: "requests to the CILEA HPC group for environment details"},
+			},
+		}, nil
+	case "ec2":
+		// A bare CentOS 5.4 HVM image: "neither development software nor
+		// scientific library support"; root access enables yum for the
+		// toolchain, everything scientific from source; plus the
+		// cloud-specific plumbing of §VI-D.
+		return &State{
+			Platform:     "ec2",
+			Preinstalled: map[string]string{},
+			HasYum:       true,
+			BLASNote:     "GotoBLAS2 1.13 + LAPACK 3.3.1 (source)",
+			ExtraTasks: []Task{
+				{Name: "yum system update", Hours: 0.5,
+					Note: "the CentOS 5.4 image contained obsolete software"},
+				{Name: "ssh mutual authentication", Hours: 0.5,
+					Note: "pre-generate and store host keys so mpiexec can launch remote processes"},
+				{Name: "security group configuration", Hours: 0.3,
+					Note: "enable all intranet TCP ports for MPI intercommunication"},
+				{Name: "boot partition resize", Hours: 0.7,
+					Note: "20GB image too small for problem meshes; grew the boot volume"},
+				{Name: "private AMI creation", Hours: 0.5,
+					Note: "preserve the preconditioned image for identical on-demand copies"},
+			},
+		}, nil
+	default:
+		return nil, fmt.Errorf("provision: no recorded state for platform %q", name)
+	}
+}
+
+// PaperPlatforms lists the platforms with recorded pre-porting states.
+var PaperPlatforms = []string{"puma", "ellipse", "lagrange", "ec2"}

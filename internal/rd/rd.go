@@ -1,0 +1,310 @@
+// Package rd implements the paper's first test case (§IV-A): the 3-D
+// reaction–diffusion equation
+//
+//	∂u/∂t − (1/t²)·Δu − (2/t)·u = −6
+//
+// on a cube, with boundary and initial conditions chosen so that the exact
+// solution is u = t²·(x₁²+x₂²+x₃²). The solver mirrors the paper's program
+// organisation (§IV-C): BDF2 time stepping; per step an assembly phase (ii),
+// a preconditioner-construction phase (iiia) and a preconditioned iterative
+// solve (iiib), each instrumented separately on the virtual clock. The exact
+// solution "is used for checking the mathematical correctness of the code
+// execution".
+package rd
+
+import (
+	"fmt"
+
+	"heterohpc/internal/fem"
+	"heterohpc/internal/krylov"
+	"heterohpc/internal/mesh"
+	"heterohpc/internal/mp"
+	"heterohpc/internal/sparse"
+	"heterohpc/internal/vclock"
+)
+
+// Exact returns the manufactured solution u = t²·(x²+y²+z²).
+func Exact(x, y, z, t float64) float64 { return t * t * (x*x + y*y + z*z) }
+
+// Source is the constant right-hand side f = −6 of the equation.
+const Source = -6.0
+
+// Config describes one RD run.
+type Config struct {
+	// Mesh is the global mesh (the harness sizes it as (n·p)³ for weak
+	// scaling with p³ ranks of n³ elements each).
+	Mesh *mesh.Mesh
+	// Grid is the block decomposition (px,py,pz); px·py·pz must equal the
+	// communicator size.
+	Grid [3]int
+	// T0 is the initial time (must be > 0: the PDE degenerates at t = 0).
+	T0 float64
+	// Dt is the BDF2 time-step size.
+	Dt float64
+	// Steps is the number of BDF2 steps to run.
+	Steps int
+	// Tol is the CG relative tolerance (default 1e-8).
+	Tol float64
+	// Precond selects the preconditioner: "ilu0" (default), "jacobi",
+	// "sgs" or "none".
+	Precond string
+	// MaxIter caps CG iterations (default 500).
+	MaxIter int
+	// Checkpoint, if non-nil, is invoked after every completed BDF2 step
+	// with a snapshot of the solver state (the "automatic checkpointing"
+	// service the paper names as further EC2 conditioning, §VI-D). The
+	// callback runs outside the measured phases.
+	Checkpoint func(State) error
+	// Resume, if non-nil, restarts the time loop from a saved state instead
+	// of the exact-solution initialisation. The state must come from a run
+	// with identical mesh, grid and time stepping.
+	Resume *State
+}
+
+// State is a restartable snapshot of the BDF2 time loop.
+type State struct {
+	// StepsDone counts completed BDF2 steps.
+	StepsDone int
+	// Time is the PDE time of U1.
+	Time float64
+	// U1 and U2 are the owned values of u^{n-1} and u^{n-2}.
+	U1, U2 []float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.T0 == 0 {
+		c.T0 = 1
+	}
+	if c.Dt == 0 {
+		c.Dt = 0.05
+	}
+	if c.Steps == 0 {
+		c.Steps = 6
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-8
+	}
+	if c.Precond == "" {
+		c.Precond = "ilu0"
+	}
+	if c.MaxIter == 0 {
+		c.MaxIter = 500
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.Mesh == nil {
+		return fmt.Errorf("rd: nil mesh")
+	}
+	if c.T0 <= 0 {
+		return fmt.Errorf("rd: T0 %v must be positive (equation degenerates at t=0)", c.T0)
+	}
+	if c.Dt <= 0 || c.Steps < 1 {
+		return fmt.Errorf("rd: bad time stepping dt=%v steps=%d", c.Dt, c.Steps)
+	}
+	// SPD requirement: 3/(2Δt) must dominate the reaction term 2/t.
+	if 3/(2*c.Dt) <= 2/c.T0 {
+		return fmt.Errorf("rd: dt %v too large for SPD system at t0 %v", c.Dt, c.T0)
+	}
+	return nil
+}
+
+// Result is one rank's view of a completed run. StepTimes are this rank's
+// per-step phase breakdowns; the error norms are global (identical on all
+// ranks).
+type Result struct {
+	// StepTimes[k] is the virtual-time breakdown of BDF2 step k on this rank.
+	StepTimes []vclock.PhaseTimes
+	// SolveIters[k] is the CG iteration count of step k.
+	SolveIters []int
+	// MaxErr and L2Err are the global nodal errors vs. the exact solution at
+	// the final time.
+	MaxErr, L2Err float64
+	// NOwned is this rank's owned dof count.
+	NOwned int
+	// FinalTime is the PDE time reached.
+	FinalTime float64
+	// OwnedIDs and Solution carry this rank's owned global vertex ids and
+	// the final solution values at them (for visualisation export).
+	OwnedIDs []int
+	Solution []float64
+}
+
+// NewPrecond builds the preconditioner named in cfg over a distributed
+// matrix's local block.
+func NewPrecond(name string, dm *sparse.DistMatrix, r *mp.Rank) (krylov.Preconditioner, error) {
+	switch name {
+	case "ilu0":
+		return krylov.NewILU0(dm.Local(), dm.NOwned(), r), nil
+	case "jacobi":
+		return krylov.NewJacobi(dm.Local(), dm.NOwned(), r), nil
+	case "sgs":
+		return krylov.NewSGS(dm.Local(), dm.NOwned(), r), nil
+	case "none":
+		return krylov.Identity{}, nil
+	default:
+		return nil, fmt.Errorf("unknown preconditioner %q", name)
+	}
+}
+
+// Run executes the RD solver as the SPMD body of rank r. All ranks of the
+// world must call Run with identical configuration.
+func Run(r *mp.Rank, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	clk := r.Clock()
+	clk.SetPhase(vclock.PhaseOther)
+
+	// --- setup (paper step i): spaces, maps, symbolic structures ---
+	s, err := fem.NewSpaceBlock(r, cfg.Mesh, cfg.Grid[0], cfg.Grid[1], cfg.Grid[2], 1000)
+	if err != nil {
+		return nil, err
+	}
+	n := s.NOwned()
+
+	// Mass matrix (constant in time, assembled once for the BDF2 history
+	// term M·(4u¹−u²)/(2Δt)).
+	var massCOO sparse.COO
+	s.AssembleMatrix(&massCOO, func(e int, out *[8][8]float64) {
+		s.El.Mass(1, out, r)
+	})
+	massDM, err := sparse.NewDistMatrix(r, s.RowMap, &massCOO, s.Owner, 1100)
+	if err != nil {
+		return nil, err
+	}
+	massDM.Compact() // values never change; drop refill plans
+	massCOO = sparse.COO{}
+
+	// System matrix structure (same sparsity as mass; values refilled each
+	// step because the diffusion and reaction coefficients depend on t).
+	var sysCOO sparse.COO
+	sysElem := func(t float64) func(e int, out *[8][8]float64) {
+		alpha := 3/(2*cfg.Dt) - 2/t // mass coefficient
+		kappa := 1 / (t * t)        // diffusion coefficient
+		return func(e int, out *[8][8]float64) {
+			var ke [8][8]float64
+			s.El.Mass(alpha, out, r)
+			s.El.Stiffness(kappa, &ke, r)
+			for a := 0; a < 8; a++ {
+				for b := 0; b < 8; b++ {
+					out[a][b] += ke[a][b]
+				}
+			}
+		}
+	}
+	s.AssembleMatrix(&sysCOO, sysElem(cfg.T0+2*cfg.Dt))
+	sysDM, err := sparse.NewDistMatrix(r, s.RowMap, &sysCOO, s.Owner, 1200)
+	if err != nil {
+		return nil, err
+	}
+	// The structure is fixed; per-step reassembly only recomputes values.
+	sysCOO.Rows, sysCOO.Cols = nil, nil
+	assembleSystem := func(t float64) {
+		s.AssembleMatrixValues(&sysCOO, sysElem(t))
+	}
+	precond, err := NewPrecond(cfg.Precond, sysDM, r)
+	if err != nil {
+		return nil, err
+	}
+
+	// Constant source vector ∫(−6)·N_a, assembled once.
+	load := make([]float64, n)
+	s.AssembleVector(load, func(e int, out *[8]float64) {
+		s.El.Load(func(x, y, z float64) float64 { return Source }, s.ElemCorner(e), out, r)
+	})
+
+	// BDF2 history from the exact solution at t0 and t0+Δt, or from a
+	// checkpointed state.
+	uPrev2 := make([]float64, n) // u^{n-2}
+	uPrev1 := make([]float64, n) // u^{n-1}
+	startStep := 0
+	if cfg.Resume != nil {
+		if len(cfg.Resume.U1) != n || len(cfg.Resume.U2) != n {
+			return nil, fmt.Errorf("rd: resume state has %d/%d dofs, rank owns %d",
+				len(cfg.Resume.U1), len(cfg.Resume.U2), n)
+		}
+		if cfg.Resume.StepsDone < 0 || cfg.Resume.StepsDone >= cfg.Steps {
+			return nil, fmt.Errorf("rd: resume at step %d of %d", cfg.Resume.StepsDone, cfg.Steps)
+		}
+		copy(uPrev1, cfg.Resume.U1)
+		copy(uPrev2, cfg.Resume.U2)
+		startStep = cfg.Resume.StepsDone
+	} else {
+		s.Interpolate(func(x, y, z float64) float64 { return Exact(x, y, z, cfg.T0) }, uPrev2)
+		s.Interpolate(func(x, y, z float64) float64 { return Exact(x, y, z, cfg.T0+cfg.Dt) }, uPrev1)
+	}
+
+	u := make([]float64, n)
+	hist := make([]float64, n)
+	rhs := make([]float64, n)
+	res := &Result{NOwned: n}
+
+	// --- time loop (paper steps ii–iii per iteration) ---
+	for step := startStep; step < cfg.Steps; step++ {
+		t := cfg.T0 + float64(step+2)*cfg.Dt
+		snap := clk.Snapshot()
+
+		// Phase (ii): assembly of the system matrix and right-hand side.
+		clk.SetPhase(vclock.PhaseAssembly)
+		assembleSystem(t)
+		sysDM.SetValues(&sysCOO)
+		// hist = (4u^{n-1} − u^{n-2}) / (2Δt)
+		for i := 0; i < n; i++ {
+			hist[i] = (4*uPrev1[i] - uPrev2[i]) / (2 * cfg.Dt)
+		}
+		r.ChargeCompute(3*float64(n), 24*float64(n))
+		massDM.Apply(hist, rhs)
+		sparse.Axpy(n, 1, load, rhs, r)
+		sysDM.ApplyDirichlet(s.IsBoundary, s.BoundaryFunc(Exact, t), rhs)
+
+		// Phase (iiia): preconditioner computation.
+		clk.SetPhase(vclock.PhasePrecond)
+		if err := precond.Setup(); err != nil {
+			return nil, fmt.Errorf("rd: step %d: %w", step, err)
+		}
+
+		// Phase (iiib): preconditioned CG solve, warm-started from u^{n-1}.
+		clk.SetPhase(vclock.PhaseSolve)
+		sparse.CopyN(n, u, uPrev1, r)
+		sol, err := krylov.CG(sysDM, precond, rhs, u, krylov.Options{
+			Tol: cfg.Tol, MaxIter: cfg.MaxIter,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("rd: step %d: %w", step, err)
+		}
+		if !sol.Converged {
+			return nil, fmt.Errorf("rd: step %d: CG stalled at residual %v after %d iterations",
+				step, sol.Residual, sol.Iterations)
+		}
+		clk.SetPhase(vclock.PhaseOther)
+
+		res.StepTimes = append(res.StepTimes, clk.Since(snap))
+		res.SolveIters = append(res.SolveIters, sol.Iterations)
+		uPrev2, uPrev1, u = uPrev1, u, uPrev2
+		res.FinalTime = t
+
+		if cfg.Checkpoint != nil {
+			st := State{
+				StepsDone: step + 1,
+				Time:      t,
+				U1:        append([]float64(nil), uPrev1[:n]...),
+				U2:        append([]float64(nil), uPrev2[:n]...),
+			}
+			if err := cfg.Checkpoint(st); err != nil {
+				return nil, fmt.Errorf("rd: checkpoint after step %d: %w", step, err)
+			}
+		}
+	}
+
+	exactFinal := func(x, y, z float64) float64 { return Exact(x, y, z, res.FinalTime) }
+	res.MaxErr = s.MaxNodalError(uPrev1, exactFinal)
+	res.L2Err = s.L2NodalError(uPrev1, exactFinal)
+	res.OwnedIDs = append([]int(nil), s.RowMap.Owned...)
+	res.Solution = append([]float64(nil), uPrev1[:n]...)
+	return res, nil
+}

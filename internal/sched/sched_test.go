@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+
+	"heterohpc/internal/platform"
+)
+
+func get(t *testing.T, name string) *platform.Platform {
+	t.Helper()
+	p, err := platform.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// The paper's weak-scaling series truncation points (§VII-A): puma is
+// size-limited at 128 cores, ellipse launch-fails above 512, lagrange
+// volume-caps above 343, ec2 runs the full 1000.
+func TestAdmitReproducesPaperLimits(t *testing.T) {
+	series := []int{1, 8, 27, 64, 125, 216, 343, 512, 729, 1000}
+	wantMax := map[string]int{"puma": 125, "ellipse": 512, "lagrange": 343, "ec2": 1000}
+	for name, maxOK := range wantMax {
+		s := New(get(t, name), 1)
+		for _, p := range series {
+			err := s.Admit(p, 0.05)
+			if p <= maxOK && err != nil {
+				t.Errorf("%s should admit %d ranks: %v", name, p, err)
+			}
+			if p > maxOK && err == nil {
+				t.Errorf("%s admitted %d ranks", name, p)
+			}
+		}
+	}
+}
+
+func TestAdmitErrorKinds(t *testing.T) {
+	if err := New(get(t, "puma"), 1).Admit(500, 0.05); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("puma 500 ranks: %v", err)
+	}
+	if err := New(get(t, "ellipse"), 1).Admit(729, 0.05); !errors.Is(err, ErrLaunchLimit) {
+		t.Errorf("ellipse 729 ranks: %v", err)
+	}
+	if err := New(get(t, "lagrange"), 1).Admit(512, 0.05); !errors.Is(err, ErrIBVolumeCap) {
+		t.Errorf("lagrange 512 ranks: %v", err)
+	}
+	if err := New(get(t, "puma"), 1).Admit(4, 100); !errors.Is(err, ErrInsufficientMemory) {
+		t.Errorf("memory check: %v", err)
+	}
+	if err := New(get(t, "puma"), 1).Admit(0, 0); err == nil {
+		t.Error("zero ranks admitted")
+	}
+}
+
+func TestQueueWaitPositiveAndDeterministic(t *testing.T) {
+	a := New(get(t, "lagrange"), 42)
+	b := New(get(t, "lagrange"), 42)
+	for i := 0; i < 50; i++ {
+		wa, wb := a.QueueWait(10), b.QueueWait(10)
+		if wa <= 0 {
+			t.Fatalf("non-positive wait %v", wa)
+		}
+		if wa != wb {
+			t.Fatal("queue wait not deterministic for equal seeds")
+		}
+	}
+}
+
+// Availability ordering (§VIII): the cloud delivers resources immediately;
+// local and grid queues wait much longer.
+func TestCloudWaitsShortest(t *testing.T) {
+	const nodes, samples = 8, 400
+	medians := map[string]float64{}
+	for _, name := range []string{"puma", "ellipse", "lagrange", "ec2"} {
+		s := New(get(t, name), 7)
+		_, p50, _ := s.QueueWaitQuantiles(nodes, samples)
+		medians[name] = p50
+	}
+	if medians["ec2"] >= medians["ellipse"] || medians["ec2"] >= medians["puma"] ||
+		medians["ec2"] >= medians["lagrange"] {
+		t.Fatalf("ec2 not fastest to start: %v", medians)
+	}
+	if medians["lagrange"] <= medians["ellipse"] {
+		t.Fatalf("grid should wait longer than the university cluster: %v", medians)
+	}
+}
+
+func TestBigJobsWaitLonger(t *testing.T) {
+	const samples = 400
+	s1 := New(get(t, "lagrange"), 3)
+	s2 := New(get(t, "lagrange"), 3)
+	_, small, _ := s1.QueueWaitQuantiles(2, samples)
+	_, large, _ := s2.QueueWaitQuantiles(200, samples)
+	if large <= small {
+		t.Fatalf("200-node job (median %v) should wait longer than 2-node (%v)", large, small)
+	}
+}

@@ -1,0 +1,202 @@
+// Package sparse provides the distributed sparse linear algebra that
+// Trilinos/Epetra provided in the paper's stack: compressed sparse row
+// matrices with a fixed symbolic pattern and fast numeric refill, row
+// distribution across ranks, ghost-value importers for matrix-vector
+// products, and triplet exporters for finite-element assembly of off-rank
+// rows ("matrices and vectors are distributed and need to be updated via a
+// message passing interface", §IV-C).
+//
+// Compute kernels report their operation counts through a Charger so the
+// virtual clock can translate real work into platform seconds.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Charger receives operation counts from compute kernels. *mp.Rank
+// implements it; serial callers use NopCharger.
+type Charger interface {
+	ChargeCompute(flops, bytes float64)
+}
+
+// NopCharger discards charges (serial / un-modelled execution).
+type NopCharger struct{}
+
+// ChargeCompute implements Charger.
+func (NopCharger) ChargeCompute(flops, bytes float64) {}
+
+// COO accumulates assembly triplets with global or local indices.
+type COO struct {
+	Rows, Cols []int
+	Vals       []float64
+}
+
+// Add appends one triplet.
+func (c *COO) Add(row, col int, v float64) {
+	c.Rows = append(c.Rows, row)
+	c.Cols = append(c.Cols, col)
+	c.Vals = append(c.Vals, v)
+}
+
+// Len returns the triplet count.
+func (c *COO) Len() int { return len(c.Rows) }
+
+// Reset clears the triplets, keeping capacity.
+func (c *COO) Reset() {
+	c.Rows = c.Rows[:0]
+	c.Cols = c.Cols[:0]
+	c.Vals = c.Vals[:0]
+}
+
+// CSR is a compressed-sparse-row matrix. The symbolic pattern (RowPtr, Col,
+// with column indices sorted within each row) is immutable after
+// construction; Val may be refilled for matrices whose coefficients change
+// every time step, which is how the applications keep the per-step assembly
+// cheap without re-sorting triplets.
+type CSR struct {
+	NRows, NCols int
+	RowPtr       []int
+	Col          []int
+	Val          []float64
+}
+
+// NewCSRFromCOO builds a CSR from triplets, summing duplicates. Column
+// indices within each row come out sorted.
+func NewCSRFromCOO(nrows, ncols int, c *COO) (*CSR, error) {
+	for i := range c.Rows {
+		if c.Rows[i] < 0 || c.Rows[i] >= nrows {
+			return nil, fmt.Errorf("sparse: row %d out of %d", c.Rows[i], nrows)
+		}
+		if c.Cols[i] < 0 || c.Cols[i] >= ncols {
+			return nil, fmt.Errorf("sparse: col %d out of %d", c.Cols[i], ncols)
+		}
+	}
+	// Sort triplet indices by (row, col).
+	idx := make([]int, c.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if c.Rows[ia] != c.Rows[ib] {
+			return c.Rows[ia] < c.Rows[ib]
+		}
+		return c.Cols[ia] < c.Cols[ib]
+	})
+	m := &CSR{NRows: nrows, NCols: ncols, RowPtr: make([]int, nrows+1)}
+	prevRow, prevCol := -1, -1
+	for _, i := range idx {
+		r, cl, v := c.Rows[i], c.Cols[i], c.Vals[i]
+		if r == prevRow && cl == prevCol {
+			m.Val[len(m.Val)-1] += v
+			continue
+		}
+		m.Col = append(m.Col, cl)
+		m.Val = append(m.Val, v)
+		prevRow, prevCol = r, cl
+		m.RowPtr[r+1] = len(m.Col)
+	}
+	// Fill empty-row gaps.
+	for r := 1; r <= nrows; r++ {
+		if m.RowPtr[r] < m.RowPtr[r-1] {
+			m.RowPtr[r] = m.RowPtr[r-1]
+		}
+	}
+	return m, nil
+}
+
+// NNZ returns the stored entry count.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// ZeroVals resets all stored values, keeping the pattern.
+func (m *CSR) ZeroVals() {
+	for i := range m.Val {
+		m.Val[i] = 0
+	}
+}
+
+// Slot returns the value index of entry (row, col), or -1 if the pattern
+// has no such entry. Columns are sorted per row, so this is a binary search.
+func (m *CSR) Slot(row, col int) int {
+	lo, hi := m.RowPtr[row], m.RowPtr[row+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case m.Col[mid] < col:
+			lo = mid + 1
+		case m.Col[mid] > col:
+			hi = mid
+		default:
+			return mid
+		}
+	}
+	return -1
+}
+
+// AddAt accumulates v into entry (row, col), which must exist in the
+// pattern.
+func (m *CSR) AddAt(row, col int, v float64) {
+	s := m.Slot(row, col)
+	if s < 0 {
+		panic(fmt.Sprintf("sparse: entry (%d,%d) not in pattern", row, col))
+	}
+	m.Val[s] += v
+}
+
+// MulVec computes y = A·x and charges 2·nnz flops plus the CSR streaming
+// traffic to ch. len(x) must be NCols and len(y) must be NRows.
+func (m *CSR) MulVec(x, y []float64, ch Charger) {
+	if len(x) != m.NCols || len(y) != m.NRows {
+		panic(fmt.Sprintf("sparse: MulVec dims %d,%d for %dx%d matrix",
+			len(x), len(y), m.NRows, m.NCols))
+	}
+	for r := 0; r < m.NRows; r++ {
+		var sum float64
+		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
+			sum += m.Val[i] * x[m.Col[i]]
+		}
+		y[r] = sum
+	}
+	nnz := float64(m.NNZ())
+	// 12 bytes/nnz (8B value + 4B index) + x gathers + y stores.
+	ch.ChargeCompute(2*nnz, 20*nnz+8*float64(m.NRows))
+}
+
+// Diagonal extracts the matrix diagonal into d (len NRows); missing
+// diagonal entries yield 0.
+func (m *CSR) Diagonal(d []float64) {
+	if len(d) != m.NRows {
+		panic("sparse: Diagonal length mismatch")
+	}
+	for r := range d {
+		d[r] = 0
+		if s := m.Slot(r, r); s >= 0 {
+			d[r] = m.Val[s]
+		}
+	}
+}
+
+// Clone returns a deep copy sharing no storage.
+func (m *CSR) Clone() *CSR {
+	c := &CSR{
+		NRows: m.NRows, NCols: m.NCols,
+		RowPtr: append([]int(nil), m.RowPtr...),
+		Col:    append([]int(nil), m.Col...),
+		Val:    append([]float64(nil), m.Val...),
+	}
+	return c
+}
+
+// Dense expands the matrix to a dense row-major [][]float64 (tests only).
+func (m *CSR) Dense() [][]float64 {
+	d := make([][]float64, m.NRows)
+	for r := range d {
+		d[r] = make([]float64, m.NCols)
+		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
+			d[r][m.Col[i]] += m.Val[i]
+		}
+	}
+	return d
+}

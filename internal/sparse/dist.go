@@ -1,0 +1,188 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"heterohpc/internal/mp"
+)
+
+// RowMap records which global rows (mesh vertices) this rank owns. Owned
+// ids are sorted; local row i is Owned[i].
+type RowMap struct {
+	Owned []int
+	g2l   map[int]int
+}
+
+// NewRowMap builds a row map from the (copied, sorted) owned global ids.
+func NewRowMap(owned []int) *RowMap {
+	cp := append([]int(nil), owned...)
+	sort.Ints(cp)
+	m := &RowMap{Owned: cp, g2l: make(map[int]int, len(cp))}
+	for l, g := range cp {
+		m.g2l[g] = l
+	}
+	return m
+}
+
+// N returns the owned row count.
+func (m *RowMap) N() int { return len(m.Owned) }
+
+// LocalOf returns the local index of global row g, if owned.
+func (m *RowMap) LocalOf(g int) (int, bool) {
+	l, ok := m.g2l[g]
+	return l, ok
+}
+
+// Importer moves owned vector values to the ranks that hold them as ghosts
+// (the Epetra_Import role). Construction performs a scalable handshake:
+// requesters know their ghost owners locally; owners learn their requesters
+// through one indicator-vector Allreduce followed by neighbour-only
+// messages, so no all-to-all traffic is needed even at 1000 ranks.
+type Importer struct {
+	r      *mp.Rank
+	nOwned int
+	nGhost int
+	tag    int
+	// sends[i]: owned local indices to pack for peer sendPeers[i].
+	sendPeers []int
+	sends     [][]int
+	// recvs[i]: ghost local positions filled from peer recvPeers[i], in the
+	// order that peer packs them.
+	recvPeers []int
+	recvs     [][]int
+}
+
+// NewImporter builds an importer for a vector laid out as [owned | ghosts].
+// ghostGlobal lists the ghost global ids in their local order (position
+// nOwned+i); owner maps any global id to its owning rank; tag reserves two
+// message tags (tag, tag+1) for this importer.
+func NewImporter(r *mp.Rank, rowMap *RowMap, ghostGlobal []int, owner func(int) int, tag int) (*Importer, error) {
+	im := &Importer{r: r, nOwned: rowMap.N(), nGhost: len(ghostGlobal), tag: tag}
+
+	// Group ghost positions by owning rank.
+	byOwner := map[int][]int{} // owner -> ghost local positions
+	reqIDs := map[int][]int{}  // owner -> requested global ids
+	for i, g := range ghostGlobal {
+		o := owner(g)
+		if o == r.ID() {
+			return nil, fmt.Errorf("sparse: ghost %d owned by requester %d", g, o)
+		}
+		if o < 0 || o >= r.Size() {
+			return nil, fmt.Errorf("sparse: ghost %d has invalid owner %d", g, o)
+		}
+		byOwner[o] = append(byOwner[o], im.nOwned+i)
+		reqIDs[o] = append(reqIDs[o], g)
+	}
+	im.recvPeers = sortedKeys(byOwner)
+	for _, p := range im.recvPeers {
+		im.recvs = append(im.recvs, byOwner[p])
+	}
+
+	// Census: each owner learns how many requesters will contact it.
+	numRequesters := census(r, im.recvPeers)
+
+	// Send requests; serve them.
+	for _, p := range im.recvPeers {
+		r.SendInts(p, tag, reqIDs[p])
+	}
+	type srcReq struct {
+		src  int
+		locs []int
+	}
+	reqs := make([]srcReq, 0, numRequesters)
+	for i := 0; i < numRequesters; i++ {
+		src, ids := r.RecvAnyInts(tag)
+		locs := make([]int, len(ids))
+		for j, g := range ids {
+			l, ok := rowMap.LocalOf(g)
+			if !ok {
+				return nil, fmt.Errorf("sparse: rank %d asked rank %d for unowned row %d",
+					src, r.ID(), g)
+			}
+			locs[j] = l
+		}
+		reqs = append(reqs, srcReq{src, locs})
+	}
+	sort.Slice(reqs, func(a, b int) bool { return reqs[a].src < reqs[b].src })
+	for _, q := range reqs {
+		im.sendPeers = append(im.sendPeers, q.src)
+		im.sends = append(im.sends, q.locs)
+	}
+	return im, nil
+}
+
+// census makes every rank learn how many peers will message it: each rank
+// contributes an indicator vector with 1 at each peer it will contact, and
+// the summed vector's own entry is the answer. Cost: one P-length Allreduce.
+func census(r *mp.Rank, peers []int) int {
+	ind := make([]float64, r.Size())
+	for _, p := range peers {
+		ind[p] = 1
+	}
+	sum := r.Allreduce(mp.OpSum, ind)
+	return int(sum[r.ID()] + 0.5)
+}
+
+// NOwned returns the owned prefix length of vectors this importer serves.
+func (im *Importer) NOwned() int { return im.nOwned }
+
+// NGhost returns the ghost tail length.
+func (im *Importer) NGhost() int { return im.nGhost }
+
+// Exchange fills the ghost tail of x (layout [owned | ghosts]) with the
+// owners' current values. All ranks sharing the importer must call it
+// together.
+func (im *Importer) Exchange(x []float64) {
+	if len(x) < im.nOwned+im.nGhost {
+		panic(fmt.Sprintf("sparse: Exchange vector len %d < %d", len(x), im.nOwned+im.nGhost))
+	}
+	for i, p := range im.sendPeers {
+		idx := im.sends[i]
+		buf := make([]float64, len(idx))
+		for j, l := range idx {
+			buf[j] = x[l]
+		}
+		im.r.SendF64(p, im.tag+1, buf)
+	}
+	for i, p := range im.recvPeers {
+		vals := im.r.RecvF64(p, im.tag+1)
+		for j, pos := range im.recvs[i] {
+			x[pos] = vals[j]
+		}
+	}
+}
+
+// ExportAdd is the reverse operation (the Epetra_Export role): ghost-slot
+// contributions in x are sent to their owners and added into the owners'
+// owned entries; the local ghost tail is zeroed afterwards. Used for
+// assembling right-hand sides whose element integrals straddle ranks.
+func (im *Importer) ExportAdd(x []float64) {
+	if len(x) < im.nOwned+im.nGhost {
+		panic(fmt.Sprintf("sparse: ExportAdd vector len %d < %d", len(x), im.nOwned+im.nGhost))
+	}
+	for i, p := range im.recvPeers {
+		pos := im.recvs[i]
+		buf := make([]float64, len(pos))
+		for j, l := range pos {
+			buf[j] = x[l]
+			x[l] = 0
+		}
+		im.r.SendF64(p, im.tag+1, buf)
+	}
+	for i, p := range im.sendPeers {
+		vals := im.r.RecvF64(p, im.tag+1)
+		for j, l := range im.sends[i] {
+			x[l] += vals[j]
+		}
+	}
+}
+
+func sortedKeys(m map[int][]int) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}

@@ -1,0 +1,423 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"heterohpc/internal/mesh"
+	"heterohpc/internal/mp"
+	"heterohpc/internal/netmodel"
+	"heterohpc/internal/partition"
+	"heterohpc/internal/vclock"
+)
+
+func runWorld(t *testing.T, nranks int, body func(r *mp.Rank) error) *mp.World {
+	t.Helper()
+	topo, err := mp.BlockTopology(nranks, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab, err := netmodel.NewFabric(netmodel.Loopback, topo.NNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mp.NewWorld(topo, fab, vclock.LinearRater{FlopsPerSec: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(body); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestImporterExchange distributes ids 0..11 over 3 ranks (block of 4) and
+// checks ghost exchange and export-add.
+func TestImporterExchange(t *testing.T) {
+	const nranks = 3
+	owner := func(g int) int { return g / 4 }
+	runWorld(t, nranks, func(r *mp.Rank) error {
+		owned := []int{r.ID() * 4, r.ID()*4 + 1, r.ID()*4 + 2, r.ID()*4 + 3}
+		rm := NewRowMap(owned)
+		// Each rank ghosts the first id of the next rank (cyclically), except
+		// the last rank which ghosts two ids.
+		var ghosts []int
+		switch r.ID() {
+		case 0:
+			ghosts = []int{4}
+		case 1:
+			ghosts = []int{8}
+		case 2:
+			ghosts = []int{0, 1}
+		}
+		im, err := NewImporter(r, rm, ghosts, owner, 100)
+		if err != nil {
+			return err
+		}
+		x := make([]float64, 4+len(ghosts))
+		for i, g := range owned {
+			x[i] = float64(g * 10)
+		}
+		im.Exchange(x)
+		for i, g := range ghosts {
+			if x[4+i] != float64(g*10) {
+				return fmt.Errorf("rank %d ghost %d = %v, want %v", r.ID(), g, x[4+i], float64(g*10))
+			}
+		}
+		// ExportAdd: put 1 into each ghost slot; owners should accumulate.
+		for i := range ghosts {
+			x[4+i] = 1
+		}
+		im.ExportAdd(x)
+		// id 0 and id 1 each receive +1 from rank 2; id 4 +1 from rank 0;
+		// id 8 +1 from rank 1.
+		want := map[int]float64{0: 1, 1: 11, 4: 41, 8: 81}
+		for i, g := range owned {
+			w, ok := want[g]
+			if !ok {
+				w = float64(g * 10)
+			} else if g == 0 {
+				w = 0*10 + 1
+			}
+			if x[i] != w {
+				return fmt.Errorf("rank %d owned %d = %v, want %v", r.ID(), g, x[i], w)
+			}
+		}
+		// Ghost slots must be zeroed by ExportAdd.
+		for i := range ghosts {
+			if x[4+i] != 0 {
+				return fmt.Errorf("ghost slot not zeroed")
+			}
+		}
+		return nil
+	})
+}
+
+func TestImporterRejectsSelfGhost(t *testing.T) {
+	runWorld(t, 1, func(r *mp.Rank) error {
+		rm := NewRowMap([]int{0, 1})
+		_, err := NewImporter(r, rm, []int{0}, func(int) int { return 0 }, 50)
+		if err == nil {
+			return fmt.Errorf("self-ghost accepted")
+		}
+		return nil
+	})
+}
+
+// elemValue is a deterministic pseudo-random element contribution used to
+// compare serial and distributed assembly.
+func elemValue(e, a, b int) float64 {
+	h := uint64(e*1000003 + a*8191 + b*131)
+	h ^= h >> 13
+	h *= 0x9e3779b97f4a7c15
+	return 1 + float64(h%1000)/1000
+}
+
+// assembleSerialDense builds the reference global dense matrix.
+func assembleSerialDense(m *mesh.Mesh) [][]float64 {
+	n := m.NumVerts()
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for e := 0; e < m.NumElems(); e++ {
+		vs := m.ElemVerts(e)
+		for a := 0; a < 8; a++ {
+			for b := 0; b < 8; b++ {
+				d[vs[a]][vs[b]] += elemValue(e, a, b)
+			}
+		}
+	}
+	return d
+}
+
+func TestDistMatrixMatchesSerialAssembly(t *testing.T) {
+	m := mesh.NewUnitCube(3)
+	const nranks = 4
+	part, err := partition.RCB(m, nranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := assembleSerialDense(m)
+	n := m.NumVerts()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(float64(i) + 1)
+	}
+	wantY := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			wantY[i] += dense[i][j] * x[j]
+		}
+	}
+
+	var mu sync.Mutex
+	gotY := make([]float64, n)
+	owner := func(g int) int { return mesh.VertexOwnerOnParts(m, part, g) }
+	runWorld(t, nranks, func(r *mp.Rank) error {
+		l, err := mesh.NewLocalFromParts(m, part, r.ID())
+		if err != nil {
+			return err
+		}
+		var coo COO
+		for _, e := range l.Elems {
+			vs := m.ElemVerts(e)
+			for a := 0; a < 8; a++ {
+				for b := 0; b < 8; b++ {
+					coo.Add(vs[a], vs[b], elemValue(e, a, b))
+				}
+			}
+		}
+		rm := NewRowMap(l.VertGlobal[:l.NumOwned])
+		dm, err := NewDistMatrix(r, rm, &coo, owner, 200)
+		if err != nil {
+			return err
+		}
+		xo := make([]float64, dm.NOwned())
+		for i, g := range rm.Owned {
+			xo[i] = x[g]
+		}
+		yo := make([]float64, dm.NOwned())
+		dm.Apply(xo, yo)
+		mu.Lock()
+		for i, g := range rm.Owned {
+			gotY[g] = yo[i]
+		}
+		mu.Unlock()
+		return nil
+	})
+	for i := 0; i < n; i++ {
+		if math.Abs(gotY[i]-wantY[i]) > 1e-9*(1+math.Abs(wantY[i])) {
+			t.Fatalf("row %d: distributed %v vs serial %v", i, gotY[i], wantY[i])
+		}
+	}
+}
+
+func TestDistMatrixSetValuesRefill(t *testing.T) {
+	// Refill with doubled values must double Apply results.
+	m := mesh.NewUnitCube(2)
+	const nranks = 2
+	part, _ := partition.RCB(m, nranks)
+	owner := func(g int) int { return mesh.VertexOwnerOnParts(m, part, g) }
+	runWorld(t, nranks, func(r *mp.Rank) error {
+		l, err := mesh.NewLocalFromParts(m, part, r.ID())
+		if err != nil {
+			return err
+		}
+		var coo COO
+		for _, e := range l.Elems {
+			vs := m.ElemVerts(e)
+			for a := 0; a < 8; a++ {
+				for b := 0; b < 8; b++ {
+					coo.Add(vs[a], vs[b], elemValue(e, a, b))
+				}
+			}
+		}
+		rm := NewRowMap(l.VertGlobal[:l.NumOwned])
+		dm, err := NewDistMatrix(r, rm, &coo, owner, 300)
+		if err != nil {
+			return err
+		}
+		xo := make([]float64, dm.NOwned())
+		for i := range xo {
+			xo[i] = 1
+		}
+		y1 := make([]float64, dm.NOwned())
+		dm.Apply(xo, y1)
+		for i := range coo.Vals {
+			coo.Vals[i] *= 2
+		}
+		dm.SetValues(&coo)
+		y2 := make([]float64, dm.NOwned())
+		dm.Apply(xo, y2)
+		for i := range y1 {
+			if math.Abs(y2[i]-2*y1[i]) > 1e-9*(1+math.Abs(y1[i])) {
+				return fmt.Errorf("refill wrong: %v vs %v", y2[i], 2*y1[i])
+			}
+		}
+		return nil
+	})
+}
+
+func TestApplyDirichletIdentityRowsAndSymmetry(t *testing.T) {
+	m := mesh.NewUnitCube(3)
+	const nranks = 3
+	part, _ := partition.RCB(m, nranks)
+	owner := func(g int) int { return mesh.VertexOwnerOnParts(m, part, g) }
+	isBC := m.OnBoundary
+	g := func(v int) float64 { x, y, z := m.VertexCoord(v); return x + 2*y + 3*z }
+
+	n := m.NumVerts()
+	var mu sync.Mutex
+	gathered := make([][]float64, n)
+	for i := range gathered {
+		gathered[i] = make([]float64, n)
+	}
+	rhsGlobal := make([]float64, n)
+
+	runWorld(t, nranks, func(r *mp.Rank) error {
+		l, err := mesh.NewLocalFromParts(m, part, r.ID())
+		if err != nil {
+			return err
+		}
+		var coo COO
+		for _, e := range l.Elems {
+			vs := m.ElemVerts(e)
+			for a := 0; a < 8; a++ {
+				for b := 0; b < 8; b++ {
+					// Symmetric contribution.
+					v := elemValue(e, min(a, b), max(a, b))
+					coo.Add(vs[a], vs[b], v)
+				}
+			}
+		}
+		rm := NewRowMap(l.VertGlobal[:l.NumOwned])
+		dm, err := NewDistMatrix(r, rm, &coo, owner, 400)
+		if err != nil {
+			return err
+		}
+		rhs := make([]float64, dm.NOwned())
+		dm.ApplyDirichlet(isBC, g, rhs)
+		mu.Lock()
+		defer mu.Unlock()
+		A := dm.Local()
+		for lr := 0; lr < dm.NOwned(); lr++ {
+			gr := rm.Owned[lr]
+			rhsGlobal[gr] = rhs[lr]
+			for s := A.RowPtr[lr]; s < A.RowPtr[lr+1]; s++ {
+				gathered[gr][dm.ColGlobal(A.Col[s])] += A.Val[s]
+			}
+		}
+		return nil
+	})
+
+	for v := 0; v < n; v++ {
+		if isBC(v) {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if j == v {
+					want = 1
+				}
+				if gathered[v][j] != want {
+					t.Fatalf("BC row %d col %d = %v", v, j, gathered[v][j])
+				}
+			}
+			if rhsGlobal[v] != g(v) {
+				t.Fatalf("BC rhs %d = %v, want %v", v, rhsGlobal[v], g(v))
+			}
+		}
+	}
+	// Interior block must stay symmetric after column elimination.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if isBC(i) || isBC(j) {
+				continue
+			}
+			if math.Abs(gathered[i][j]-gathered[j][i]) > 1e-9 {
+				t.Fatalf("asymmetry at (%d,%d): %v vs %v", i, j, gathered[i][j], gathered[j][i])
+			}
+		}
+	}
+}
+
+func TestDistMatrixAllSum(t *testing.T) {
+	m := mesh.NewUnitCube(2)
+	const nranks = 2
+	part, _ := partition.RCB(m, nranks)
+	owner := func(g int) int { return mesh.VertexOwnerOnParts(m, part, g) }
+	runWorld(t, nranks, func(r *mp.Rank) error {
+		l, _ := mesh.NewLocalFromParts(m, part, r.ID())
+		var coo COO
+		for _, e := range l.Elems {
+			vs := m.ElemVerts(e)
+			coo.Add(vs[0], vs[0], 1)
+		}
+		rm := NewRowMap(l.VertGlobal[:l.NumOwned])
+		dm, err := NewDistMatrix(r, rm, &coo, owner, 500)
+		if err != nil {
+			return err
+		}
+		if got := dm.AllSum(float64(r.ID() + 1)); got != 3 {
+			return fmt.Errorf("AllSum = %v", got)
+		}
+		return nil
+	})
+}
+
+func TestRowMap(t *testing.T) {
+	rm := NewRowMap([]int{5, 2, 9})
+	if rm.N() != 3 || rm.Owned[0] != 2 {
+		t.Fatalf("row map not sorted: %v", rm.Owned)
+	}
+	if l, ok := rm.LocalOf(9); !ok || l != 2 {
+		t.Fatalf("LocalOf(9) = %d, %v", l, ok)
+	}
+	if _, ok := rm.LocalOf(7); ok {
+		t.Fatal("LocalOf(7) should miss")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestCompactKeepsApplyWorking(t *testing.T) {
+	m := mesh.NewUnitCube(3)
+	const nranks = 2
+	part, _ := partition.RCB(m, nranks)
+	owner := func(g int) int { return mesh.VertexOwnerOnParts(m, part, g) }
+	runWorld(t, nranks, func(r *mp.Rank) error {
+		l, err := mesh.NewLocalFromParts(m, part, r.ID())
+		if err != nil {
+			return err
+		}
+		var coo COO
+		for _, e := range l.Elems {
+			vs := m.ElemVerts(e)
+			for a := 0; a < 8; a++ {
+				for b := 0; b < 8; b++ {
+					coo.Add(vs[a], vs[b], elemValue(e, a, b))
+				}
+			}
+		}
+		rm := NewRowMap(l.VertGlobal[:l.NumOwned])
+		dm, err := NewDistMatrix(r, rm, &coo, owner, 600)
+		if err != nil {
+			return err
+		}
+		x := make([]float64, dm.NOwned())
+		for i := range x {
+			x[i] = float64(i + 1)
+		}
+		before := make([]float64, dm.NOwned())
+		dm.Apply(x, before)
+		dm.Compact()
+		after := make([]float64, dm.NOwned())
+		dm.Apply(x, after)
+		for i := range before {
+			if before[i] != after[i] {
+				return fmt.Errorf("Apply changed after Compact at row %d", i)
+			}
+		}
+		// SetValues must now refuse.
+		defer func() {
+			if recover() == nil {
+				panic("SetValues after Compact did not panic")
+			}
+		}()
+		dm.SetValues(&coo)
+		return nil
+	})
+}

@@ -1,0 +1,355 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"heterohpc/internal/mp"
+)
+
+// DistMatrix is a row-distributed sparse matrix (the Epetra_FECrsMatrix
+// role). Each rank stores the rows of its owned vertices; the column space
+// is [owned | ghost-columns], where ghost columns are the off-rank vertices
+// its rows couple to. Finite-element assembly may produce contributions to
+// rows owned by other ranks; those triplets are exported to their owners
+// during construction (symbolically) and on every SetValues (numerically) —
+// the GlobalAssemble step of the paper's stack.
+type DistMatrix struct {
+	r      *mp.Rank
+	rowMap *RowMap
+	// A holds the owned rows over local column indices.
+	A *CSR
+	// ghostCols lists ghost column global ids; local column nOwned+i.
+	ghostCols []int
+	colG2L    map[int]int
+	imp       *Importer
+
+	// Numeric-refill plans. localSlots[i] is the CSR value slot for the i-th
+	// kept triplet of the structure COO; exportIdx groups the structure-COO
+	// indices of off-rank triplets by destination peer; importSlots are the
+	// CSR slots for the value streams arriving from each source peer.
+	localTrip   []int // structure-COO indices of locally-owned triplets
+	localSlots  []int
+	exportPeers []int
+	exportIdx   [][]int
+	importPeers []int
+	importSlots [][]int
+
+	tag       int
+	xbuf      []float64
+	compacted bool
+}
+
+// NewDistMatrix builds the distributed structure from assembly triplets in
+// global ids (coo may contain rows owned by other ranks) and fills the
+// values. owner maps any global id to its owning rank; tag reserves message
+// tags [tag, tag+4) for this matrix. The coo is retained by reference for
+// SetValues refills and must keep its triplet order.
+func NewDistMatrix(r *mp.Rank, rowMap *RowMap, coo *COO, owner func(int) int, tag int) (*DistMatrix, error) {
+	dm := &DistMatrix{r: r, rowMap: rowMap, tag: tag, colG2L: map[int]int{}}
+
+	// Split triplets into locally-owned rows and export groups.
+	exportByPeer := map[int][]int{} // peer -> structure-COO indices
+	for i, g := range coo.Rows {
+		if _, ok := rowMap.LocalOf(g); ok {
+			dm.localTrip = append(dm.localTrip, i)
+		} else {
+			o := owner(g)
+			if o == r.ID() || o < 0 || o >= r.Size() {
+				return nil, fmt.Errorf("sparse: row %d has bad owner %d", g, o)
+			}
+			exportByPeer[o] = append(exportByPeer[o], i)
+		}
+	}
+	dm.exportPeers = sortedKeys(exportByPeer)
+	for _, p := range dm.exportPeers {
+		dm.exportIdx = append(dm.exportIdx, exportByPeer[p])
+	}
+
+	// Ship off-rank structure (row,col pairs) to owners; receive ours.
+	numSenders := census(r, dm.exportPeers)
+	for i, p := range dm.exportPeers {
+		idx := dm.exportIdx[i]
+		pairs := make([]int, 0, 2*len(idx))
+		for _, t := range idx {
+			pairs = append(pairs, coo.Rows[t], coo.Cols[t])
+		}
+		r.SendInts(p, tag, pairs)
+	}
+	type incoming struct {
+		src   int
+		pairs []int
+	}
+	ins := make([]incoming, 0, numSenders)
+	for i := 0; i < numSenders; i++ {
+		src, pairs := r.RecvAnyInts(tag)
+		ins = append(ins, incoming{src, pairs})
+	}
+	sort.Slice(ins, func(a, b int) bool { return ins[a].src < ins[b].src })
+
+	// Column map: owned columns first (aligned with the row map so the same
+	// vector serves as both domain and range), then sorted ghost columns.
+	nOwned := rowMap.N()
+	ghostSet := map[int]bool{}
+	noteCol := func(g int) {
+		if _, ok := rowMap.LocalOf(g); !ok {
+			ghostSet[g] = true
+		}
+	}
+	for _, t := range dm.localTrip {
+		noteCol(coo.Cols[t])
+	}
+	for _, in := range ins {
+		for j := 1; j < len(in.pairs); j += 2 {
+			noteCol(in.pairs[j])
+		}
+	}
+	dm.ghostCols = make([]int, 0, len(ghostSet))
+	for g := range ghostSet {
+		dm.ghostCols = append(dm.ghostCols, g)
+	}
+	sort.Ints(dm.ghostCols)
+	for i, g := range dm.ghostCols {
+		dm.colG2L[g] = nOwned + i
+	}
+	colOf := func(g int) int {
+		if l, ok := rowMap.LocalOf(g); ok {
+			return l
+		}
+		return dm.colG2L[g]
+	}
+
+	// Build the CSR pattern from local + imported triplets.
+	var pat COO
+	for _, t := range dm.localTrip {
+		lr, _ := rowMap.LocalOf(coo.Rows[t])
+		pat.Add(lr, colOf(coo.Cols[t]), 0)
+	}
+	for _, in := range ins {
+		for j := 0; j < len(in.pairs); j += 2 {
+			lr, ok := rowMap.LocalOf(in.pairs[j])
+			if !ok {
+				return nil, fmt.Errorf("sparse: received row %d not owned by rank %d",
+					in.pairs[j], r.ID())
+			}
+			pat.Add(lr, colOf(in.pairs[j+1]), 0)
+		}
+	}
+	var err error
+	dm.A, err = NewCSRFromCOO(nOwned, nOwned+len(dm.ghostCols), &pat)
+	if err != nil {
+		return nil, err
+	}
+
+	// Slot plans for numeric refill.
+	dm.localSlots = make([]int, len(dm.localTrip))
+	for i, t := range dm.localTrip {
+		lr, _ := rowMap.LocalOf(coo.Rows[t])
+		dm.localSlots[i] = dm.A.Slot(lr, colOf(coo.Cols[t]))
+	}
+	for _, in := range ins {
+		slots := make([]int, 0, len(in.pairs)/2)
+		for j := 0; j < len(in.pairs); j += 2 {
+			lr, _ := rowMap.LocalOf(in.pairs[j])
+			slots = append(slots, dm.A.Slot(lr, colOf(in.pairs[j+1])))
+		}
+		dm.importPeers = append(dm.importPeers, in.src)
+		dm.importSlots = append(dm.importSlots, slots)
+	}
+
+	// Ghost-value importer for matrix-vector products.
+	dm.imp, err = NewImporter(r, rowMap, dm.ghostCols, owner, tag+2)
+	if err != nil {
+		return nil, err
+	}
+	dm.xbuf = make([]float64, nOwned+len(dm.ghostCols))
+	dm.SetValues(coo)
+	return dm, nil
+}
+
+// Compact releases the numeric-refill plans (triplet slot maps and export
+// schedules), cutting the matrix's memory to the CSR block plus the
+// importer. Call it on matrices whose values never change after assembly —
+// at the paper's 1000-rank scale the mass, pressure and gradient operators
+// of the Navier–Stokes solver would otherwise hold gigabytes of refill
+// bookkeeping. SetValues panics after Compact.
+func (dm *DistMatrix) Compact() {
+	dm.localTrip = nil
+	dm.localSlots = nil
+	dm.exportPeers = nil
+	dm.exportIdx = nil
+	dm.importPeers = nil
+	dm.importSlots = nil
+	dm.compacted = true
+}
+
+// SetValues refills the matrix from coo, which must contain exactly the
+// triplets (same order) passed to NewDistMatrix, with new values. Off-rank
+// contributions are exported to their owners and summed there.
+func (dm *DistMatrix) SetValues(coo *COO) {
+	if dm.compacted {
+		panic("sparse: SetValues on compacted matrix")
+	}
+	dm.A.ZeroVals()
+	for i, t := range dm.localTrip {
+		dm.A.Val[dm.localSlots[i]] += coo.Vals[t]
+	}
+	for i, p := range dm.exportPeers {
+		idx := dm.exportIdx[i]
+		buf := make([]float64, len(idx))
+		for j, t := range idx {
+			buf[j] = coo.Vals[t]
+		}
+		dm.r.SendF64(p, dm.tag+1, buf)
+	}
+	for i, p := range dm.importPeers {
+		vals := dm.r.RecvF64(p, dm.tag+1)
+		for j, s := range dm.importSlots[i] {
+			dm.A.Val[s] += vals[j]
+		}
+	}
+	// Accumulation cost of the numeric refill.
+	dm.r.ChargeCompute(float64(len(dm.localTrip)), 16*float64(len(dm.localTrip)))
+}
+
+// NOwned returns the owned row count.
+func (dm *DistMatrix) NOwned() int { return dm.rowMap.N() }
+
+// NCols returns the local column-space width (owned + ghost columns).
+func (dm *DistMatrix) NCols() int { return dm.rowMap.N() + len(dm.ghostCols) }
+
+// RowMap returns the matrix's row distribution.
+func (dm *DistMatrix) RowMap() *RowMap { return dm.rowMap }
+
+// Importer returns the ghost-column importer (shared with solvers that need
+// ghost exchanges of iterate vectors).
+func (dm *DistMatrix) Importer() *Importer { return dm.imp }
+
+// Local returns the owned-rows CSR block (local column indexing).
+func (dm *DistMatrix) Local() *CSR { return dm.A }
+
+// ColGlobal returns the global id of local column lc.
+func (dm *DistMatrix) ColGlobal(lc int) int {
+	if lc < dm.rowMap.N() {
+		return dm.rowMap.Owned[lc]
+	}
+	return dm.ghostCols[lc-dm.rowMap.N()]
+}
+
+// Apply computes y = A·x where x and y are owned-length vectors. The ghost
+// tail is imported internally. All ranks must call Apply together.
+func (dm *DistMatrix) Apply(x, y []float64) {
+	n := dm.NOwned()
+	copy(dm.xbuf[:n], x[:n])
+	dm.imp.Exchange(dm.xbuf)
+	dm.A.MulVec(dm.xbuf, y, dm.r)
+}
+
+// AllSum implements the global reduction used by solvers on this matrix's
+// communicator.
+func (dm *DistMatrix) AllSum(v float64) float64 {
+	return dm.r.AllreduceScalar(mp.OpSum, v)
+}
+
+// Rank returns the communicator rank this matrix lives on.
+func (dm *DistMatrix) Rank() *mp.Rank { return dm.r }
+
+// ChargeCompute implements Charger by delegating to the rank's clock, so
+// solvers can charge their vector work through the matrix.
+func (dm *DistMatrix) ChargeCompute(flops, bytes float64) {
+	dm.r.ChargeCompute(flops, bytes)
+}
+
+// Dirichlet captures the boundary elimination of a matrix: at construction
+// it turns boundary rows into identity rows and zeroes boundary columns,
+// saving the zeroed coefficients so that right-hand sides can be eliminated
+// later — including several right-hand sides against the same matrix (the
+// Navier–Stokes velocity step solves three components with one operator)
+// and right-hand sides whose boundary data changes each time step while the
+// matrix does not (the pressure Poisson operator).
+type Dirichlet struct {
+	dm *DistMatrix
+	// bcRows lists owned boundary rows (local index).
+	bcRows []int
+	// elimRow/elimCol/elimVal record the zeroed column entries:
+	// rhs[elimRow[k]] -= elimVal[k]·g(elimCol[k]) with elimCol a global id.
+	elimRow []int
+	elimCol []int
+	elimVal []float64
+}
+
+// NewDirichlet modifies the matrix in place (identity boundary rows, zeroed
+// boundary columns — symmetry preserving) and returns the eliminator for
+// the right-hand sides. isBC is evaluated on global vertex ids, so every
+// rank handles its ghost columns without communication. It must be called
+// again after any SetValues refill.
+func (dm *DistMatrix) NewDirichlet(isBC func(global int) bool) *Dirichlet {
+	d := &Dirichlet{dm: dm}
+	A := dm.A
+	n := dm.NOwned()
+	nc := dm.NCols()
+	bcCol := make([]bool, nc)
+	for lc := 0; lc < nc; lc++ {
+		bcCol[lc] = isBC(dm.ColGlobal(lc))
+	}
+	for lr := 0; lr < n; lr++ {
+		rowIsBC := bcCol[lr] // local row lr ↔ local col lr (aligned maps)
+		if rowIsBC {
+			d.bcRows = append(d.bcRows, lr)
+		}
+		for s := A.RowPtr[lr]; s < A.RowPtr[lr+1]; s++ {
+			lc := A.Col[s]
+			switch {
+			case rowIsBC:
+				if lc == lr {
+					A.Val[s] = 1
+				} else {
+					A.Val[s] = 0
+				}
+			case bcCol[lc]:
+				if A.Val[s] != 0 {
+					d.elimRow = append(d.elimRow, lr)
+					d.elimCol = append(d.elimCol, dm.ColGlobal(lc))
+					d.elimVal = append(d.elimVal, A.Val[s])
+				}
+				A.Val[s] = 0
+			}
+		}
+	}
+	dm.r.ChargeCompute(float64(A.NNZ()), 12*float64(A.NNZ()))
+	return d
+}
+
+// EliminateRHS folds boundary values into one right-hand side: boundary
+// rows get rhs = g, interior rows get rhs_i -= A_ij·g_j for the eliminated
+// couplings.
+func (d *Dirichlet) EliminateRHS(g func(global int) float64, rhs []float64) {
+	if len(rhs) < d.dm.NOwned() {
+		panic("sparse: rhs shorter than owned rows")
+	}
+	for k, lr := range d.elimRow {
+		rhs[lr] -= d.elimVal[k] * g(d.elimCol[k])
+	}
+	for _, lr := range d.bcRows {
+		rhs[lr] = g(d.dm.rowMap.Owned[lr])
+	}
+	d.dm.r.ChargeCompute(float64(2*len(d.elimRow)+len(d.bcRows)),
+		24*float64(len(d.elimRow)))
+}
+
+// SetSolution writes the boundary values into the owned entries of a
+// solution vector (used after projection updates that disturb boundary
+// dofs).
+func (d *Dirichlet) SetSolution(g func(global int) float64, x []float64) {
+	for _, lr := range d.bcRows {
+		x[lr] = g(d.dm.rowMap.Owned[lr])
+	}
+}
+
+// ApplyDirichlet imposes u = g on boundary rows/columns in a
+// symmetry-preserving way: boundary rows become identity with rhs = g, and
+// boundary columns are eliminated into the right-hand side
+// (rhs_i -= A_ij·g_j). It is shorthand for NewDirichlet + EliminateRHS.
+func (dm *DistMatrix) ApplyDirichlet(isBC func(global int) bool, g func(global int) float64, rhs []float64) {
+	dm.NewDirichlet(isBC).EliminateRHS(g, rhs)
+}

@@ -1,0 +1,169 @@
+package spot
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMarketDeterministic(t *testing.T) {
+	a, b := NewMarket(5, 2.40), NewMarket(5, 2.40)
+	for i := 0; i < 100; i++ {
+		a.Tick()
+		b.Tick()
+		if a.Price() != b.Price() {
+			t.Fatal("market not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestPriceStaysBounded(t *testing.T) {
+	m := NewMarket(11, 2.40)
+	for i := 0; i < 2000; i++ {
+		m.Tick()
+		if m.Price() < m.Floor || m.Price() > m.OnDemand*1.5 {
+			t.Fatalf("price %v escaped bounds at tick %d", m.Price(), i)
+		}
+	}
+}
+
+func TestPriceHoversNearObservedSpot(t *testing.T) {
+	// Long-run average must land near the study's observed 54¢ (22.5% of
+	// $2.40).
+	m := NewMarket(3, 2.40)
+	var sum float64
+	const n = 5000
+	for i := 0; i < n; i++ {
+		m.Tick()
+		sum += m.Price()
+	}
+	avg := sum / n
+	if avg < 0.40 || avg > 0.80 {
+		t.Fatalf("long-run spot average %v, want near 0.54", avg)
+	}
+}
+
+func TestAcquireOnDemand(t *testing.T) {
+	m := NewMarket(1, 2.40)
+	a, err := m.AcquireOnDemand(63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Nodes) != 63 || a.Groups != 1 || a.SpotCount() != 0 {
+		t.Fatalf("bad on-demand assembly: %d nodes, %d groups, %d spot",
+			len(a.Nodes), a.Groups, a.SpotCount())
+	}
+	if b := a.BlendedNodeHour(); b < 2.40-1e-9 || b > 2.40+1e-9 {
+		t.Fatalf("blended price %v", b)
+	}
+	for _, g := range a.GroupOfNode() {
+		if g != 0 {
+			t.Fatal("on-demand fleet must stay in one placement group")
+		}
+	}
+}
+
+// The paper never assembled 63 spot hosts: a large mix request must always
+// contain on-demand top-up, while still being much cheaper than full price.
+func TestAcquireMixAlwaysMixed(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		m := NewMarket(seed, 2.40)
+		a, err := m.AcquireMix(63, 1.00, 4, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Nodes) != 63 {
+			t.Fatalf("seed %d: fleet size %d", seed, len(a.Nodes))
+		}
+		if a.SpotCount() == 63 {
+			t.Fatalf("seed %d: acquired a full spot fleet, which the study never achieved", seed)
+		}
+		if a.SpotCount() == 0 {
+			t.Fatalf("seed %d: no spot instances at a generous bid", seed)
+		}
+		if a.OnDemandCount()+a.SpotCount() != 63 {
+			t.Fatalf("seed %d: counts inconsistent", seed)
+		}
+		if b := a.BlendedNodeHour(); b >= 2.40 || b <= 0 {
+			t.Fatalf("seed %d: blended price %v", seed, b)
+		}
+	}
+}
+
+func TestAcquireMixSpreadsGroups(t *testing.T) {
+	m := NewMarket(9, 2.40)
+	a, err := m.AcquireMix(63, 1.00, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]int{}
+	for _, g := range a.GroupOfNode() {
+		if g < 0 || g >= 4 {
+			t.Fatalf("group %d out of range", g)
+		}
+		seen[g]++
+	}
+	if len(seen) != 4 {
+		t.Fatalf("only %d groups used", len(seen))
+	}
+}
+
+func TestLowBidGetsNoSpot(t *testing.T) {
+	m := NewMarket(2, 2.40)
+	a, err := m.AcquireMix(10, 0.01, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SpotCount() != 0 {
+		t.Fatalf("bid below floor bought %d spot nodes", a.SpotCount())
+	}
+	if len(a.Nodes) != 10 {
+		t.Fatalf("fleet size %d", len(a.Nodes))
+	}
+}
+
+func TestAcquireValidation(t *testing.T) {
+	m := NewMarket(1, 2.40)
+	if _, err := m.AcquireOnDemand(0); err == nil {
+		t.Error("0-node fleet accepted")
+	}
+	if _, err := m.AcquireMix(0, 1, 4, 4); err == nil {
+		t.Error("0-node mix accepted")
+	}
+}
+
+func TestEstimateSpotCost(t *testing.T) {
+	// Table II row 1000: 148.98 s × 63 × $0.54 / 3600 = $1.4079.
+	got := EstimateSpotCost(148.98, 63, 0.54)
+	if got < 1.40 || got > 1.41 {
+		t.Fatalf("estimate %v, want ≈1.4079", got)
+	}
+}
+
+// Property: assemblies are always exactly the requested size with prices
+// between floor and on-demand.
+func TestAcquireMixProperty(t *testing.T) {
+	f := func(seed uint64, wantRaw, groupsRaw uint8) bool {
+		want := int(wantRaw%100) + 1
+		groups := int(groupsRaw%6) + 1
+		m := NewMarket(seed, 2.40)
+		a, err := m.AcquireMix(want, 1.0, groups, 5)
+		if err != nil || len(a.Nodes) != want {
+			return false
+		}
+		for _, n := range a.Nodes {
+			if n.PricePerHour <= 0 || n.PricePerHour > 2.40*1.5 {
+				return false
+			}
+			if n.Group < 0 || n.Group >= groups {
+				return false
+			}
+			if !n.Spot && n.PricePerHour != 2.40 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+// Package stats provides the small deterministic statistics toolkit used by
+// the simulators: a seedable splitmix64 random number generator, common
+// distributions, and summary statistics. Everything in this package is
+// deterministic given a seed so that every experiment in the repository
+// reproduces bit-identical tables.
+package stats
+
+import "math"
+
+// RNG is a splitmix64 pseudo-random generator. The zero value is a valid
+// generator seeded with 0; use NewRNG to seed explicitly. It is intentionally
+// not safe for concurrent use: each simulated entity owns its own stream.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Range returns a uniform float64 in [lo, hi).
+func (r *RNG) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Normal returns a normally distributed float64 with the given mean and
+// standard deviation, using the Box-Muller transform.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	// Guard against log(0).
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// LogNormal returns exp(Normal(mu, sigma)); mu and sigma are the parameters
+// of the underlying normal distribution, not the resulting mean.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Exp returns an exponentially distributed float64 with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Split derives an independent generator from the current stream. The child
+// stream is decorrelated from the parent by mixing in a fixed odd constant.
+func (r *RNG) Split() *RNG {
+	return &RNG{state: r.Uint64()*0xda942042e4dd58b5 + 1}
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"heterohpc/internal/core"
+	"heterohpc/internal/vclock"
+)
+
+func TestWriteChromeStructure(t *testing.T) {
+	mk := func(a, s float64) vclock.PhaseTimes {
+		var pt vclock.PhaseTimes
+		pt.Compute[vclock.PhaseAssembly] = a
+		pt.Comm[vclock.PhaseSolve] = s
+		return pt
+	}
+	perRank := [][]vclock.PhaseTimes{
+		{mk(0.1, 0.2), mk(0.1, 0.3)},
+		{mk(0.2, 0.1), mk(0.2, 0.1)},
+	}
+	var b strings.Builder
+	if err := WriteChrome(&b, "test-job", perRank); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	// 2 ranks × 2 steps × 2 nonzero phases.
+	if len(doc.TraceEvents) != 8 {
+		t.Fatalf("got %d events", len(doc.TraceEvents))
+	}
+	// Events on one rank must be non-overlapping and ordered.
+	var lastEnd float64
+	for _, e := range doc.TraceEvents {
+		if e.Tid != 0 {
+			continue
+		}
+		if e.Ts < lastEnd-1e-9 {
+			t.Fatalf("overlapping events on rank 0 at ts=%v", e.Ts)
+		}
+		lastEnd = e.Ts + e.Dur
+		if e.Ph != "X" {
+			t.Fatalf("event phase %q", e.Ph)
+		}
+	}
+	// Total duration on rank 0: (0.1+0.2 + 0.1+0.3) s = 0.7e6 µs.
+	if lastEnd < 0.699e6 || lastEnd > 0.701e6 {
+		t.Fatalf("rank 0 timeline ends at %v µs, want 0.7e6", lastEnd)
+	}
+}
+
+func TestWriteChromeValidation(t *testing.T) {
+	var b strings.Builder
+	if err := WriteChrome(&b, "x", nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	ragged := [][]vclock.PhaseTimes{make([]vclock.PhaseTimes, 2), make([]vclock.PhaseTimes, 1)}
+	if err := WriteChrome(&b, "x", ragged); err == nil {
+		t.Error("ragged input accepted")
+	}
+}
+
+// End-to-end: a real report's per-rank data renders to a loadable trace.
+func TestWriteChromeFromReport(t *testing.T) {
+	tg, err := core.NewTarget("ec2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := core.WeakRD(8, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := tg.Run(core.JobSpec{Ranks: 8, App: app})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteChrome(&b, "rd-on-ec2", rep.PerRankSteps); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid([]byte(b.String())) {
+		t.Fatal("invalid JSON")
+	}
+	if !strings.Contains(b.String(), `"assembly"`) || !strings.Contains(b.String(), `"solve"`) {
+		t.Fatal("missing phase names")
+	}
+}

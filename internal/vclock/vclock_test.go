@@ -1,0 +1,204 @@
+package vclock
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func testRater() LinearRater {
+	return LinearRater{FlopsPerSec: 1e9, BytesPerSec: 4e9}
+}
+
+func TestLinearRater(t *testing.T) {
+	r := LinearRater{FlopsPerSec: 2e9, BytesPerSec: 8e9}
+	got := r.ComputeSeconds(2e9, 8e9)
+	if math.Abs(got-2) > 1e-12 {
+		t.Fatalf("ComputeSeconds = %v, want 2", got)
+	}
+	if r.ComputeSeconds(0, 0) != 0 {
+		t.Fatal("zero work should cost zero time")
+	}
+}
+
+func TestChargeComputeAccumulates(t *testing.T) {
+	c := New(testRater())
+	c.SetPhase(PhaseAssembly)
+	c.ChargeCompute(1e9, 0) // 1 second
+	c.ChargeCompute(0, 4e9) // 1 second
+	if got := c.PhaseTotal(PhaseAssembly); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("assembly total = %v, want 2", got)
+	}
+	if got := c.Now(); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Now = %v, want 2", got)
+	}
+}
+
+func TestPhaseAttribution(t *testing.T) {
+	c := New(testRater())
+	c.SetPhase(PhaseAssembly)
+	c.ChargeCompute(1e9, 0)
+	prev := c.SetPhase(PhaseSolve)
+	if prev != PhaseAssembly {
+		t.Fatalf("SetPhase returned %v", prev)
+	}
+	c.ChargeComm(0.5, 100)
+	if got := c.PhaseTotal(PhaseAssembly); math.Abs(got-1) > 1e-12 {
+		t.Errorf("assembly = %v", got)
+	}
+	if got := c.PhaseComm(PhaseSolve); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("solve comm = %v", got)
+	}
+	if got := c.PhaseCompute(PhaseSolve); got != 0 {
+		t.Errorf("solve compute = %v", got)
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	c := New(testRater())
+	c.SetPhase(PhaseSolve)
+	c.ChargeCompute(1e9, 0) // now = 1
+	c.AdvanceTo(3)          // idle 2s charged as comm
+	if got := c.Now(); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("Now = %v, want 3", got)
+	}
+	if got := c.PhaseComm(PhaseSolve); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("idle comm = %v, want 2", got)
+	}
+	// Advancing backwards is a no-op.
+	c.AdvanceTo(1)
+	if got := c.Now(); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("AdvanceTo went backwards: %v", got)
+	}
+}
+
+func TestSnapshotSince(t *testing.T) {
+	c := New(testRater())
+	c.SetPhase(PhaseAssembly)
+	c.ChargeCompute(2e9, 0)
+	snap := c.Snapshot()
+	c.ChargeCompute(1e9, 0)
+	c.SetPhase(PhaseSolve)
+	c.ChargeComm(0.25, 8)
+	d := c.Since(snap)
+	if got := d.Phase(PhaseAssembly); math.Abs(got-1) > 1e-12 {
+		t.Errorf("delta assembly = %v, want 1", got)
+	}
+	if got := d.Phase(PhaseSolve); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("delta solve = %v, want 0.25", got)
+	}
+	if got := d.Total(); math.Abs(got-1.25) > 1e-12 {
+		t.Errorf("delta total = %v, want 1.25", got)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := New(testRater())
+	c.ChargeCompute(100, 200)
+	c.ChargeComm(0.1, 50)
+	c.ChargeComm(0.1, 70)
+	flops, bytes, msgs, msgBytes := c.Counters()
+	if flops != 100 || bytes != 200 {
+		t.Errorf("compute counters %v %v", flops, bytes)
+	}
+	if msgs != 2 || msgBytes != 120 {
+		t.Errorf("message counters %v %v", msgs, msgBytes)
+	}
+}
+
+func TestNegativeChargesPanic(t *testing.T) {
+	c := New(testRater())
+	for name, f := range map[string]func(){
+		"compute": func() { c.ChargeCompute(-1, 0) },
+		"comm":    func() { c.ChargeComm(-1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: negative charge did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNilRaterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(nil) did not panic")
+		}
+	}()
+	New(nil)
+}
+
+func TestPhaseStrings(t *testing.T) {
+	want := map[Phase]string{
+		PhaseOther:    "other",
+		PhaseAssembly: "assembly",
+		PhasePrecond:  "precond",
+		PhaseSolve:    "solve",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), s)
+		}
+	}
+}
+
+func TestPhaseTimesAddScale(t *testing.T) {
+	var a, b PhaseTimes
+	a.Compute[PhaseAssembly] = 1
+	a.Comm[PhaseSolve] = 2
+	b.Compute[PhaseAssembly] = 3
+	sum := a.Add(b)
+	if sum.Phase(PhaseAssembly) != 4 || sum.Phase(PhaseSolve) != 2 {
+		t.Fatalf("Add wrong: %+v", sum)
+	}
+	half := sum.Scale(0.5)
+	if half.Total() != 3 {
+		t.Fatalf("Scale wrong: %v", half.Total())
+	}
+}
+
+func TestMaxOver(t *testing.T) {
+	var a, b PhaseTimes
+	a.Compute[PhaseAssembly] = 5
+	a.Comm[PhaseSolve] = 1
+	b.Compute[PhaseAssembly] = 2
+	b.Comm[PhaseSolve] = 9
+	perPhase, maxTotal := MaxOver([]PhaseTimes{a, b})
+	if got := perPhase.Phase(PhaseAssembly); got != 5 {
+		t.Errorf("max assembly = %v", got)
+	}
+	if got := perPhase.Phase(PhaseSolve); got != 9 {
+		t.Errorf("max solve = %v", got)
+	}
+	if maxTotal != 11 {
+		t.Errorf("max total = %v", maxTotal)
+	}
+}
+
+// Property: Now always equals the sum of the phase totals, regardless of
+// charge order.
+func TestNowEqualsPhaseSumProperty(t *testing.T) {
+	f := func(charges []uint16) bool {
+		c := New(testRater())
+		for i, ch := range charges {
+			c.SetPhase(Phases[i%len(Phases)])
+			if i%2 == 0 {
+				c.ChargeCompute(float64(ch)*1e6, float64(ch)*1e6)
+			} else {
+				c.ChargeComm(float64(ch)*1e-6, int(ch))
+			}
+		}
+		var sum float64
+		for _, p := range Phases {
+			sum += c.PhaseTotal(p)
+		}
+		return math.Abs(sum-c.Now()) < 1e-9*(1+sum)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
