@@ -3,6 +3,8 @@ package heterohpc
 import (
 	"heterohpc/internal/bench"
 	"heterohpc/internal/core"
+	"heterohpc/internal/fault"
+	"heterohpc/internal/mp"
 	"heterohpc/internal/platform"
 )
 
@@ -25,7 +27,19 @@ type (
 	BenchOptions = bench.Options
 	// BenchSeries is one platform's weak-scaling curve.
 	BenchSeries = bench.Series
+	// FaultPlan is a seeded schedule of injected failures.
+	FaultPlan = fault.Plan
+	// FaultEvent is one injected failure (crash, preemption, degrade).
+	FaultEvent = fault.Event
+	// FaultOptions configures a supervised run under injected faults.
+	FaultOptions = bench.FaultOptions
+	// RecoveryReport compares a supervised run against its clean baseline.
+	RecoveryReport = bench.RecoveryReport
 )
+
+// ErrRankDead is the typed error every surviving rank observes when a node
+// of the job is killed or preempted mid-run.
+var ErrRankDead = mp.ErrRankDead
 
 // NewTarget builds the named platform's execution target; seed drives its
 // deterministic availability (queue wait) stream.
@@ -60,3 +74,15 @@ func RunWeakScaling(app, platformName string, o BenchOptions) (*BenchSeries, err
 
 // CapabilityTable renders the paper's Table I for the four platforms.
 func CapabilityTable() string { return bench.FormatCapabilities() }
+
+// RunSupervised executes one job under a seeded fault plan with the
+// checkpoint-restart supervisor: failures are classified, capacity is
+// re-provisioned (or the job degrades onto the survivors), and the run
+// resumes from the last per-rank checkpoint.
+func RunSupervised(o FaultOptions) (*RecoveryReport, error) {
+	return bench.RunSupervised(o)
+}
+
+// FormatRecovery renders a supervised run's decision log and its
+// recovered-vs-clean comparison with the overhead itemised.
+func FormatRecovery(rep *RecoveryReport) string { return bench.FormatRecovery(rep) }

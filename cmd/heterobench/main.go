@@ -11,6 +11,7 @@
 //	heterobench placement [flags]            # Table II
 //	heterobench cost -app rd|ns [flags]      # Figures 6 and 7
 //	heterobench availability [-nodes N]      # §VIII availability comparison
+//	heterobench faults [-platform P] [flags] # supervised run under injected faults
 //	heterobench all [flags]                  # everything above
 //
 // Common flags: -n (elements per rank per dimension; the paper uses 20,
@@ -48,6 +49,10 @@ func main() {
 	ranks := fs.Int("ranks", 27, "rank count for the ablate command")
 	what := fs.String("what", "precond", "ablation: precond, packing, interconnect or partition")
 	csvPath := fs.String("csv", "", "also write the raw series as CSV to this file (rd-weak, ns-weak, placement)")
+	platform := fs.String("platform", "ec2", "single platform for the faults command")
+	crashes := fs.Int("crashes", 1, "node crashes injected by the faults command")
+	preempts := fs.Int("preempts", 1, "spot preemptions injected by the faults command")
+	degrades := fs.Int("degrades", 0, "straggler windows injected by the faults command")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -86,6 +91,8 @@ func main() {
 		err = runAblate(*what, opts, *ranks)
 	case "trace":
 		err = runTrace(*app, opts, *ranks, *csvPath)
+	case "faults":
+		err = runFaults(*app, *platform, opts, *ranks, *crashes, *preempts, *degrades)
 	case "all":
 		err = runAll(opts, *nodes)
 	case "help", "-h", "--help":
@@ -116,6 +123,7 @@ commands:
   ablate -what X          ablations: precond, packing, interconnect, partition
   bidding [-nodes N]      extension: spot bid level vs. fleet cost
   trace -ranks N          write a Chrome/Perfetto trace of one job's virtual timeline
+  faults [-platform P]    robustness: supervised run under injected crashes/preemptions
   all                     run everything
 
 flags: -n 10 -steps 3 -skip 1 -max 1000 -platforms puma,ellipse,lagrange,ec2 -seed 2012`)
@@ -259,6 +267,23 @@ func runTrace(app string, opts bench.Options, ranks int, outPath string) error {
 		fmt.Printf("wrote %s (%d ranks × %d steps; open in chrome://tracing or Perfetto)\n",
 			path, rep.Ranks, rep.Iter.Steps)
 	}
+	return nil
+}
+
+// runFaults executes one weak-scaling job under a seeded fault plan with
+// the checkpoint-restart supervisor and prints the recovery report: the
+// decision log plus recovered-vs-clean numbers with the overhead itemised.
+func runFaults(app, platform string, opts bench.Options, ranks, crashes, preempts, degrades int) error {
+	rep, err := bench.RunSupervised(bench.FaultOptions{
+		App: app, Platform: platform, Ranks: ranks,
+		PerRankN: opts.PerRankN, Steps: opts.Steps, SkipSteps: opts.SkipSteps,
+		Seed:    opts.Seed,
+		Crashes: crashes, Preemptions: preempts, Degradations: degrades,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.FormatRecovery(rep))
 	return nil
 }
 

@@ -1,0 +1,508 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+
+	"heterohpc/internal/checkpoint"
+	"heterohpc/internal/core"
+	"heterohpc/internal/fault"
+	"heterohpc/internal/mesh"
+	"heterohpc/internal/mp"
+	"heterohpc/internal/nse"
+	"heterohpc/internal/rd"
+	"heterohpc/internal/spot"
+	"heterohpc/internal/trace"
+	"heterohpc/internal/vclock"
+)
+
+// FaultOptions configures a supervised run under fault injection.
+type FaultOptions struct {
+	// App is "rd" or "ns".
+	App string
+	// Platform names the target.
+	Platform string
+	// Ranks is the submitted process count (must be cubic for the
+	// weak-scaling applications).
+	Ranks int
+	// PerRankN is the per-process mesh edge (default 10, as in Options).
+	PerRankN int
+	// Steps is the number of BDF2 steps (default 4, so at least one
+	// checkpoint exists before mid-run failures).
+	Steps int
+	// SkipSteps discards initial iterations from averaged statistics.
+	SkipSteps int
+	// Seed drives the scheduler, the fault plan, the backoff jitter and the
+	// replacement market. Equal seeds give equal recoveries.
+	Seed uint64
+	// Plan overrides fault-plan generation. When nil, a plan with Crashes /
+	// Preemptions / Degradations events is drawn over the clean run's
+	// virtual duration.
+	Plan *fault.Plan
+	// Crashes, Preemptions and Degradations size the generated plan.
+	Crashes, Preemptions, Degradations int
+	// MaxAttempts caps supervisor retries (default: fatal events + 3).
+	MaxAttempts int
+	// BackoffBaseS and BackoffCapS parameterise the retry backoff
+	// (defaults 15 s base, 240 s cap).
+	BackoffBaseS, BackoffCapS float64
+	// SpareNodes is the cold-spare pool for replacing dead nodes on
+	// platforms without a market (default 2). When exhausted, the
+	// supervisor degrades to fewer ranks instead.
+	SpareNodes int
+	// SpotBidFraction is the replacement bid as a fraction of the
+	// on-demand price on spot platforms (default 0.25).
+	SpotBidFraction float64
+}
+
+func (o FaultOptions) withDefaults() FaultOptions {
+	if o.App == "" {
+		o.App = "rd"
+	}
+	if o.Platform == "" {
+		o.Platform = "ec2"
+	}
+	if o.Ranks == 0 {
+		o.Ranks = 8
+	}
+	if o.PerRankN == 0 {
+		o.PerRankN = 10
+	}
+	if o.Steps == 0 {
+		o.Steps = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 2012
+	}
+	if o.BackoffBaseS == 0 {
+		o.BackoffBaseS = 15
+	}
+	if o.BackoffCapS == 0 {
+		o.BackoffCapS = 240
+	}
+	if o.SpareNodes == 0 {
+		o.SpareNodes = 2
+	}
+	if o.SpotBidFraction == 0 {
+		o.SpotBidFraction = 0.25
+	}
+	return o
+}
+
+// RecoveryReport is the outcome of a supervised run: the recovered result
+// next to the clean baseline, with the price of recovery itemised.
+type RecoveryReport struct {
+	Platform, App string
+	// Ranks is the submitted size; FinalRanks what the successful attempt
+	// ran with (smaller after graceful degradation).
+	Ranks, FinalRanks int
+	// Attempts counts executions, including the successful one.
+	Attempts int
+	// Degraded is true when the job finished on fewer ranks than submitted.
+	Degraded bool
+	// Plan is the injected failure schedule.
+	Plan *fault.Plan
+	// Clean is the no-fault baseline report; Final the recovered run's.
+	Clean, Final *core.Report
+	// CleanVirtualS and FinalVirtualS are the baseline and final-attempt
+	// virtual durations (max over ranks).
+	CleanVirtualS, FinalVirtualS float64
+	// WastedVirtualS is the recovery overhead in virtual seconds: time
+	// consumed by failed attempts (at their scheduled failure times) plus
+	// backoff delays.
+	WastedVirtualS float64
+	// BackoffS is the backoff share of WastedVirtualS.
+	BackoffS float64
+	// RecoveryCostUSD prices the overhead: failed attempts at the
+	// platform's billing plus the replacement-capacity premium over the
+	// typical spot rate.
+	RecoveryCostUSD float64
+	// Decisions is the supervisor's audit log.
+	Decisions []trace.Decision
+}
+
+// ckptStore keeps the latest serialised checkpoint container per rank.
+// Saves happen concurrently from rank goroutines.
+type ckptStore struct {
+	mu    sync.Mutex
+	blobs [][]byte
+}
+
+func newCkptStore(nranks int) *ckptStore {
+	return &ckptStore{blobs: make([][]byte, nranks)}
+}
+
+func (s *ckptStore) put(rank int, b []byte) {
+	s.mu.Lock()
+	s.blobs[rank] = b
+	s.mu.Unlock()
+}
+
+func (s *ckptStore) get(rank int) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.blobs[rank]
+}
+
+// step reports the checkpointed step of rank 0, or -1 when no checkpoint
+// exists yet.
+func (s *ckptStore) step() int {
+	b := s.get(0)
+	if b == nil {
+		return -1
+	}
+	if st, _, _, _, err := checkpoint.ReadRD(bytes.NewReader(b)); err == nil {
+		return st.StepsDone
+	}
+	if st, _, _, _, err := checkpoint.ReadNSE(bytes.NewReader(b)); err == nil {
+		return st.StepsDone
+	}
+	return -1
+}
+
+// supervisedApp wires per-rank checkpoint save/restore closures into the
+// weak-scaling applications. Checkpoints flow through the
+// internal/checkpoint containers, exactly as a production restart would.
+type supervisedApp struct {
+	name  string
+	rdCfg rd.Config
+	nsCfg nse.Config
+	owned [][]int
+	store *ckptStore
+}
+
+func newSupervisedApp(app string, ranks, perRankN, steps int, store *ckptStore) (*supervisedApp, float64, error) {
+	p, err := mesh.CubeGrid(ranks)
+	if err != nil {
+		return nil, 0, fmt.Errorf("bench: weak scaling needs cubic rank counts: %w", err)
+	}
+	a := &supervisedApp{name: app, store: store}
+	var m *mesh.Mesh
+	var mem float64
+	switch app {
+	case "rd":
+		m = mesh.NewUnitCube(perRankN * p)
+		a.rdCfg = rd.Config{Mesh: m, Grid: [3]int{p, p, p}, Steps: steps}
+		mem = core.MemPerRankGB(perRankN, 1)
+	case "ns":
+		n := perRankN * p
+		m, err = mesh.NewBox(mesh.SymmetricBox, n, n, n)
+		if err != nil {
+			return nil, 0, err
+		}
+		a.nsCfg = nse.Config{Mesh: m, Grid: [3]int{p, p, p}, Steps: steps}
+		mem = core.MemPerRankGB(perRankN, 4)
+	default:
+		return nil, 0, fmt.Errorf("bench: unknown application %q (want rd or ns)", app)
+	}
+	a.owned = make([][]int, ranks)
+	for rank := 0; rank < ranks; rank++ {
+		l, err := mesh.NewLocalFromBlock(m, p, p, p, rank)
+		if err != nil {
+			return nil, 0, err
+		}
+		a.owned[rank] = l.VertGlobal[:l.NumOwned]
+	}
+	return a, mem, nil
+}
+
+// Name implements core.App.
+func (a *supervisedApp) Name() string { return a.name }
+
+// Run implements core.App: restore this rank's state from the store when a
+// compatible checkpoint exists, and save one after every completed step.
+func (a *supervisedApp) Run(r *mp.Rank) ([]vclock.PhaseTimes, map[string]float64, error) {
+	rank, size := r.ID(), r.Size()
+	if a.name == "rd" {
+		cfg := a.rdCfg
+		if b := a.store.get(rank); b != nil {
+			if st, ckRank, ckN, _, err := checkpoint.ReadRD(bytes.NewReader(b)); err == nil &&
+				ckRank == rank && ckN == size && st.StepsDone < cfg.Steps {
+				cfg.Resume = &st
+			}
+		}
+		cfg.Checkpoint = func(st rd.State) error {
+			var buf bytes.Buffer
+			if err := checkpoint.WriteRD(&buf, st, rank, size, a.owned[rank]); err != nil {
+				return err
+			}
+			a.store.put(rank, buf.Bytes())
+			return nil
+		}
+		return core.RDApp{Cfg: cfg}.Run(r)
+	}
+	cfg := a.nsCfg
+	if b := a.store.get(rank); b != nil {
+		if st, ckRank, ckN, _, err := checkpoint.ReadNSE(bytes.NewReader(b)); err == nil &&
+			ckRank == rank && ckN == size && st.StepsDone < cfg.Steps {
+			cfg.Resume = &st
+		}
+	}
+	cfg.Checkpoint = func(st nse.State) error {
+		var buf bytes.Buffer
+		if err := checkpoint.WriteNSE(&buf, st, rank, size, a.owned[rank]); err != nil {
+			return err
+		}
+		a.store.put(rank, buf.Bytes())
+		return nil
+	}
+	return core.NSApp{Cfg: cfg}.Run(r)
+}
+
+// virtualDuration is the job's virtual makespan: the largest per-rank sum
+// of step times.
+func virtualDuration(rep *core.Report) float64 {
+	var max float64
+	for _, steps := range rep.PerRankSteps {
+		var sum float64
+		for _, pt := range steps {
+			sum += pt.Total()
+		}
+		if sum > max {
+			max = sum
+		}
+	}
+	return max
+}
+
+// largestCubeAtMost returns the largest k³ ≤ n, or 0 when none exists.
+func largestCubeAtMost(n int) int {
+	best := 0
+	for k := 1; k*k*k <= n; k++ {
+		best = k * k * k
+	}
+	return best
+}
+
+// RunSupervised executes a weak-scaling job under a fault plan with the
+// paper-grade recovery loop: classify the failure, back off with jitter,
+// re-provision replacement capacity (spot first, on-demand fallback — the
+// paper's "mix"), restore the last checkpoint, and degrade to fewer ranks
+// when no replacement is available. Everything is deterministic for equal
+// seeds.
+func RunSupervised(o FaultOptions) (*RecoveryReport, error) {
+	o = o.withDefaults()
+
+	// Clean baseline on a fresh target: the comparison column, and the
+	// virtual horizon fault plans are drawn over.
+	cleanTG, err := core.NewTarget(o.Platform, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cleanStore := newCkptStore(o.Ranks)
+	cleanApp, mem, err := newSupervisedApp(o.App, o.Ranks, o.PerRankN, o.Steps, cleanStore)
+	if err != nil {
+		return nil, err
+	}
+	clean, err := cleanTG.Run(core.JobSpec{
+		Ranks: o.Ranks, App: cleanApp, SkipSteps: o.SkipSteps, MemPerRankGB: mem,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: clean baseline failed: %w", err)
+	}
+	cleanS := virtualDuration(clean)
+
+	tg, err := core.NewTarget(o.Platform, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	p := tg.Platform
+	cpn := p.CoresPerNode()
+	nodes := (o.Ranks + cpn - 1) / cpn
+
+	plan := o.Plan
+	if plan == nil {
+		plan, err = fault.New(fault.Spec{
+			Seed: o.Seed, Nodes: nodes, Horizon: cleanS,
+			Crashes: o.Crashes, Preemptions: o.Preemptions, Degradations: o.Degradations,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	fatals := plan.Failures()
+	degrades := plan.Degradations()
+	maxAttempts := o.MaxAttempts
+	if maxAttempts == 0 {
+		maxAttempts = len(fatals) + 3
+	}
+
+	rep := &RecoveryReport{
+		Platform: o.Platform, App: o.App,
+		Ranks: o.Ranks, FinalRanks: o.Ranks,
+		Plan: plan, Clean: clean, CleanVirtualS: cleanS,
+	}
+	var rec trace.Recorder
+	bo := fault.NewBackoff(o.BackoffBaseS, o.BackoffCapS, o.Seed+1)
+	var market *spot.Market
+	if p.SpotPerNodeHour > 0 {
+		market = spot.NewMarket(o.Seed+2, p.CostPerNodeHour)
+	}
+	spares := o.SpareNodes
+
+	ranks := o.Ranks
+	store := newCkptStore(ranks)
+	app, appMem, err := newSupervisedApp(o.App, ranks, o.PerRankN, o.Steps, store)
+	if err != nil {
+		return nil, err
+	}
+
+	// replacementPremiumPerHour accumulates the per-hour premium of every
+	// replacement node over the typical spot rate; it is priced over the
+	// successful attempt's duration once known.
+	var replacementPremiumPerHour float64
+
+	degrade := func(atS float64, toRanks int, why string) error {
+		to := largestCubeAtMost(toRanks)
+		if to < 1 || to >= ranks {
+			to = largestCubeAtMost(ranks - 1)
+		}
+		if to < 1 {
+			return fmt.Errorf("bench: cannot degrade below 1 rank (%s)", why)
+		}
+		rec.Record(atS, "degrade", "re-partitioning onto %d of %d ranks (%s); checkpoints at the old size are discarded",
+			to, ranks, why)
+		ranks = to
+		rep.Degraded = true
+		store = newCkptStore(ranks)
+		app, appMem, err = newSupervisedApp(o.App, ranks, o.PerRankN, o.Steps, store)
+		return err
+	}
+
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		rep.Attempts = attempt
+		if step := store.step(); step >= 0 {
+			rec.Record(0, "restore", "attempt %d resumes all %d ranks from the checkpoint after step %d",
+				attempt, ranks, step)
+		}
+		events := append([]fault.Event(nil), degrades...)
+		if len(fatals) > 0 {
+			// Arm only the earliest remaining fatal event: which of several
+			// armed crashes trips first would otherwise race in real time.
+			e := fatals[0]
+			events = append(events, e)
+			if e.Kind == fault.KindPreempt {
+				rec.Record(e.NoticeAt, "notice",
+					"spot interruption notice for node %d (reclaim at t=%.1fs)", e.Node, e.At)
+			}
+		}
+
+		result, af, err := tg.Attempt(core.JobSpec{
+			Ranks: ranks, App: app, SkipSteps: o.SkipSteps,
+			MemPerRankGB: appMem, Faults: events,
+		})
+		if err != nil {
+			switch fault.Classify(err) {
+			case fault.ClassCapacity, fault.ClassResource:
+				// Retrying the same shape is futile — shrink instead.
+				if derr := degrade(0, ranks-1, err.Error()); derr != nil {
+					return nil, derr
+				}
+				continue
+			default:
+				return nil, err
+			}
+		}
+		if af == nil {
+			rep.Final = result
+			rep.FinalRanks = ranks
+			rep.FinalVirtualS = virtualDuration(result)
+			rep.RecoveryCostUSD += replacementPremiumPerHour * rep.FinalVirtualS / 3600
+			rec.Record(rep.FinalVirtualS, "complete", "attempt %d finished on %d ranks", attempt, ranks)
+			rep.Decisions = rec.Decisions()
+			return rep, nil
+		}
+
+		switch fault.Classify(af) {
+		case fault.ClassNodeLoss:
+			kind := "crash"
+			if len(fatals) > 0 && fatals[0].Kind == fault.KindPreempt {
+				kind = "preemption"
+			}
+			rec.Record(af.At, "failure", "%s killed node %d at t=%.1fs (attempt %d): %v",
+				kind, af.Node, af.At, attempt, fault.Classify(af))
+			if len(fatals) > 0 {
+				fatals = fatals[1:]
+			}
+			// The whole attempt up to the failure is paid for; the part
+			// after the last checkpoint is recomputed.
+			rep.WastedVirtualS += af.At
+			rep.RecoveryCostUSD += tg.Billing.JobCost(af.At, ranks)
+
+			// Re-provision replacement capacity for the lost node.
+			switch {
+			case market != nil:
+				bid := o.SpotBidFraction * p.CostPerNodeHour
+				repl, err := market.AcquireMix(1, bid, 1, 3)
+				if err != nil {
+					return nil, err
+				}
+				nd := repl.Nodes[0]
+				if nd.Spot {
+					rec.Record(af.At, "provision", "replacement spot instance at $%.3f/h (bid $%.3f)",
+						nd.PricePerHour, bid)
+				} else {
+					rec.Record(af.At, "provision", "spot market could not fill the bid; on-demand replacement at $%.2f/h — the paper's forced mix",
+						nd.PricePerHour)
+				}
+				if nd.PricePerHour > p.SpotPerNodeHour {
+					replacementPremiumPerHour += nd.PricePerHour - p.SpotPerNodeHour
+				}
+			case spares > 0:
+				spares--
+				rec.Record(af.At, "provision", "cold spare replaces node %d (%d spare(s) left)",
+					af.Node, spares)
+			default:
+				curNodes := (ranks + cpn - 1) / cpn
+				if derr := degrade(af.At, (curNodes-1)*cpn, "no replacement capacity"); derr != nil {
+					return nil, derr
+				}
+			}
+
+			d := bo.Next()
+			rep.WastedVirtualS += d
+			rep.BackoffS += d
+			rec.Record(af.At+d, "backoff", "retrying after %.1fs (attempt %d)", d, attempt)
+		default:
+			rep.Decisions = rec.Decisions()
+			return nil, fmt.Errorf("bench: unrecoverable %v failure: %w", fault.Classify(af), af)
+		}
+	}
+	rep.Decisions = rec.Decisions()
+	return nil, fmt.Errorf("bench: gave up after %d attempts (%d fault(s) outstanding)",
+		maxAttempts, len(fatals))
+}
+
+// FormatRecovery renders a supervised run: the decision log, then the
+// recovered numbers next to the clean baseline with the overhead itemised.
+func FormatRecovery(rep *RecoveryReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fault-injected %s on %s (%d ranks)\n", strings.ToUpper(rep.App), rep.Platform, rep.Ranks)
+	fmt.Fprintf(&b, "%s\n\nsupervisor decisions:\n", rep.Plan)
+	var rec trace.Recorder
+	for _, d := range rep.Decisions {
+		rec.Record(d.AtS, d.Kind, "%s", d.Detail)
+	}
+	b.WriteString(rec.Format())
+	b.WriteString("\n\n")
+
+	errKey := "max_err"
+	if rep.App == "ns" {
+		errKey = "vel_max_err"
+	}
+	fmt.Fprintf(&b, "%-24s %14s %14s\n", "", "clean", "recovered")
+	fmt.Fprintf(&b, "%-24s %14d %14d\n", "ranks", rep.Clean.Ranks, rep.Final.Ranks)
+	fmt.Fprintf(&b, "%-24s %14d %14d\n", "attempts", 1, rep.Attempts)
+	fmt.Fprintf(&b, "%-24s %14.3f %14.3f\n", "virtual duration (s)", rep.CleanVirtualS, rep.FinalVirtualS)
+	fmt.Fprintf(&b, "%-24s %14.2e %14.2e\n", errKey, rep.Clean.Metrics[errKey], rep.Final.Metrics[errKey])
+	fmt.Fprintf(&b, "%-24s %14s %14.3f\n", "wasted virtual (s)", "--", rep.WastedVirtualS)
+	fmt.Fprintf(&b, "%-24s %14s %14.3f\n", "  of which backoff (s)", "--", rep.BackoffS)
+	fmt.Fprintf(&b, "%-24s %14s %14.5f\n", "recovery cost (USD)", "--", rep.RecoveryCostUSD)
+	if rep.Degraded {
+		fmt.Fprintf(&b, "\njob degraded gracefully: finished on %d of %d submitted ranks\n",
+			rep.FinalRanks, rep.Ranks)
+	}
+	return b.String()
+}

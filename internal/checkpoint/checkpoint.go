@@ -11,12 +11,22 @@ import (
 	"strconv"
 
 	"heterohpc/internal/h5lite"
+	"heterohpc/internal/nse"
 	"heterohpc/internal/rd"
 )
 
 // FormatVersion guards against restoring state written by an incompatible
 // layout.
 const FormatVersion = "1"
+
+// App tags identify which solver wrote a container, so a restart cannot
+// feed Navier–Stokes state to the RD solver or vice versa. The tag is an
+// attribute, not a version bump: containers written before the tag existed
+// still restore.
+const (
+	AppRD = "rd"
+	AppNS = "ns"
+)
 
 // WriteRD serialises one rank's RD solver state. ownedIDs are the rank's
 // owned global vertex ids (for integrity checking on restore).
@@ -44,6 +54,7 @@ func WriteRD(w io.Writer, st rd.State, rank, nranks int, ownedIDs []int) error {
 	}
 	meta := map[string]string{
 		"version": FormatVersion,
+		"app":     AppRD,
 		"steps":   strconv.Itoa(st.StepsDone),
 		"time":    strconv.FormatFloat(st.Time, 'x', -1, 64), // hex: exact
 		"rank":    strconv.Itoa(rank),
@@ -72,6 +83,11 @@ func ReadRD(r io.Reader) (st rd.State, rank, nranks int, ownedIDs []int, err err
 	if v := u1.Attrs["version"]; v != FormatVersion {
 		return st, 0, 0, nil, fmt.Errorf("checkpoint: format version %q, want %q", v, FormatVersion)
 	}
+	// Tag-less containers predate the app attribute and are RD by
+	// construction; only a present-but-foreign tag is rejected.
+	if app, ok := u1.Attrs["app"]; ok && app != AppRD {
+		return st, 0, 0, nil, fmt.Errorf("checkpoint: app tag %q, want %q", app, AppRD)
+	}
 	u2, ok := f.Get("rd/u2")
 	if !ok || len(u2.F64) != len(u1.F64) {
 		return st, 0, 0, nil, fmt.Errorf("checkpoint: rd/u2 missing or mismatched")
@@ -98,6 +114,117 @@ func ReadRD(r io.Reader) (st rd.State, rank, nranks int, ownedIDs []int, err err
 	}
 	st.U1 = u1.F64
 	st.U2 = u2.F64
+	ownedIDs = make([]int, len(idsDS.I64))
+	for i, g := range idsDS.I64 {
+		ownedIDs[i] = int(g)
+	}
+	return st, rank, nranks, ownedIDs, nil
+}
+
+// WriteNSE serialises one rank's Navier–Stokes solver state: the two BDF2
+// velocity history levels per component, the pressure, and the owned vertex
+// ids. The container layout mirrors WriteRD under the "ns" prefix and keeps
+// FormatVersion; the app tag tells the two apart.
+func WriteNSE(w io.Writer, st nse.State, rank, nranks int, ownedIDs []int) error {
+	n := len(st.P)
+	for d := 0; d < 3; d++ {
+		if len(st.U1[d]) != n || len(st.U2[d]) != n {
+			return fmt.Errorf("checkpoint: inconsistent state vectors in component %d: %d/%d dofs, pressure %d",
+				d, len(st.U1[d]), len(st.U2[d]), n)
+		}
+	}
+	if len(ownedIDs) != n {
+		return fmt.Errorf("checkpoint: %d owned ids for %d dofs", len(ownedIDs), n)
+	}
+	f := h5lite.New()
+	for d := 0; d < 3; d++ {
+		if err := f.CreateF64(fmt.Sprintf("ns/u1_%d", d), []int{n}, st.U1[d]); err != nil {
+			return err
+		}
+		if err := f.CreateF64(fmt.Sprintf("ns/u2_%d", d), []int{n}, st.U2[d]); err != nil {
+			return err
+		}
+	}
+	if err := f.CreateF64("ns/p", []int{n}, st.P); err != nil {
+		return err
+	}
+	ids := make([]int64, n)
+	for i, g := range ownedIDs {
+		ids[i] = int64(g)
+	}
+	if err := f.CreateI64("ns/owned", []int{n}, ids); err != nil {
+		return err
+	}
+	meta := map[string]string{
+		"version": FormatVersion,
+		"app":     AppNS,
+		"steps":   strconv.Itoa(st.StepsDone),
+		"time":    strconv.FormatFloat(st.Time, 'x', -1, 64), // hex: exact
+		"rank":    strconv.Itoa(rank),
+		"nranks":  strconv.Itoa(nranks),
+	}
+	for k, v := range meta {
+		if err := f.SetAttr("ns/u1_0", k, v); err != nil {
+			return err
+		}
+	}
+	_, err := f.WriteTo(w)
+	return err
+}
+
+// ReadNSE restores one rank's Navier–Stokes solver state, returning the
+// state, the rank and world size it was written from, and the owned vertex
+// ids.
+func ReadNSE(r io.Reader) (st nse.State, rank, nranks int, ownedIDs []int, err error) {
+	f, err := h5lite.ReadFrom(r)
+	if err != nil {
+		return st, 0, 0, nil, err
+	}
+	u10, ok := f.Get("ns/u1_0")
+	if !ok {
+		return st, 0, 0, nil, fmt.Errorf("checkpoint: not an NS checkpoint (ns/u1_0 missing)")
+	}
+	if v := u10.Attrs["version"]; v != FormatVersion {
+		return st, 0, 0, nil, fmt.Errorf("checkpoint: format version %q, want %q", v, FormatVersion)
+	}
+	if app := u10.Attrs["app"]; app != AppNS {
+		return st, 0, 0, nil, fmt.Errorf("checkpoint: app tag %q, want %q", app, AppNS)
+	}
+	n := len(u10.F64)
+	for d := 0; d < 3; d++ {
+		u1, ok1 := f.Get(fmt.Sprintf("ns/u1_%d", d))
+		u2, ok2 := f.Get(fmt.Sprintf("ns/u2_%d", d))
+		if !ok1 || !ok2 || len(u1.F64) != n || len(u2.F64) != n {
+			return st, 0, 0, nil, fmt.Errorf("checkpoint: velocity component %d missing or mismatched", d)
+		}
+		st.U1[d] = u1.F64
+		st.U2[d] = u2.F64
+	}
+	pDS, ok := f.Get("ns/p")
+	if !ok || len(pDS.F64) != n {
+		return st, 0, 0, nil, fmt.Errorf("checkpoint: ns/p missing or mismatched")
+	}
+	idsDS, ok := f.Get("ns/owned")
+	if !ok || len(idsDS.I64) != n {
+		return st, 0, 0, nil, fmt.Errorf("checkpoint: ns/owned missing or mismatched")
+	}
+	st.StepsDone, err = strconv.Atoi(u10.Attrs["steps"])
+	if err != nil {
+		return st, 0, 0, nil, fmt.Errorf("checkpoint: bad steps attribute: %w", err)
+	}
+	st.Time, err = strconv.ParseFloat(u10.Attrs["time"], 64)
+	if err != nil {
+		return st, 0, 0, nil, fmt.Errorf("checkpoint: bad time attribute: %w", err)
+	}
+	rank, err = strconv.Atoi(u10.Attrs["rank"])
+	if err != nil {
+		return st, 0, 0, nil, fmt.Errorf("checkpoint: bad rank attribute: %w", err)
+	}
+	nranks, err = strconv.Atoi(u10.Attrs["nranks"])
+	if err != nil {
+		return st, 0, 0, nil, fmt.Errorf("checkpoint: bad nranks attribute: %w", err)
+	}
+	st.P = pDS.F64
 	ownedIDs = make([]int, len(idsDS.I64))
 	for i, g := range idsDS.I64 {
 		ownedIDs[i] = int(g)

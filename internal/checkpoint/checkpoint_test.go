@@ -9,6 +9,7 @@ import (
 	"heterohpc/internal/mesh"
 	"heterohpc/internal/mp"
 	"heterohpc/internal/netmodel"
+	"heterohpc/internal/nse"
 	"heterohpc/internal/rd"
 	"heterohpc/internal/vclock"
 )
@@ -233,4 +234,187 @@ func TestReadRejectsCorruptedContainers(t *testing.T) {
 	if _, _, _, _, err := ReadRD(&b5); err == nil {
 		t.Error("mismatched u2 accepted")
 	}
+}
+
+func TestWriteReadNSERoundTrip(t *testing.T) {
+	st := nse.State{
+		StepsDone: 2,
+		Time:      0.008,
+		U1:        [3][]float64{{1.5, -2.5}, {0.5, 0.25}, {3, 4}},
+		U2:        [3][]float64{{-1, 1}, {2, -2}, {0.125, 8}},
+		P:         []float64{9.5, -0.75},
+	}
+	var buf bytes.Buffer
+	if err := WriteNSE(&buf, st, 3, 8, []int{20, 21}); err != nil {
+		t.Fatal(err)
+	}
+	got, rank, nranks, ids, err := ReadNSE(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank != 3 || nranks != 8 {
+		t.Fatalf("rank/nranks = %d/%d", rank, nranks)
+	}
+	if got.StepsDone != 2 || got.Time != 0.008 {
+		t.Fatalf("metadata %+v", got)
+	}
+	for d := 0; d < 3; d++ {
+		for i := range st.U1[d] {
+			if got.U1[d][i] != st.U1[d][i] || got.U2[d][i] != st.U2[d][i] {
+				t.Fatalf("velocity component %d differs at %d", d, i)
+			}
+		}
+	}
+	for i := range st.P {
+		if got.P[i] != st.P[i] {
+			t.Fatalf("pressure differs at %d", i)
+		}
+	}
+	if len(ids) != 2 || ids[1] != 21 {
+		t.Fatalf("ids %v", ids)
+	}
+}
+
+func TestNSEWriteValidation(t *testing.T) {
+	var buf bytes.Buffer
+	bad := nse.State{U1: [3][]float64{{1}, {1}, {1, 2}}, U2: [3][]float64{{1}, {1}, {1}}, P: []float64{1}}
+	if err := WriteNSE(&buf, bad, 0, 1, []int{0}); err == nil {
+		t.Error("inconsistent vectors accepted")
+	}
+	ok := nse.State{U1: [3][]float64{{1}, {1}, {1}}, U2: [3][]float64{{1}, {1}, {1}}, P: []float64{1}}
+	if err := WriteNSE(&buf, ok, 0, 1, []int{0, 1}); err == nil {
+		t.Error("mismatched ids accepted")
+	}
+}
+
+// The app tag keeps the two solvers' containers apart without a version bump.
+func TestAppTagSeparatesSolvers(t *testing.T) {
+	rdSt := rd.State{StepsDone: 1, Time: 1.05, U1: []float64{1}, U2: []float64{2}}
+	var rdBuf bytes.Buffer
+	if err := WriteRD(&rdBuf, rdSt, 0, 1, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	nsSt := nse.State{StepsDone: 1, Time: 0.006,
+		U1: [3][]float64{{1}, {2}, {3}}, U2: [3][]float64{{4}, {5}, {6}}, P: []float64{7}}
+	var nsBuf bytes.Buffer
+	if err := WriteNSE(&nsBuf, nsSt, 0, 1, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, _, err := ReadNSE(bytes.NewReader(rdBuf.Bytes())); err == nil {
+		t.Error("ReadNSE accepted an RD container")
+	}
+	if _, _, _, _, err := ReadRD(bytes.NewReader(nsBuf.Bytes())); err == nil {
+		t.Error("ReadRD accepted an NS container")
+	}
+	// A forged RD container carrying a foreign app tag is rejected even
+	// though the datasets are in place.
+	f := h5lite.New()
+	_ = f.CreateF64("rd/u1", []int{1}, []float64{1})
+	_ = f.CreateF64("rd/u2", []int{1}, []float64{1})
+	_ = f.CreateI64("rd/owned", []int{1}, []int64{0})
+	_ = f.SetAttr("rd/u1", "version", FormatVersion)
+	_ = f.SetAttr("rd/u1", "app", AppNS)
+	var b bytes.Buffer
+	if _, err := f.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, _, err := ReadRD(&b); err == nil {
+		t.Error("RD container with NS app tag accepted")
+	}
+	// A tag-less RD container (pre-tag writer) still restores.
+	f2 := h5lite.New()
+	_ = f2.CreateF64("rd/u1", []int{1}, []float64{1})
+	_ = f2.CreateF64("rd/u2", []int{1}, []float64{1})
+	_ = f2.CreateI64("rd/owned", []int{1}, []int64{0})
+	_ = f2.SetAttr("rd/u1", "version", FormatVersion)
+	_ = f2.SetAttr("rd/u1", "steps", "1")
+	_ = f2.SetAttr("rd/u1", "time", "0x1p+00")
+	_ = f2.SetAttr("rd/u1", "rank", "0")
+	_ = f2.SetAttr("rd/u1", "nranks", "1")
+	var b2 bytes.Buffer
+	if _, err := f2.WriteTo(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, _, err := ReadRD(&b2); err != nil {
+		t.Errorf("tag-less RD container rejected: %v", err)
+	}
+}
+
+// Interrupting a Navier–Stokes run at a checkpoint and resuming reproduces
+// the uninterrupted run bit-for-bit, mirroring the RD guarantee.
+func TestNSEResumeMatchesStraightRun(t *testing.T) {
+	m, err := mesh.NewBox(mesh.SymmetricBox, 4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nranks = 8
+	const totalSteps = 4
+	const stopAfter = 2
+	cfg := nse.Config{Mesh: m, Grid: [3]int{2, 2, 2}, Steps: totalSteps, Dt: 0.002}
+
+	straightU := make([][3][]float64, nranks)
+	straightP := make([][]float64, nranks)
+	runRanks(t, nranks, func(r *mp.Rank) error {
+		res, err := nse.Run(r, cfg)
+		if err != nil {
+			return err
+		}
+		straightU[r.ID()] = res.Velocity
+		straightP[r.ID()] = res.Pressure
+		return nil
+	})
+
+	ownedIDs := make([][]int, nranks)
+	for rank := 0; rank < nranks; rank++ {
+		l, err := mesh.NewLocalFromBlock(m, 2, 2, 2, rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ownedIDs[rank] = l.VertGlobal[:l.NumOwned]
+	}
+
+	blobs := make([]bytes.Buffer, nranks)
+	runRanks(t, nranks, func(r *mp.Rank) error {
+		short := cfg
+		short.Steps = stopAfter
+		short.Checkpoint = func(st nse.State) error {
+			blobs[r.ID()].Reset() // keep only the latest checkpoint
+			return WriteNSE(&blobs[r.ID()], st, r.ID(), r.Size(), ownedIDs[r.ID()])
+		}
+		_, err := nse.Run(r, short)
+		return err
+	})
+
+	runRanks(t, nranks, func(r *mp.Rank) error {
+		st, rank, nr, _, err := ReadNSE(bytes.NewReader(blobs[r.ID()].Bytes()))
+		if err != nil {
+			return err
+		}
+		if rank != r.ID() || nr != nranks {
+			return fmt.Errorf("checkpoint belongs to rank %d/%d", rank, nr)
+		}
+		resumedCfg := cfg
+		resumedCfg.Resume = &st
+		res, err := nse.Run(r, resumedCfg)
+		if err != nil {
+			return err
+		}
+		if len(res.StepTimes) != totalSteps-stopAfter {
+			return fmt.Errorf("resumed run executed %d steps, want %d",
+				len(res.StepTimes), totalSteps-stopAfter)
+		}
+		for d := 0; d < 3; d++ {
+			for i := range res.Velocity[d] {
+				if res.Velocity[d][i] != straightU[r.ID()][d][i] {
+					return fmt.Errorf("rank %d velocity %d dof %d differs", r.ID(), d, i)
+				}
+			}
+		}
+		for i := range res.Pressure {
+			if res.Pressure[i] != straightP[r.ID()][i] {
+				return fmt.Errorf("rank %d pressure dof %d differs", r.ID(), i)
+			}
+		}
+		return nil
+	})
 }

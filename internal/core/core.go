@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"heterohpc/internal/cost"
+	"heterohpc/internal/fault"
 	"heterohpc/internal/mp"
 	"heterohpc/internal/netmodel"
 	"heterohpc/internal/platform"
@@ -82,6 +83,10 @@ type JobSpec struct {
 	// higher whole-node cost — the trade-off behind the paper's observation
 	// that EC2's 16-core nodes need "notably fewer hosts". Zero means dense.
 	RanksPerNode int
+	// Faults are injected failure events armed on the world before the
+	// application starts (see internal/fault). Events targeting nodes
+	// beyond the job's topology are ignored.
+	Faults []fault.Event
 }
 
 // IterStats are the paper's per-iteration statistics, averaged over the
@@ -122,28 +127,68 @@ type Report struct {
 	PerRankSteps [][]vclock.PhaseTimes
 }
 
+// AttemptFailure describes an execution attempt killed by an injected or
+// modelled failure: the typed run error plus what the supervisor needs to
+// account for the loss.
+type AttemptFailure struct {
+	// Err is the run error; errors.Is(Err, mp.ErrRankDead) for node loss.
+	Err error
+	// Node and At identify the scheduled failure (Node −1 when the world
+	// recorded none — an application error, not a node death).
+	Node int
+	// At is the failure's scheduled virtual time (deterministic, unlike
+	// the racing wavefront of rank clocks at abort).
+	At float64
+	// ElapsedS is the furthest virtual time any rank reached before the
+	// world shut down — diagnostic only; it varies run to run.
+	ElapsedS float64
+}
+
+// Error implements error so a failure can be wrapped and classified.
+func (f *AttemptFailure) Error() string { return f.Err.Error() }
+
+// Unwrap exposes the underlying run error to errors.Is/As.
+func (f *AttemptFailure) Unwrap() error { return f.Err }
+
 // Run submits the job, executes it and aggregates the report. Scheduling
 // failures (machine too small, launch limits, the lagrange IB volume cap)
-// surface as the typed errors of internal/sched.
+// surface as the typed errors of internal/sched; fault-injected deaths
+// surface as *AttemptFailure wrapping mp.ErrRankDead.
 func (t *Target) Run(spec JobSpec) (*Report, error) {
+	rep, af, err := t.Attempt(spec)
+	if err != nil {
+		return nil, err
+	}
+	if af != nil {
+		return nil, af
+	}
+	return rep, nil
+}
+
+// Attempt submits the job once, distinguishing infrastructure verdicts:
+// (rep, nil, nil) on success; (nil, af, nil) when the execution itself died
+// (injected fault or application error) and retrying/recovering may make
+// sense; (nil, nil, err) when the submission never ran (bad spec, scheduler
+// refusal) — the supervisor's raw material.
+func (t *Target) Attempt(spec JobSpec) (*Report, *AttemptFailure, error) {
 	if spec.App == nil {
-		return nil, fmt.Errorf("core: job without application")
+		return nil, nil, fmt.Errorf("core: job without application")
 	}
 	if err := t.Sched.Admit(spec.Ranks, spec.MemPerRankGB); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	p := t.Platform
 	cpn := p.CoresPerNode()
 	if spec.RanksPerNode > 0 {
 		if spec.RanksPerNode > cpn {
-			return nil, fmt.Errorf("core: %d ranks per node exceeds %d cores (%s)",
+			return nil, nil, fmt.Errorf("core: %d ranks per node exceeds %d cores (%s)",
 				spec.RanksPerNode, cpn, p.Name)
 		}
 		cpn = spec.RanksPerNode
 	}
 	nodes := (spec.Ranks + cpn - 1) / cpn
 	if nodes > p.MaxNodes {
-		return nil, fmt.Errorf("core: placement needs %d nodes, %s has %d",
+		return nil, nil, fmt.Errorf("core: placement needs %d nodes, %s has %d",
 			nodes, p.Name, p.MaxNodes)
 	}
 	queueWait := t.Sched.QueueWait(nodes)
@@ -153,7 +198,7 @@ func (t *Target) Run(spec JobSpec) (*Report, error) {
 		groups = make([]int, nodes)
 	}
 	if len(groups) != nodes {
-		return nil, fmt.Errorf("core: %d group assignments for %d nodes", len(groups), nodes)
+		return nil, nil, fmt.Errorf("core: %d group assignments for %d nodes", len(groups), nodes)
 	}
 	nodeOf := make([]int, spec.Ranks)
 	for r := range nodeOf {
@@ -161,7 +206,7 @@ func (t *Target) Run(spec JobSpec) (*Report, error) {
 	}
 	topo, err := mp.NewTopology(nodeOf, groups)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	commScale := p.CommScale
 	if commScale == 0 {
@@ -169,11 +214,14 @@ func (t *Target) Run(spec JobSpec) (*Report, error) {
 	}
 	fabric, err := netmodel.NewFabricScaled(p.Net, nodes, commScale)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	world, err := mp.NewWorld(topo, fabric, p.Rater)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	if err := fault.Arm(world, spec.Faults); err != nil {
+		return nil, nil, err
 	}
 
 	perRank := make([][]vclock.PhaseTimes, spec.Ranks)
@@ -190,13 +238,21 @@ func (t *Target) Run(spec JobSpec) (*Report, error) {
 		return nil
 	})
 	if runErr != nil {
-		return nil, fmt.Errorf("core: %s on %s with %d ranks: %w",
-			spec.App.Name(), p.Name, spec.Ranks, runErr)
+		af := &AttemptFailure{
+			Err: fmt.Errorf("core: %s on %s with %d ranks: %w",
+				spec.App.Name(), p.Name, spec.Ranks, runErr),
+			Node:     -1,
+			ElapsedS: world.MaxVirtualTime(),
+		}
+		if f, down := world.Failure(); down {
+			af.Node, af.At = f.Node, f.At
+		}
+		return nil, af, nil
 	}
 
 	iter, err := aggregate(perRank, spec.SkipSteps)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	rep := &Report{
 		Platform:     p.Name,
@@ -212,7 +268,7 @@ func (t *Target) Run(spec JobSpec) (*Report, error) {
 	if sb, err := cost.SpotForPlatform(p); err == nil {
 		rep.SpotCostPerIter = sb.PerIteration(iter.MaxTotal, spec.Ranks)
 	}
-	return rep, nil
+	return rep, nil, nil
 }
 
 // aggregate computes the paper's iteration statistics from per-rank,

@@ -6,6 +6,7 @@ import (
 	"math"
 	"testing"
 
+	"heterohpc/internal/fault"
 	"heterohpc/internal/mp"
 	"heterohpc/internal/sched"
 	"heterohpc/internal/vclock"
@@ -266,5 +267,39 @@ func TestRanksPerNodeOverride(t *testing.T) {
 	app4, _ := WeakRD(64, 3, 1)
 	if _, err := puma.Run(JobSpec{Ranks: 64, App: app4, RanksPerNode: 1}); err == nil {
 		t.Error("64 single-rank nodes on a 32-node machine accepted")
+	}
+}
+
+// An injected crash surfaces as an AttemptFailure wrapping mp.ErrRankDead,
+// with the scheduled failure coordinates; Run wraps the same failure.
+func TestAttemptReportsInjectedFault(t *testing.T) {
+	tg, _ := NewTarget("puma", 1)
+	app, err := WeakRD(8, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := JobSpec{Ranks: 8, App: app,
+		Faults: []fault.Event{{Kind: fault.KindCrash, Node: 1, At: 1e-4}}}
+	rep, af, err := tg.Attempt(spec)
+	if err != nil || rep != nil {
+		t.Fatalf("Attempt = %v, %v; want a failure", rep, err)
+	}
+	if af == nil || !errors.Is(af, mp.ErrRankDead) {
+		t.Fatalf("failure %+v does not wrap ErrRankDead", af)
+	}
+	if af.Node != 1 || af.At != 1e-4 {
+		t.Errorf("failure coordinates %d@%v, want 1@1e-4", af.Node, af.At)
+	}
+	if af.ElapsedS < af.At {
+		t.Errorf("elapsed %v below failure time %v", af.ElapsedS, af.At)
+	}
+	if _, err := tg.Run(spec); !errors.Is(err, mp.ErrRankDead) {
+		t.Errorf("Run error = %v, want ErrRankDead", err)
+	}
+	// Events beyond the topology are ignored; the job completes.
+	ok := JobSpec{Ranks: 8, App: app,
+		Faults: []fault.Event{{Kind: fault.KindCrash, Node: 99, At: 1e-4}}}
+	if _, err := tg.Run(ok); err != nil {
+		t.Errorf("out-of-topology fault killed the run: %v", err)
 	}
 }

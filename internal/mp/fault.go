@@ -1,0 +1,161 @@
+// Fault injection hooks of the message-passing substrate.
+//
+// The paper's central experience is that heterogeneous targets fail in
+// platform-specific ways — EC2 spot assemblies lose instances to the market
+// mid-run, clusters lose nodes to hardware. A World therefore carries an
+// optional per-node failure schedule expressed in *virtual* time: when any
+// rank's clock reaches the scheduled crash time of its node, the whole
+// world is poisoned (fail-stop semantics, like MPI's default error
+// handler), every blocked receive is woken, and every subsequent send,
+// receive or collective on every rank returns a typed ErrRankDead through
+// World.Run instead of deadlocking. Because the trigger is virtual time —
+// which advances deterministically per rank — equal seeds produce equal
+// failures.
+package mp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// ErrRankDead is the typed error every rank of a poisoned world observes:
+// a node of the job failed (crash or spot preemption) and its ranks are
+// gone. Match with errors.Is.
+var ErrRankDead = errors.New("mp: rank dead (node failed)")
+
+// Failure records the injected failure that poisoned a world.
+type Failure struct {
+	// Node is the failed node's index in the topology.
+	Node int
+	// At is the scheduled virtual failure time (seconds).
+	At float64
+}
+
+// killedPanic is the internal unwind signal of a poisoned world; World.Run
+// converts it into ErrRankDead.
+type killedPanic struct{}
+
+// degradeWindow is a transient link-degradation / straggler interval: all
+// communication charged by ranks on node is factor× slower during
+// [from, until) of their virtual time.
+type degradeWindow struct {
+	node        int
+	from, until float64
+	factor      float64
+}
+
+// ScheduleNodeCrash schedules node to fail once any of its ranks' virtual
+// clocks reaches at seconds. Must be called before Run. Scheduling several
+// crashes is allowed; the first one reached poisons the world (arm events
+// one at a time for a fully deterministic failure order).
+func (w *World) ScheduleNodeCrash(node int, at float64) error {
+	if node < 0 || node >= w.topo.NNodes() {
+		return fmt.Errorf("mp: crash on node %d of %d", node, w.topo.NNodes())
+	}
+	if at < 0 || math.IsNaN(at) {
+		return fmt.Errorf("mp: crash at invalid virtual time %v", at)
+	}
+	if w.killAt == nil {
+		w.killAt = make([]float64, w.topo.NNodes())
+		for i := range w.killAt {
+			w.killAt[i] = math.Inf(1)
+		}
+	}
+	if at < w.killAt[node] {
+		w.killAt[node] = at
+	}
+	return nil
+}
+
+// ScheduleDegrade makes communication charged by ranks on node factor×
+// slower while their virtual clocks are in [from, until) — a transient
+// link degradation or straggler node. Must be called before Run.
+func (w *World) ScheduleDegrade(node int, from, until, factor float64) error {
+	if node < 0 || node >= w.topo.NNodes() {
+		return fmt.Errorf("mp: degrade on node %d of %d", node, w.topo.NNodes())
+	}
+	if !(until > from) || factor <= 0 {
+		return fmt.Errorf("mp: degrade window [%v,%v) factor %v", from, until, factor)
+	}
+	w.degrades = append(w.degrades, degradeWindow{node: node, from: from, until: until, factor: factor})
+	return nil
+}
+
+// Failure returns the injected failure that poisoned the world, if any.
+func (w *World) Failure() (Failure, bool) {
+	w.failMu.Lock()
+	defer w.failMu.Unlock()
+	return w.failure, w.down.Load()
+}
+
+// MaxVirtualTime returns the largest per-rank virtual time — after an
+// aborted run, the fleet time burned before the failure stopped it.
+func (w *World) MaxVirtualTime() float64 {
+	var max float64
+	for _, c := range w.clocks {
+		if t := c.Now(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// trip poisons the world: it records the failure, wakes every blocked
+// receiver, and unwinds the calling rank. Idempotent beyond the first call.
+func (w *World) trip(node int, at float64) {
+	w.failMu.Lock()
+	if !w.down.Load() {
+		w.failure = Failure{Node: node, At: at}
+		w.down.Store(true)
+		// Wake every blocked mailbox wait so no rank stays parked on a
+		// message that will never arrive. Taking each mailbox lock pairs
+		// with the down-check waiters perform under the same lock, so a
+		// waiter either sees down before sleeping or receives this wakeup.
+		for _, mb := range w.boxes {
+			mb.mu.Lock()
+			mb.cond.Broadcast()
+			mb.mu.Unlock()
+		}
+	}
+	w.failMu.Unlock()
+	panic(killedPanic{})
+}
+
+// checkFault is called on every send and receive path: it fires this
+// rank's own node crash when the virtual clock has reached it, and unwinds
+// immediately when any other rank already poisoned the world.
+func (r *Rank) checkFault() {
+	w := r.world
+	if w.killAt != nil {
+		node := w.topo.NodeOf[r.id]
+		if at := w.killAt[node]; r.clk.Now() >= at {
+			w.trip(node, at)
+		}
+	}
+	if w.down.Load() {
+		panic(killedPanic{})
+	}
+}
+
+// commFactor returns the degradation multiplier in effect for rank r at
+// its current virtual time (1 when none).
+func (r *Rank) commFactor() float64 {
+	w := r.world
+	if len(w.degrades) == 0 {
+		return 1
+	}
+	node := w.topo.NodeOf[r.id]
+	now := r.clk.Now()
+	f := 1.0
+	for _, d := range w.degrades {
+		if d.node == node && now >= d.from && now < d.until {
+			f *= d.factor
+		}
+	}
+	return f
+}
+
+// deadFlag exposes the world's poison flag to mailboxes.
+func (w *World) deadFlag() *atomic.Bool { return &w.down }

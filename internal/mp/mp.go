@@ -19,6 +19,7 @@ package mp
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"heterohpc/internal/netmodel"
 	"heterohpc/internal/vclock"
@@ -116,10 +117,14 @@ type mailbox struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	pending map[msgKey][]message
+	// dead points at the owning world's poison flag; a tripped flag makes
+	// every blocked take unwind instead of waiting for a message that will
+	// never arrive from a failed node (see fault.go).
+	dead *atomic.Bool
 }
 
-func newMailbox() *mailbox {
-	mb := &mailbox{pending: make(map[msgKey][]message)}
+func newMailbox(dead *atomic.Bool) *mailbox {
+	mb := &mailbox{pending: make(map[msgKey][]message), dead: dead}
 	mb.cond = sync.NewCond(&mb.mu)
 	return mb
 }
@@ -139,6 +144,9 @@ func (mb *mailbox) takeAny(tag int) message {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for {
+		if mb.dead.Load() {
+			panic(killedPanic{})
+		}
 		for k, q := range mb.pending {
 			if k.tag == tag && len(q) > 0 {
 				m := q[0]
@@ -162,6 +170,9 @@ func (mb *mailbox) take(src, tag int) message {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for {
+		if mb.dead.Load() {
+			panic(killedPanic{})
+		}
 		if q := mb.pending[k]; len(q) > 0 {
 			m := q[0]
 			if len(q) == 1 {
@@ -181,6 +192,15 @@ type World struct {
 	fabric *netmodel.Fabric
 	clocks []*vclock.Clock
 	boxes  []*mailbox
+
+	// Fault-injection state (see fault.go). killAt and degrades are fixed
+	// before Run; down/failure are the per-World kill switch tripped when a
+	// scheduled crash is reached.
+	killAt   []float64
+	degrades []degradeWindow
+	down     atomic.Bool
+	failMu   sync.Mutex
+	failure  Failure
 }
 
 // NewWorld builds a world for the given topology over the given fabric.
@@ -205,7 +225,7 @@ func NewWorld(topo Topology, fabric *netmodel.Fabric, rater vclock.ComputeRater)
 	}
 	for i := 0; i < p; i++ {
 		w.clocks[i] = vclock.New(rater)
-		w.boxes[i] = newMailbox()
+		w.boxes[i] = newMailbox(&w.down)
 	}
 	return w, nil
 }
@@ -244,6 +264,12 @@ func (w *World) Run(body func(r *Rank) error) error {
 			defer wg.Done()
 			defer func() {
 				if rec := recover(); rec != nil {
+					if _, dead := rec.(killedPanic); dead {
+						f, _ := w.Failure()
+						errs[rk.id] = fmt.Errorf("node %d failed at virtual t=%.3fs: %w",
+							f.Node, f.At, ErrRankDead)
+						return
+					}
 					errs[rk.id] = fmt.Errorf("panic: %v", rec)
 				}
 			}()
@@ -301,6 +327,7 @@ func (r *Rank) chargeSend(dst, payloadBytes int) float64 {
 		w.topo.SameGroup(r.id, dst),
 		w.topo.NICShare(r.id),
 	)
+	t *= r.commFactor()
 	start := r.clk.Now()
 	r.clk.ChargeComm(t, payloadBytes)
 	return start + t
@@ -316,6 +343,7 @@ func (r *Rank) sendF64(dst, tag int, data []float64) {
 	if dst < 0 || dst >= r.Size() {
 		panic(fmt.Sprintf("mp: send to invalid rank %d", dst))
 	}
+	r.checkFault()
 	cp := make([]float64, len(data))
 	copy(cp, data)
 	at := r.chargeSend(dst, 8*len(data))
@@ -326,8 +354,10 @@ func (r *Rank) sendF64(dst, tag int, data []float64) {
 // arrives, advances this rank's clock to the arrival time, and returns the
 // payload.
 func (r *Rank) RecvF64(src, tag int) []float64 {
+	r.checkFault()
 	m := r.world.boxes[r.id].take(src, tag)
 	r.clk.AdvanceTo(m.arriveAt)
+	r.checkFault()
 	return m.f64
 }
 
@@ -336,6 +366,7 @@ func (r *Rank) SendInts(dst, tag int, data []int) {
 	if dst < 0 || dst >= r.Size() {
 		panic(fmt.Sprintf("mp: send to invalid rank %d", dst))
 	}
+	r.checkFault()
 	cp := make([]int, len(data))
 	copy(cp, data)
 	at := r.chargeSend(dst, 8*len(data))
@@ -344,8 +375,10 @@ func (r *Rank) SendInts(dst, tag int, data []int) {
 
 // RecvInts blocks for an int message with the given source and tag.
 func (r *Rank) RecvInts(src, tag int) []int {
+	r.checkFault()
 	m := r.world.boxes[r.id].take(src, tag)
 	r.clk.AdvanceTo(m.arriveAt)
+	r.checkFault()
 	return m.ints
 }
 
@@ -359,15 +392,19 @@ func (r *Rank) SendRecvF64(peer, tag int, send []float64) []float64 {
 // RecvAnyInts blocks for an int message with the given tag from any source
 // and returns the source rank and payload.
 func (r *Rank) RecvAnyInts(tag int) (src int, data []int) {
+	r.checkFault()
 	m := r.world.boxes[r.id].takeAny(tag)
 	r.clk.AdvanceTo(m.arriveAt)
+	r.checkFault()
 	return m.src, m.ints
 }
 
 // RecvAnyF64 blocks for a float64 message with the given tag from any source
 // and returns the source rank and payload.
 func (r *Rank) RecvAnyF64(tag int) (src int, data []float64) {
+	r.checkFault()
 	m := r.world.boxes[r.id].takeAny(tag)
 	r.clk.AdvanceTo(m.arriveAt)
+	r.checkFault()
 	return m.src, m.f64
 }

@@ -33,6 +33,27 @@ type Config struct {
 	VelocitySolver string
 	// MaxIter caps linear iterations per solve (default 600).
 	MaxIter int
+	// Checkpoint, if non-nil, is invoked after every completed BDF2 step
+	// with a snapshot of the solver state (mirrors rd.Config.Checkpoint so
+	// Navier–Stokes runs participate in checkpoint-restart). The callback
+	// runs outside the measured phases.
+	Checkpoint func(State) error
+	// Resume, if non-nil, restarts the time loop from a saved state instead
+	// of the exact-solution initialisation. The state must come from a run
+	// with identical mesh, grid and time stepping.
+	Resume *State
+}
+
+// State is a restartable snapshot of the projection time loop.
+type State struct {
+	// StepsDone counts completed BDF2 steps.
+	StepsDone int
+	// Time is the PDE time of U1 and P (the last completed step).
+	Time float64
+	// U1 and U2 are the owned velocity components of u^{n-1} and u^{n-2}.
+	U1, U2 [3][]float64
+	// P is the owned pressure at the last completed step.
+	P []float64
 }
 
 func (c Config) withDefaults() Config {
@@ -210,18 +231,40 @@ func Run(r *mp.Rank, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	// History from the exact solution at t0 and t0+Δt.
+	// History from the exact solution at t0 and t0+Δt, or from a
+	// checkpointed state.
 	uPrev2 := make([][]float64, 3)
 	uPrev1 := make([][]float64, 3)
-	for d := 0; d < 3; d++ {
-		uPrev2[d] = make([]float64, n)
-		uPrev1[d] = make([]float64, n)
-		comp := Component(d)
-		s.Interpolate(func(x, y, z float64) float64 { return comp(x, y, z, cfg.T0) }, uPrev2[d])
-		s.Interpolate(func(x, y, z float64) float64 { return comp(x, y, z, cfg.T0+cfg.Dt) }, uPrev1[d])
-	}
 	p := make([]float64, n)
-	s.Interpolate(func(x, y, z float64) float64 { return ExactPressure(x, y, z, cfg.T0+cfg.Dt) }, p)
+	startStep := 0
+	if cfg.Resume != nil {
+		st := cfg.Resume
+		if st.StepsDone < 0 || st.StepsDone >= cfg.Steps {
+			return nil, fmt.Errorf("nse: resume at step %d of %d", st.StepsDone, cfg.Steps)
+		}
+		if len(st.P) != n {
+			return nil, fmt.Errorf("nse: resume state has %d pressure dofs, rank owns %d", len(st.P), n)
+		}
+		for d := 0; d < 3; d++ {
+			if len(st.U1[d]) != n || len(st.U2[d]) != n {
+				return nil, fmt.Errorf("nse: resume state has %d/%d dofs in component %d, rank owns %d",
+					len(st.U1[d]), len(st.U2[d]), d, n)
+			}
+			uPrev1[d] = append([]float64(nil), st.U1[d]...)
+			uPrev2[d] = append([]float64(nil), st.U2[d]...)
+		}
+		copy(p, st.P)
+		startStep = st.StepsDone
+	} else {
+		for d := 0; d < 3; d++ {
+			uPrev2[d] = make([]float64, n)
+			uPrev1[d] = make([]float64, n)
+			comp := Component(d)
+			s.Interpolate(func(x, y, z float64) float64 { return comp(x, y, z, cfg.T0) }, uPrev2[d])
+			s.Interpolate(func(x, y, z float64) float64 { return comp(x, y, z, cfg.T0+cfg.Dt) }, uPrev1[d])
+		}
+		s.Interpolate(func(x, y, z float64) float64 { return ExactPressure(x, y, z, cfg.T0+cfg.Dt) }, p)
+	}
 
 	uStar := make([][]float64, 3)
 	for d := 0; d < 3; d++ {
@@ -234,8 +277,11 @@ func Run(r *mp.Rank, cfg Config) (*Result, error) {
 	div := make([]float64, n)
 	res := &Result{NOwned: n}
 	tPrev := cfg.T0 + cfg.Dt
+	if cfg.Resume != nil {
+		tPrev = cfg.Resume.Time
+	}
 
-	for step := 0; step < cfg.Steps; step++ {
+	for step := startStep; step < cfg.Steps; step++ {
 		t := cfg.T0 + float64(step+2)*cfg.Dt
 		snap := clk.Snapshot()
 
@@ -352,6 +398,17 @@ func Run(r *mp.Rank, cfg Config) (*Result, error) {
 		}
 		tPrev = t
 		res.FinalTime = t
+
+		if cfg.Checkpoint != nil {
+			st := State{StepsDone: step + 1, Time: t, P: append([]float64(nil), p[:n]...)}
+			for d := 0; d < 3; d++ {
+				st.U1[d] = append([]float64(nil), uPrev1[d][:n]...)
+				st.U2[d] = append([]float64(nil), uPrev2[d][:n]...)
+			}
+			if err := cfg.Checkpoint(st); err != nil {
+				return nil, fmt.Errorf("nse: checkpoint after step %d: %w", step, err)
+			}
+		}
 	}
 
 	// Global errors vs. the exact solution at the final time.

@@ -78,6 +78,9 @@ type Node struct {
 	PricePerHour float64
 	// Group is the placement group the node landed in.
 	Group int
+	// Revoked is true once the market has reclaimed this spot instance
+	// (see Market.TickRevoke).
+	Revoked bool
 }
 
 // Assembly is the result of acquiring a fleet.
@@ -102,6 +105,21 @@ func (a *Assembly) SpotCount() int {
 
 // OnDemandCount returns the number of on-demand instances.
 func (a *Assembly) OnDemandCount() int { return len(a.Nodes) - a.SpotCount() }
+
+// ActiveCount returns the number of instances not yet reclaimed by the
+// market.
+func (a *Assembly) ActiveCount() int {
+	n := 0
+	for _, nd := range a.Nodes {
+		if !nd.Revoked {
+			n++
+		}
+	}
+	return n
+}
+
+// RevokedCount returns the number of reclaimed spot instances.
+func (a *Assembly) RevokedCount() int { return len(a.Nodes) - a.ActiveCount() }
 
 // BlendedNodeHour returns the average per-instance-hour price of the fleet.
 func (a *Assembly) BlendedNodeHour() float64 {
@@ -177,6 +195,46 @@ func (m *Market) AcquireMix(want int, bid float64, groups, maxRounds int) (*Asse
 		place(Node{PricePerHour: m.OnDemand})
 	}
 	return a, nil
+}
+
+// NoticeLeadS is the two-minute interruption notice EC2 issues before
+// reclaiming a spot instance, in virtual seconds.
+const NoticeLeadS = 120.0
+
+// Preemption is one spot interruption notice: the market reclaims the
+// instance NoticeLeadS virtual seconds after the notice is issued.
+type Preemption struct {
+	// Node indexes the revoked instance in the assembly's Nodes slice.
+	Node int
+	// Price is the clearing price that outbid the instance.
+	Price float64
+}
+
+// TickRevoke advances the market one epoch (like Tick) and returns
+// interruption notices for active spot instances in a that the new
+// clearing price outbids. Revocation is per-pool, not all-or-nothing:
+// each outbid instance is reclaimed with probability ½ per epoch from the
+// market's seeded stream, so equal seeds give equal preemption sequences
+// while a single price spike rarely takes the whole fleet — matching the
+// paper's experience that spot assemblies shrink "unpredictably" rather
+// than vanish. Revoked nodes are marked in place and never notice twice.
+func (m *Market) TickRevoke(a *Assembly, bid float64) []Preemption {
+	m.Tick()
+	if a == nil || m.price <= bid {
+		return nil
+	}
+	var out []Preemption
+	for i := range a.Nodes {
+		nd := &a.Nodes[i]
+		if !nd.Spot || nd.Revoked {
+			continue
+		}
+		if m.rng.Float64() < 0.5 {
+			nd.Revoked = true
+			out = append(out, Preemption{Node: i, Price: m.price})
+		}
+	}
+	return out
 }
 
 // EstimateSpotCost prices a per-iteration duration at the pure spot rate —

@@ -167,3 +167,79 @@ func TestAcquireMixProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTickRevokeDeterministic: preemption notices are identical for equal
+// seeds — the acceptance criterion for seeded fault runs.
+func TestTickRevokeDeterministic(t *testing.T) {
+	build := func(seed uint64) (*Market, *Assembly) {
+		m := NewMarket(seed, 2.40)
+		a, err := m.AcquireMix(16, 0.80, 2, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, a
+	}
+	m1, a1 := build(17)
+	m2, a2 := build(17)
+	const bid = 0.60
+	for epoch := 0; epoch < 200; epoch++ {
+		p1 := m1.TickRevoke(a1, bid)
+		p2 := m2.TickRevoke(a2, bid)
+		if len(p1) != len(p2) {
+			t.Fatalf("epoch %d: %d vs %d notices", epoch, len(p1), len(p2))
+		}
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				t.Fatalf("epoch %d notice %d: %+v vs %+v", epoch, i, p1[i], p2[i])
+			}
+		}
+	}
+	if a1.RevokedCount() != a2.RevokedCount() {
+		t.Fatalf("revoked counts differ: %d vs %d", a1.RevokedCount(), a2.RevokedCount())
+	}
+}
+
+// TestTickRevokeSemantics: only active spot instances are revoked, each at
+// most once, and only when the price clears the bid.
+func TestTickRevokeSemantics(t *testing.T) {
+	m := NewMarket(23, 2.40)
+	a, err := m.AcquireMix(16, 0.80, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SpotCount() == 0 {
+		t.Skip("market filled nothing at this seed; pick another")
+	}
+	seen := map[int]bool{}
+	var revocations int
+	for epoch := 0; epoch < 500; epoch++ {
+		price := m.Price()
+		_ = price
+		for _, p := range m.TickRevoke(a, 0.60) {
+			if m.Price() <= 0.60 {
+				t.Fatalf("notice issued while price %v under bid", m.Price())
+			}
+			nd := a.Nodes[p.Node]
+			if !nd.Spot {
+				t.Fatalf("on-demand node %d revoked", p.Node)
+			}
+			if seen[p.Node] {
+				t.Fatalf("node %d revoked twice", p.Node)
+			}
+			if p.Price != m.Price() {
+				t.Fatalf("notice price %v != clearing price %v", p.Price, m.Price())
+			}
+			seen[p.Node] = true
+			revocations++
+		}
+	}
+	if revocations == 0 {
+		t.Fatal("500 epochs above-bid spikes produced no revocations")
+	}
+	if got := a.RevokedCount(); got != revocations {
+		t.Fatalf("RevokedCount %d != %d notices", got, revocations)
+	}
+	if a.ActiveCount()+a.RevokedCount() != len(a.Nodes) {
+		t.Fatal("active + revoked != fleet size")
+	}
+}

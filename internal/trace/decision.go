@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Decision is one supervisor action worth auditing after a faulted run:
+// a failure observation, a backoff, a re-provisioning, a restore, a
+// degradation. AtS is the virtual time the decision applies to.
+type Decision struct {
+	// AtS is the decision's virtual time in seconds.
+	AtS float64
+	// Kind labels the decision ("failure", "backoff", "provision",
+	// "restore", "degrade", "complete", ...).
+	Kind string
+	// Detail is the human-readable account.
+	Detail string
+}
+
+// String renders one decision line.
+func (d Decision) String() string {
+	return fmt.Sprintf("t=%8.1fs  %-10s %s", d.AtS, d.Kind, d.Detail)
+}
+
+// Recorder accumulates supervisor decisions. Safe for concurrent use; the
+// zero value is ready.
+type Recorder struct {
+	mu sync.Mutex
+	ds []Decision
+}
+
+// Record appends a decision.
+func (rec *Recorder) Record(atS float64, kind, format string, args ...any) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	rec.ds = append(rec.ds, Decision{AtS: atS, Kind: kind, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Decisions returns a copy of the log in record order.
+func (rec *Recorder) Decisions() []Decision {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return append([]Decision(nil), rec.ds...)
+}
+
+// Format renders the log as an indented block for reports.
+func (rec *Recorder) Format() string {
+	ds := rec.Decisions()
+	if len(ds) == 0 {
+		return "  (no decisions recorded)"
+	}
+	var b strings.Builder
+	for i, d := range ds {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString("  ")
+		b.WriteString(d.String())
+	}
+	return b.String()
+}
+
+// WriteChrome renders the decisions as Chrome trace instant events ("i"),
+// one global track, so recovery actions can be overlaid on the per-rank
+// phase timeline of WriteChrome.
+func (rec *Recorder) WriteChrome(w io.Writer, jobName string) error {
+	type instant struct {
+		Name string            `json:"name"`
+		Cat  string            `json:"cat"`
+		Ph   string            `json:"ph"`
+		Ts   float64           `json:"ts"`
+		S    string            `json:"s"`
+		Pid  int               `json:"pid"`
+		Tid  int               `json:"tid"`
+		Args map[string]string `json:"args,omitempty"`
+	}
+	ds := rec.Decisions()
+	events := make([]instant, 0, len(ds))
+	for _, d := range ds {
+		events = append(events, instant{
+			Name: d.Kind,
+			Cat:  jobName,
+			Ph:   "i",
+			Ts:   d.AtS * 1e6,
+			S:    "g", // global scope: spans all rank tracks
+			Args: map[string]string{"detail": d.Detail},
+		})
+	}
+	doc := struct {
+		TraceEvents []instant `json:"traceEvents"`
+		DisplayUnit string    `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayUnit: "ms"}
+	return json.NewEncoder(w).Encode(doc)
+}

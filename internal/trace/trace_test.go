@@ -1,8 +1,10 @@
 package trace
 
 import (
+	"bytes"
 	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
 
 	"heterohpc/internal/core"
@@ -94,5 +96,50 @@ func TestWriteChromeFromReport(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), `"assembly"`) || !strings.Contains(b.String(), `"solve"`) {
 		t.Fatal("missing phase names")
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	var rec Recorder
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec.Record(float64(i), "failure", "node %d died", i)
+		}(i)
+	}
+	wg.Wait()
+	ds := rec.Decisions()
+	if len(ds) != 8 {
+		t.Fatalf("%d decisions, want 8", len(ds))
+	}
+	if s := rec.Format(); !strings.Contains(s, "failure") {
+		t.Errorf("format lacks kind: %q", s)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteChrome(&buf, "job"); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph string  `json:"ph"`
+			S  string  `json:"s"`
+			Ts float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 8 {
+		t.Fatalf("%d trace events, want 8", len(doc.TraceEvents))
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "i" || e.S != "g" {
+			t.Errorf("event %+v not a global instant", e)
+		}
+	}
+	if (&Recorder{}).Format() == "" {
+		t.Error("empty recorder formats to nothing")
 	}
 }
