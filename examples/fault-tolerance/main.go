@@ -48,8 +48,14 @@ func main() {
 	}
 	notices = notices[:2]
 	for _, n := range notices {
-		fmt.Printf("interruption notice: node %d outbid at $%.3f/h; reclaimed %.0fs after notice\n",
-			n.Node, n.Price, spot.NoticeLeadS)
+		fmt.Printf("interruption notice: node %d outbid at $%.3f/h at t=%.0fs; reclaim at t=%.0fs (%.0fs lead)\n",
+			n.Node, n.Price, n.NoticeAt, n.ReclaimAt, n.ReclaimAt-n.NoticeAt)
+	}
+	// The noticed instances keep running through the two-minute lead; tick
+	// the market until it actually reclaims them.
+	for asm.RevokedCount() < 2 && epochs < 600 {
+		epochs++
+		market.TickRevoke(asm, bid)
 	}
 	fmt.Printf("fleet now %d active / %d revoked\n\n", asm.ActiveCount(), asm.RevokedCount())
 

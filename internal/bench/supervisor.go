@@ -49,8 +49,10 @@ type FaultOptions struct {
 	// (defaults 15 s base, 240 s cap).
 	BackoffBaseS, BackoffCapS float64
 	// SpareNodes is the cold-spare pool for replacing dead nodes on
-	// platforms without a market (default 2). When exhausted, the
-	// supervisor degrades to fewer ranks instead.
+	// platforms without a market. When exhausted, the supervisor degrades
+	// to fewer ranks instead. The zero value means the default of 2; pass
+	// any negative value (conventionally -1) to request an empty pool, so
+	// the first unreplaceable loss degrades immediately.
 	SpareNodes int
 	// SpotBidFraction is the replacement bid as a fraction of the
 	// on-demand price on spot platforms (default 0.25).
@@ -123,43 +125,91 @@ type RecoveryReport struct {
 	Decisions []trace.Decision
 }
 
-// ckptStore keeps the latest serialised checkpoint container per rank.
-// Saves happen concurrently from rank goroutines.
+// ckptSnap is one serialised checkpoint container tagged with the step it
+// captured (recorded at save time, so restore never has to parse blobs).
+// step is -1 for the empty snapshot.
+type ckptSnap struct {
+	step int
+	blob []byte
+}
+
+// ckptStore keeps the last TWO serialised checkpoint containers per rank.
+// Saves happen concurrently from rank goroutines; ranks killed mid-step
+// may be one step apart (a rank racing past a step's final collective
+// saves step N while a peer still holds N−1), so a single retained
+// snapshot per rank cannot guarantee a common restore line. sync()
+// establishes one before each retry.
 type ckptStore struct {
-	mu    sync.Mutex
-	blobs [][]byte
+	mu     sync.Mutex
+	latest []ckptSnap
+	prev   []ckptSnap
 }
 
 func newCkptStore(nranks int) *ckptStore {
-	return &ckptStore{blobs: make([][]byte, nranks)}
+	s := &ckptStore{latest: make([]ckptSnap, nranks), prev: make([]ckptSnap, nranks)}
+	for i := range s.latest {
+		s.latest[i].step = -1
+		s.prev[i].step = -1
+	}
+	return s
 }
 
-func (s *ckptStore) put(rank int, b []byte) {
+func (s *ckptStore) put(rank, step int, b []byte) {
 	s.mu.Lock()
-	s.blobs[rank] = b
+	s.prev[rank] = s.latest[rank]
+	s.latest[rank] = ckptSnap{step: step, blob: b}
 	s.mu.Unlock()
 }
 
 func (s *ckptStore) get(rank int) []byte {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.blobs[rank]
+	return s.latest[rank].blob
 }
 
-// step reports the checkpointed step of rank 0, or -1 when no checkpoint
-// exists yet.
-func (s *ckptStore) step() int {
-	b := s.get(0)
-	if b == nil {
-		return -1
+// sync establishes a restore line every rank agrees on: the minimum
+// checkpointed step across ranks. Ranks that raced one step ahead of a
+// killed peer fall back to their previous snapshot, so all ranks resume
+// from the same step and the per-rank collective sequence numbers stay
+// aligned (a mixed-step resume would pair collectives across different
+// time steps and hang). Returns the common step and the maximum step any
+// rank had saved (for the decision log); when no common line exists —
+// some rank never checkpointed, or skew exceeded the retained window —
+// the store is cleared so every rank restarts from scratch, and sync
+// returns min = -1.
+func (s *ckptStore) sync() (min, max int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	min, max = s.latest[0].step, s.latest[0].step
+	for _, sn := range s.latest[1:] {
+		if sn.step < min {
+			min = sn.step
+		}
+		if sn.step > max {
+			max = sn.step
+		}
 	}
-	if st, _, _, _, err := checkpoint.ReadRD(bytes.NewReader(b)); err == nil {
-		return st.StepsDone
+	clear := func() {
+		for i := range s.latest {
+			s.latest[i] = ckptSnap{step: -1}
+			s.prev[i] = ckptSnap{step: -1}
+		}
 	}
-	if st, _, _, _, err := checkpoint.ReadNSE(bytes.NewReader(b)); err == nil {
-		return st.StepsDone
+	if min < 0 {
+		clear()
+		return -1, max
 	}
-	return -1
+	for i := range s.latest {
+		if s.latest[i].step != min {
+			if s.prev[i].step != min {
+				clear()
+				return -1, max
+			}
+			s.latest[i] = s.prev[i]
+		}
+		s.prev[i] = ckptSnap{step: -1}
+	}
+	return min, max
 }
 
 // supervisedApp wires per-rank checkpoint save/restore closures into the
@@ -228,7 +278,7 @@ func (a *supervisedApp) Run(r *mp.Rank) ([]vclock.PhaseTimes, map[string]float64
 			if err := checkpoint.WriteRD(&buf, st, rank, size, a.owned[rank]); err != nil {
 				return err
 			}
-			a.store.put(rank, buf.Bytes())
+			a.store.put(rank, st.StepsDone, buf.Bytes())
 			return nil
 		}
 		return core.RDApp{Cfg: cfg}.Run(r)
@@ -245,7 +295,7 @@ func (a *supervisedApp) Run(r *mp.Rank) ([]vclock.PhaseTimes, map[string]float64
 		if err := checkpoint.WriteNSE(&buf, st, rank, size, a.owned[rank]); err != nil {
 			return err
 		}
-		a.store.put(rank, buf.Bytes())
+		a.store.put(rank, st.StepsDone, buf.Bytes())
 		return nil
 	}
 	return core.NSApp{Cfg: cfg}.Run(r)
@@ -373,19 +423,29 @@ func RunSupervised(o FaultOptions) (*RecoveryReport, error) {
 
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
 		rep.Attempts = attempt
-		if step := store.step(); step >= 0 {
-			rec.Record(0, "restore", "attempt %d resumes all %d ranks from the checkpoint after step %d",
-				attempt, ranks, step)
+		if attempt > 1 {
+			// Establish the cross-rank restore line: ranks killed one step
+			// apart all fall back to the latest step every rank saved.
+			if lo, hi := store.sync(); lo >= 0 {
+				if hi > lo {
+					rec.Record(0, "restore", "attempt %d resumes all %d ranks from the checkpoint after step %d (step-%d blobs from ranks that raced ahead are discarded)",
+						attempt, ranks, lo, hi)
+				} else {
+					rec.Record(0, "restore", "attempt %d resumes all %d ranks from the checkpoint after step %d",
+						attempt, ranks, lo)
+				}
+			}
 		}
 		events := append([]fault.Event(nil), degrades...)
+		var armed *fault.Event
 		if len(fatals) > 0 {
 			// Arm only the earliest remaining fatal event: which of several
 			// armed crashes trips first would otherwise race in real time.
-			e := fatals[0]
-			events = append(events, e)
-			if e.Kind == fault.KindPreempt {
-				rec.Record(e.NoticeAt, "notice",
-					"spot interruption notice for node %d (reclaim at t=%.1fs)", e.Node, e.At)
+			armed = &fatals[0]
+			events = append(events, *armed)
+			if armed.Kind == fault.KindPreempt {
+				rec.Record(armed.NoticeAt, "notice",
+					"spot interruption notice for node %d (reclaim at t=%.1fs)", armed.Node, armed.At)
 			}
 		}
 
@@ -417,9 +477,15 @@ func RunSupervised(o FaultOptions) (*RecoveryReport, error) {
 
 		switch fault.Classify(af) {
 		case fault.ClassNodeLoss:
+			preempted := armed != nil && armed.Kind == fault.KindPreempt
 			kind := "crash"
-			if len(fatals) > 0 && fatals[0].Kind == fault.KindPreempt {
+			// A preemption was announced: the supervisor reacts at the
+			// notice, not at the kill, so replacement provisioning is
+			// staged inside the two-minute window.
+			provAt := af.At
+			if preempted {
 				kind = "preemption"
+				provAt = armed.NoticeAt
 			}
 			rec.Record(af.At, "failure", "%s killed node %d at t=%.1fs (attempt %d): %v",
 				kind, af.Node, af.At, attempt, fault.Classify(af))
@@ -441,10 +507,10 @@ func RunSupervised(o FaultOptions) (*RecoveryReport, error) {
 				}
 				nd := repl.Nodes[0]
 				if nd.Spot {
-					rec.Record(af.At, "provision", "replacement spot instance at $%.3f/h (bid $%.3f)",
+					rec.Record(provAt, "provision", "replacement spot instance at $%.3f/h (bid $%.3f)",
 						nd.PricePerHour, bid)
 				} else {
-					rec.Record(af.At, "provision", "spot market could not fill the bid; on-demand replacement at $%.2f/h — the paper's forced mix",
+					rec.Record(provAt, "provision", "spot market could not fill the bid; on-demand replacement at $%.2f/h — the paper's forced mix",
 						nd.PricePerHour)
 				}
 				if nd.PricePerHour > p.SpotPerNodeHour {
@@ -452,7 +518,7 @@ func RunSupervised(o FaultOptions) (*RecoveryReport, error) {
 				}
 			case spares > 0:
 				spares--
-				rec.Record(af.At, "provision", "cold spare replaces node %d (%d spare(s) left)",
+				rec.Record(provAt, "provision", "cold spare replaces node %d (%d spare(s) left)",
 					af.Node, spares)
 			default:
 				curNodes := (ranks + cpn - 1) / cpn
@@ -461,10 +527,19 @@ func RunSupervised(o FaultOptions) (*RecoveryReport, error) {
 				}
 			}
 
-			d := bo.Next()
-			rep.WastedVirtualS += d
-			rep.BackoffS += d
-			rec.Record(af.At+d, "backoff", "retrying after %.1fs (attempt %d)", d, attempt)
+			if preempted {
+				// The notice lead absorbed the reaction: the replacement
+				// was requested when the notice arrived, so the job
+				// restarts as soon as the instance is reclaimed, with no
+				// backoff delay charged — the measurable benefit of a
+				// preemption over an unannounced crash.
+				rec.Record(af.At, "drain", "notice window staged the replacement; restarting without backoff (attempt %d)", attempt)
+			} else {
+				d := bo.Next()
+				rep.WastedVirtualS += d
+				rep.BackoffS += d
+				rec.Record(af.At+d, "backoff", "retrying after %.1fs (attempt %d)", d, attempt)
+			}
 		default:
 			rep.Decisions = rec.Decisions()
 			return nil, fmt.Errorf("bench: unrecoverable %v failure: %w", fault.Classify(af), af)

@@ -3,21 +3,32 @@
 // The paper's central experience is that heterogeneous targets fail in
 // platform-specific ways — EC2 spot assemblies lose instances to the market
 // mid-run, clusters lose nodes to hardware. A World therefore carries an
-// optional per-node failure schedule expressed in *virtual* time: when any
-// rank's clock reaches the scheduled crash time of its node, the whole
-// world is poisoned (fail-stop semantics, like MPI's default error
-// handler), every blocked receive is woken, and every subsequent send,
-// receive or collective on every rank returns a typed ErrRankDead through
-// World.Run instead of deadlocking. Because the trigger is virtual time —
-// which advances deterministically per rank — equal seeds produce equal
-// failures.
+// optional per-node failure schedule expressed in *virtual* time, with
+// fail-stop semantics (like MPI's default error handler) delivered as a
+// typed ErrRankDead through World.Run instead of a deadlock.
+//
+// Death is deterministic per rank, never a wall-clock race:
+//
+//   - A rank on the failed node dies at the first communication call where
+//     its own virtual clock has reached the scheduled kill time — a fixed
+//     point in its deterministic program.
+//   - Every other rank keeps running on the messages its peers
+//     deterministically sent before dying, and dies exactly at its first
+//     receive that can never be satisfied (the sender terminally exited
+//     without sending). Messages queued before a death are still
+//     delivered.
+//
+// The set of operations each rank completes before dying — and therefore
+// the set of checkpoints it saved — is thus a function of the program and
+// the fault schedule alone, so equal seeds produce equal failures AND
+// equal recovery states, which the checkpoint-restart supervisor relies
+// on.
 package mp
 
 import (
 	"errors"
 	"fmt"
 	"math"
-	"sync/atomic"
 )
 
 // ErrRankDead is the typed error every rank of a poisoned world observes:
@@ -102,30 +113,39 @@ func (w *World) MaxVirtualTime() float64 {
 	return max
 }
 
-// trip poisons the world: it records the failure, wakes every blocked
-// receiver, and unwinds the calling rank. Idempotent beyond the first call.
+// trip poisons the world — it records the failure and unwinds the calling
+// rank. Idempotent beyond the first call. Waking the ranks blocked on the
+// dying rank's messages happens in markDead, once the unwind completes and
+// the rank truly can never send again.
 func (w *World) trip(node int, at float64) {
 	w.failMu.Lock()
 	if !w.down.Load() {
 		w.failure = Failure{Node: node, At: at}
 		w.down.Store(true)
-		// Wake every blocked mailbox wait so no rank stays parked on a
-		// message that will never arrive. Taking each mailbox lock pairs
-		// with the down-check waiters perform under the same lock, so a
-		// waiter either sees down before sleeping or receives this wakeup.
-		for _, mb := range w.boxes {
-			mb.mu.Lock()
-			mb.cond.Broadcast()
-			mb.mu.Unlock()
-		}
 	}
 	w.failMu.Unlock()
 	panic(killedPanic{})
 }
 
+// markDead records that rank id has terminally exited and wakes every
+// blocked mailbox wait so receivers parked on its messages re-check.
+// Taking each mailbox lock pairs with the dead-check waiters perform under
+// the same lock, so a waiter either sees the flag before sleeping or
+// receives this wakeup.
+func (w *World) markDead(id int) {
+	w.rankDead[id].Store(true)
+	for _, mb := range w.boxes {
+		mb.mu.Lock()
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+	}
+}
+
 // checkFault is called on every send and receive path: it fires this
-// rank's own node crash when the virtual clock has reached it, and unwinds
-// immediately when any other rank already poisoned the world.
+// rank's own node crash when the rank's virtual clock has reached it.
+// Deaths of other ranks are observed only through unsatisfiable receives
+// (mailbox.take), never through a global flag, so each rank's progress at
+// death is deterministic rather than a wall-clock race.
 func (r *Rank) checkFault() {
 	w := r.world
 	if w.killAt != nil {
@@ -133,9 +153,6 @@ func (r *Rank) checkFault() {
 		if at := w.killAt[node]; r.clk.Now() >= at {
 			w.trip(node, at)
 		}
-	}
-	if w.down.Load() {
-		panic(killedPanic{})
 	}
 }
 
@@ -157,5 +174,3 @@ func (r *Rank) commFactor() float64 {
 	return f
 }
 
-// deadFlag exposes the world's poison flag to mailboxes.
-func (w *World) deadFlag() *atomic.Bool { return &w.down }

@@ -117,14 +117,15 @@ type mailbox struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	pending map[msgKey][]message
-	// dead points at the owning world's poison flag; a tripped flag makes
-	// every blocked take unwind instead of waiting for a message that will
-	// never arrive from a failed node (see fault.go).
-	dead *atomic.Bool
+	// w is the owning world; a blocked take consults its per-rank dead
+	// flags so a wait on a message that can never arrive (its sender has
+	// terminally exited without sending it) unwinds instead of deadlocking
+	// (see fault.go).
+	w *World
 }
 
-func newMailbox(dead *atomic.Bool) *mailbox {
-	mb := &mailbox{pending: make(map[msgKey][]message), dead: dead}
+func newMailbox(w *World) *mailbox {
+	mb := &mailbox{pending: make(map[msgKey][]message), w: w}
 	mb.cond = sync.NewCond(&mb.mu)
 	return mb
 }
@@ -140,11 +141,15 @@ func (mb *mailbox) put(m message) {
 // takeAny blocks until a message with the given tag is available from any
 // source and removes it. Used only for sparse communication-plan setup,
 // where receivers know how many peers will contact them but not which.
+// Because the sender set is unknown, starvation cannot be pinned on one
+// rank; a takeAny therefore unwinds as soon as the world is poisoned. This
+// is coarser than take's per-sender rule, but setup runs at virtual t≈0,
+// before any plausible fault time.
 func (mb *mailbox) takeAny(tag int) message {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for {
-		if mb.dead.Load() {
+		if mb.w.down.Load() {
 			panic(killedPanic{})
 		}
 		for k, q := range mb.pending {
@@ -165,14 +170,18 @@ func (mb *mailbox) takeAny(tag int) message {
 // take blocks until a message with the given src and tag is available and
 // removes the oldest match (messages between a fixed pair with a fixed tag
 // are delivered in order).
+//
+// Pending messages win over death: a payload the sender put before dying is
+// still delivered, so a rank's progress depends only on what its peers
+// deterministically sent, never on wall-clock racing against the poison
+// flag. Only when no message is queued AND the sender has terminally
+// exited — it can never send again — does the wait unwind with
+// killedPanic.
 func (mb *mailbox) take(src, tag int) message {
 	k := msgKey{src, tag}
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for {
-		if mb.dead.Load() {
-			panic(killedPanic{})
-		}
 		if q := mb.pending[k]; len(q) > 0 {
 			m := q[0]
 			if len(q) == 1 {
@@ -181,6 +190,9 @@ func (mb *mailbox) take(src, tag int) message {
 				mb.pending[k] = q[1:]
 			}
 			return m
+		}
+		if mb.w.rankDead[src].Load() {
+			panic(killedPanic{})
 		}
 		mb.cond.Wait()
 	}
@@ -195,12 +207,15 @@ type World struct {
 
 	// Fault-injection state (see fault.go). killAt and degrades are fixed
 	// before Run; down/failure are the per-World kill switch tripped when a
-	// scheduled crash is reached.
+	// scheduled crash is reached. rankDead[i] is set once rank i's
+	// goroutine has terminally exited (fault, error or completion) and can
+	// never send again; blocked receives from it unwind instead of waiting.
 	killAt   []float64
 	degrades []degradeWindow
 	down     atomic.Bool
 	failMu   sync.Mutex
 	failure  Failure
+	rankDead []atomic.Bool
 }
 
 // NewWorld builds a world for the given topology over the given fabric.
@@ -218,14 +233,15 @@ func NewWorld(topo Topology, fabric *netmodel.Fabric, rater vclock.ComputeRater)
 	}
 	p := topo.NRanks()
 	w := &World{
-		topo:   topo,
-		fabric: fabric,
-		clocks: make([]*vclock.Clock, p),
-		boxes:  make([]*mailbox, p),
+		topo:     topo,
+		fabric:   fabric,
+		clocks:   make([]*vclock.Clock, p),
+		boxes:    make([]*mailbox, p),
+		rankDead: make([]atomic.Bool, p),
 	}
 	for i := 0; i < p; i++ {
 		w.clocks[i] = vclock.New(rater)
-		w.boxes[i] = newMailbox(&w.down)
+		w.boxes[i] = newMailbox(w)
 	}
 	return w, nil
 }
@@ -262,12 +278,19 @@ func (w *World) Run(body func(r *Rank) error) error {
 		rank := &Rank{world: w, id: i, clk: w.clocks[i]}
 		go func(rk *Rank) {
 			defer wg.Done()
+			// Runs after the recover below: whatever way the rank exits,
+			// it can never send again, so waiters on its messages must be
+			// woken to observe the death instead of sleeping forever.
+			defer w.markDead(rk.id)
 			defer func() {
 				if rec := recover(); rec != nil {
 					if _, dead := rec.(killedPanic); dead {
-						f, _ := w.Failure()
-						errs[rk.id] = fmt.Errorf("node %d failed at virtual t=%.3fs: %w",
-							f.Node, f.At, ErrRankDead)
+						if f, down := w.Failure(); down {
+							errs[rk.id] = fmt.Errorf("node %d failed at virtual t=%.3fs: %w",
+								f.Node, f.At, ErrRankDead)
+						} else {
+							errs[rk.id] = fmt.Errorf("peer rank exited before sending: %w", ErrRankDead)
+						}
 						return
 					}
 					errs[rk.id] = fmt.Errorf("panic: %v", rec)

@@ -24,9 +24,15 @@ type Market struct {
 	Mean float64
 	// Floor is the minimum clearing price.
 	Floor float64
+	// EpochS is the virtual duration of one market epoch (one Tick) in
+	// seconds; it positions interruption notices and reclaims on the
+	// market's virtual clock (default 60, so the two-minute notice lead
+	// spans two epochs).
+	EpochS float64
 
 	price     float64
 	rng       *stats.RNG
+	epoch     int // Ticks elapsed; epoch*EpochS is the market's clock
 	capacity  int // spot instances grantable this epoch
 	granted   int // spot instances already granted to this customer
 	maxSupply int // hard cap on total spot grants (below the study's 63)
@@ -39,6 +45,7 @@ func NewMarket(seed uint64, onDemand float64) *Market {
 		OnDemand:  onDemand,
 		Mean:      onDemand * 0.225,
 		Floor:     onDemand * 0.10,
+		EpochS:    60,
 		rng:       stats.NewRNG(seed),
 		maxSupply: 48, // fewer spot instances than the 63 the study needed
 	}
@@ -50,9 +57,14 @@ func NewMarket(seed uint64, onDemand float64) *Market {
 // Price returns the current spot price per instance-hour.
 func (m *Market) Price() float64 { return m.price }
 
+// Now returns the market's virtual clock: seconds of market time elapsed
+// over all Ticks.
+func (m *Market) Now() float64 { return float64(m.epoch) * m.EpochS }
+
 // Tick advances the market one epoch: the price mean-reverts with noise and
 // occasionally spikes; supply is refreshed to a random fraction of maximum.
 func (m *Market) Tick() {
+	m.epoch++
 	// Ornstein–Uhlenbeck-flavoured update.
 	m.price += 0.3*(m.Mean-m.price) + m.rng.Normal(0, 0.04*m.Mean)
 	if m.rng.Float64() < 0.05 { // demand spike
@@ -78,8 +90,14 @@ type Node struct {
 	PricePerHour float64
 	// Group is the placement group the node landed in.
 	Group int
-	// Revoked is true once the market has reclaimed this spot instance
-	// (see Market.TickRevoke).
+	// Noticed is true once the market has issued an interruption notice
+	// for this spot instance; NoticeAt is the market time (Market.Now) it
+	// was issued. The instance keeps running until the NoticeLeadS lead
+	// elapses.
+	Noticed  bool
+	NoticeAt float64
+	// Revoked is true once the market has actually reclaimed this spot
+	// instance, NoticeLeadS after its notice (see Market.TickRevoke).
 	Revoked bool
 }
 
@@ -204,34 +222,57 @@ const NoticeLeadS = 120.0
 // Preemption is one spot interruption notice: the market reclaims the
 // instance NoticeLeadS virtual seconds after the notice is issued.
 type Preemption struct {
-	// Node indexes the revoked instance in the assembly's Nodes slice.
+	// Node indexes the noticed instance in the assembly's Nodes slice.
 	Node int
 	// Price is the clearing price that outbid the instance.
 	Price float64
+	// NoticeAt is the market time (Market.Now) the notice was issued;
+	// ReclaimAt (= NoticeAt + NoticeLeadS) is when the instance is
+	// actually reclaimed, so callers can model the two-minute lead.
+	NoticeAt, ReclaimAt float64
 }
 
-// TickRevoke advances the market one epoch (like Tick) and returns
-// interruption notices for active spot instances in a that the new
-// clearing price outbids. Revocation is per-pool, not all-or-nothing:
-// each outbid instance is reclaimed with probability ½ per epoch from the
-// market's seeded stream, so equal seeds give equal preemption sequences
-// while a single price spike rarely takes the whole fleet — matching the
-// paper's experience that spot assemblies shrink "unpredictably" rather
-// than vanish. Revoked nodes are marked in place and never notice twice.
+// TickRevoke advances the market one epoch (like Tick), reclaims
+// instances whose notice lead has elapsed, and returns fresh interruption
+// notices for active spot instances in a that the new clearing price
+// outbids. A noticed instance keeps running for NoticeLeadS seconds of
+// market time and is only then marked Revoked — the EC2 two-minute lead.
+// Notices are per-pool, not all-or-nothing: each outbid instance is
+// noticed with probability ½ per epoch from the market's seeded stream,
+// so equal seeds give equal preemption sequences while a single price
+// spike rarely takes the whole fleet — matching the paper's experience
+// that spot assemblies shrink "unpredictably" rather than vanish. Noticed
+// nodes are marked in place and never notice twice.
 func (m *Market) TickRevoke(a *Assembly, bid float64) []Preemption {
 	m.Tick()
-	if a == nil || m.price <= bid {
+	if a == nil {
+		return nil
+	}
+	now := m.Now()
+	// Reclaim instances whose two-minute lead has run out — regardless of
+	// where the price sits this epoch; the notice was already issued.
+	for i := range a.Nodes {
+		nd := &a.Nodes[i]
+		if nd.Noticed && !nd.Revoked && now >= nd.NoticeAt+NoticeLeadS {
+			nd.Revoked = true
+		}
+	}
+	if m.price <= bid {
 		return nil
 	}
 	var out []Preemption
 	for i := range a.Nodes {
 		nd := &a.Nodes[i]
-		if !nd.Spot || nd.Revoked {
+		if !nd.Spot || nd.Noticed {
 			continue
 		}
 		if m.rng.Float64() < 0.5 {
-			nd.Revoked = true
-			out = append(out, Preemption{Node: i, Price: m.price})
+			nd.Noticed = true
+			nd.NoticeAt = now
+			out = append(out, Preemption{
+				Node: i, Price: m.price,
+				NoticeAt: now, ReclaimAt: now + NoticeLeadS,
+			})
 		}
 	}
 	return out

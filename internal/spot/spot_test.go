@@ -199,8 +199,9 @@ func TestTickRevokeDeterministic(t *testing.T) {
 	}
 }
 
-// TestTickRevokeSemantics: only active spot instances are revoked, each at
-// most once, and only when the price clears the bid.
+// TestTickRevokeSemantics: only spot instances are noticed, each at most
+// once, only when the price clears the bid, and the instance keeps
+// running until exactly NoticeLeadS of market time after its notice.
 func TestTickRevokeSemantics(t *testing.T) {
 	m := NewMarket(23, 2.40)
 	a, err := m.AcquireMix(16, 0.80, 2, 6)
@@ -211,33 +212,55 @@ func TestTickRevokeSemantics(t *testing.T) {
 		t.Skip("market filled nothing at this seed; pick another")
 	}
 	seen := map[int]bool{}
-	var revocations int
+	reclaimAt := map[int]float64{}
+	var notices int
 	for epoch := 0; epoch < 500; epoch++ {
-		price := m.Price()
-		_ = price
 		for _, p := range m.TickRevoke(a, 0.60) {
 			if m.Price() <= 0.60 {
 				t.Fatalf("notice issued while price %v under bid", m.Price())
 			}
 			nd := a.Nodes[p.Node]
 			if !nd.Spot {
-				t.Fatalf("on-demand node %d revoked", p.Node)
+				t.Fatalf("on-demand node %d noticed", p.Node)
 			}
 			if seen[p.Node] {
-				t.Fatalf("node %d revoked twice", p.Node)
+				t.Fatalf("node %d noticed twice", p.Node)
 			}
 			if p.Price != m.Price() {
 				t.Fatalf("notice price %v != clearing price %v", p.Price, m.Price())
 			}
+			if p.NoticeAt != m.Now() || !nd.Noticed || nd.NoticeAt != p.NoticeAt {
+				t.Fatalf("notice time %v not stamped at market now %v", p.NoticeAt, m.Now())
+			}
+			if p.ReclaimAt != p.NoticeAt+NoticeLeadS {
+				t.Fatalf("reclaim at %v, want notice %v + lead %v", p.ReclaimAt, p.NoticeAt, NoticeLeadS)
+			}
+			if nd.Revoked {
+				t.Fatalf("node %d reclaimed at notice time — no two-minute lead", p.Node)
+			}
 			seen[p.Node] = true
-			revocations++
+			reclaimAt[p.Node] = p.ReclaimAt
+			notices++
+		}
+		for i, nd := range a.Nodes {
+			if nd.Revoked && m.Now() < reclaimAt[i] {
+				t.Fatalf("node %d reclaimed at t=%v before its lead ran out at %v",
+					i, m.Now(), reclaimAt[i])
+			}
 		}
 	}
-	if revocations == 0 {
-		t.Fatal("500 epochs above-bid spikes produced no revocations")
+	if notices == 0 {
+		t.Fatal("500 epochs above-bid spikes produced no notices")
 	}
-	if got := a.RevokedCount(); got != revocations {
-		t.Fatalf("RevokedCount %d != %d notices", got, revocations)
+	// Let outstanding leads run out with an unbeatable bid: no new notices
+	// may be issued, and every noticed instance must end up reclaimed.
+	for i := 0; i < int(NoticeLeadS/m.EpochS)+2; i++ {
+		if extra := m.TickRevoke(a, 1e9); len(extra) != 0 {
+			t.Fatalf("notice issued against an unbeatable bid: %+v", extra)
+		}
+	}
+	if got := a.RevokedCount(); got != notices {
+		t.Fatalf("RevokedCount %d != %d notices after leads elapsed", got, notices)
 	}
 	if a.ActiveCount()+a.RevokedCount() != len(a.Nodes) {
 		t.Fatal("active + revoked != fleet size")
