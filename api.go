@@ -35,6 +35,21 @@ type (
 	FaultOptions = bench.FaultOptions
 	// RecoveryReport compares a supervised run against its clean baseline.
 	RecoveryReport = bench.RecoveryReport
+	// ShrinkStats itemises a shrink-and-continue recovery's mechanics.
+	ShrinkStats = bench.ShrinkStats
+	// RecoveryComparison holds both policies' reports for one fault plan.
+	RecoveryComparison = bench.RecoveryComparison
+)
+
+// Recovery policies for FaultOptions.Policy.
+const (
+	// PolicyRestart recovers by restoring a checkpoint and rerunning the
+	// full job shape.
+	PolicyRestart = bench.PolicyRestart
+	// PolicyShrink recovers ULFM-style: survivors agree on the dead,
+	// shrink the world, redistribute state from diskless buddy
+	// checkpoints, and continue mid-run.
+	PolicyShrink = bench.PolicyShrink
 )
 
 // ErrRankDead is the typed error every surviving rank observes when a node
@@ -86,3 +101,15 @@ func RunSupervised(o FaultOptions) (*RecoveryReport, error) {
 // FormatRecovery renders a supervised run's decision log and its
 // recovered-vs-clean comparison with the overhead itemised.
 func FormatRecovery(rep *RecoveryReport) string { return bench.FormatRecovery(rep) }
+
+// CompareRecovery runs the identical seeded fault plan under both recovery
+// policies (checkpoint-restart and shrink-and-continue) so their reports
+// differ only by policy.
+func CompareRecovery(o FaultOptions) (*RecoveryComparison, error) {
+	return bench.CompareRecovery(o)
+}
+
+// FormatRecoveryComparison renders the two policies' reports side by side.
+func FormatRecoveryComparison(c *RecoveryComparison) string {
+	return bench.FormatRecoveryComparison(c)
+}

@@ -42,7 +42,7 @@ func main() {
 	skip := fs.Int("skip", 1, "initial iterations to discard from averages")
 	maxRanks := fs.Int("max", 1000, "largest process count of the series")
 	platforms := fs.String("platforms", "puma,ellipse,lagrange,ec2", "comma-separated platforms")
-	seed := fs.Uint64("seed", 2012, "seed for queue-wait and spot-market models")
+	seed := fs.Int64("seed", 2012, "seed for queue-wait and spot-market models (must be >= 0)")
 	app := fs.String("app", "rd", "application for the cost/strong commands (rd or ns)")
 	nodes := fs.Int("nodes", 8, "node count for the availability command")
 	globalN := fs.Int("global", 30, "global mesh edge for the strong command")
@@ -53,7 +53,16 @@ func main() {
 	crashes := fs.Int("crashes", 1, "node crashes injected by the faults command")
 	preempts := fs.Int("preempts", 1, "spot preemptions injected by the faults command")
 	degrades := fs.Int("degrades", 0, "straggler windows injected by the faults command")
+	policy := fs.String("policy", bench.PolicyRestart,
+		"recovery policy for the faults command: restart, shrink-continue or compare")
+	rpn := fs.Int("rpn", 0, "ranks per node for the faults command (0 = pack by cores; shrink needs >= 2 nodes)")
+	tracePath := fs.String("trace", "", "faults command: also write the recovered timeline with decision markers as a Chrome trace to this file")
 	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	if *seed < 0 {
+		fmt.Fprintf(os.Stderr, "heterobench: -seed %d is negative; the availability and spot-market models need a seed >= 0\n\n", *seed)
+		usage()
 		os.Exit(2)
 	}
 	opts := bench.Options{
@@ -61,7 +70,7 @@ func main() {
 		Steps:     *steps,
 		SkipSteps: *skip,
 		MaxRanks:  *maxRanks,
-		Seed:      *seed,
+		Seed:      uint64(*seed),
 		Platforms: strings.Split(*platforms, ","),
 	}
 
@@ -92,7 +101,12 @@ func main() {
 	case "trace":
 		err = runTrace(*app, opts, *ranks, *csvPath)
 	case "faults":
-		err = runFaults(*app, *platform, opts, *ranks, *crashes, *preempts, *degrades)
+		err = runFaults(faultsConfig{
+			App: *app, Platform: *platform, Policy: *policy,
+			Ranks: *ranks, RanksPerNode: *rpn, Seed: *seed,
+			Crashes: *crashes, Preemptions: *preempts, Degradations: *degrades,
+			TracePath: *tracePath,
+		}, opts)
 	case "all":
 		err = runAll(opts, *nodes)
 	case "help", "-h", "--help":
@@ -124,6 +138,7 @@ commands:
   bidding [-nodes N]      extension: spot bid level vs. fleet cost
   trace -ranks N          write a Chrome/Perfetto trace of one job's virtual timeline
   faults [-platform P]    robustness: supervised run under injected crashes/preemptions
+                          -policy restart|shrink-continue|compare, -rpn N, -trace out.json
   all                     run everything
 
 flags: -n 10 -steps 3 -skip 1 -max 1000 -platforms puma,ellipse,lagrange,ec2 -seed 2012`)
@@ -270,20 +285,104 @@ func runTrace(app string, opts bench.Options, ranks int, outPath string) error {
 	return nil
 }
 
+// faultsConfig is the faults command's flag bundle, validated before any
+// model runs so a typo fails in milliseconds with a usable message.
+type faultsConfig struct {
+	App, Platform, Policy              string
+	Ranks, RanksPerNode                int
+	Seed                               int64
+	Crashes, Preemptions, Degradations int
+	TracePath                          string
+}
+
+// policyCompare runs both recovery policies on the identical plan; it is a
+// CLI-only alias, not a bench policy.
+const policyCompare = "compare"
+
+// validateFaults rejects impossible fault-command configurations: negative
+// seeds or event counts, non-positive rank counts, unknown applications and
+// unknown policy names.
+func validateFaults(c faultsConfig) error {
+	if c.Seed < 0 {
+		return fmt.Errorf("-seed %d is negative; the fault plan needs a seed >= 0", c.Seed)
+	}
+	if c.Ranks < 1 {
+		return fmt.Errorf("-ranks %d: a supervised run needs at least one rank", c.Ranks)
+	}
+	if c.RanksPerNode < 0 {
+		return fmt.Errorf("-rpn %d is negative (use 0 to pack by cores)", c.RanksPerNode)
+	}
+	if c.Crashes < 0 || c.Preemptions < 0 || c.Degradations < 0 {
+		return fmt.Errorf("fault counts must be >= 0, got -crashes %d -preempts %d -degrades %d",
+			c.Crashes, c.Preemptions, c.Degradations)
+	}
+	switch c.App {
+	case "rd", "ns":
+	default:
+		return fmt.Errorf("unknown app %q (want rd or ns)", c.App)
+	}
+	switch c.Policy {
+	case bench.PolicyRestart, bench.PolicyShrink, policyCompare:
+	default:
+		return fmt.Errorf("unknown policy %q (want %s, %s or %s)",
+			c.Policy, bench.PolicyRestart, bench.PolicyShrink, policyCompare)
+	}
+	return nil
+}
+
 // runFaults executes one weak-scaling job under a seeded fault plan with
-// the checkpoint-restart supervisor and prints the recovery report: the
-// decision log plus recovered-vs-clean numbers with the overhead itemised.
-func runFaults(app, platform string, opts bench.Options, ranks, crashes, preempts, degrades int) error {
-	rep, err := bench.RunSupervised(bench.FaultOptions{
-		App: app, Platform: platform, Ranks: ranks,
+// the recovery supervisor and prints the recovery report: the decision log
+// plus recovered-vs-clean numbers with the overhead itemised. With -policy
+// compare it runs the same plan under both policies and prints them side by
+// side; with -trace it also writes the recovered run's Chrome trace with
+// the supervisor's decisions overlaid as instant markers.
+func runFaults(c faultsConfig, opts bench.Options) error {
+	if err := validateFaults(c); err != nil {
+		return err
+	}
+	fo := bench.FaultOptions{
+		App: c.App, Platform: c.Platform, Ranks: c.Ranks, RanksPerNode: c.RanksPerNode,
 		PerRankN: opts.PerRankN, Steps: opts.Steps, SkipSteps: opts.SkipSteps,
-		Seed:    opts.Seed,
-		Crashes: crashes, Preemptions: preempts, Degradations: degrades,
-	})
+		Seed:    uint64(c.Seed),
+		Crashes: c.Crashes, Preemptions: c.Preemptions, Degradations: c.Degradations,
+	}
+	var traced *bench.RecoveryReport
+	switch c.Policy {
+	case policyCompare:
+		cmp, err := bench.CompareRecovery(fo)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatRecoveryComparison(cmp))
+		traced = cmp.Shrink
+	default:
+		fo.Policy = c.Policy
+		rep, err := bench.RunSupervised(fo)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatRecovery(rep))
+		traced = rep
+	}
+	if c.TracePath == "" {
+		return nil
+	}
+	if traced == nil || traced.Final == nil {
+		return fmt.Errorf("no finished run to trace")
+	}
+	f, err := os.Create(c.TracePath)
 	if err != nil {
 		return err
 	}
-	fmt.Print(bench.FormatRecovery(rep))
+	name := fmt.Sprintf("%s on %s (%s)", c.App, c.Platform, traced.Policy)
+	if err := trace.WriteChromeWithDecisions(f, name, traced.Final.PerRankSteps, traced.Decisions); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (decision markers overlay the rank timelines)\n", c.TracePath)
 	return nil
 }
 

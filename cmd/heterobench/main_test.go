@@ -78,6 +78,73 @@ func TestRunAblate(t *testing.T) {
 	}
 }
 
+func TestValidateFaults(t *testing.T) {
+	ok := faultsConfig{App: "rd", Platform: "puma", Policy: bench.PolicyRestart,
+		Ranks: 8, Seed: 2012, Crashes: 1}
+	cases := []struct {
+		name    string
+		mutate  func(*faultsConfig)
+		wantErr string // substring; "" means valid
+	}{
+		{"defaults are valid", func(c *faultsConfig) {}, ""},
+		{"shrink policy is valid", func(c *faultsConfig) { c.Policy = bench.PolicyShrink }, ""},
+		{"compare policy is valid", func(c *faultsConfig) { c.Policy = policyCompare }, ""},
+		{"zero fault counts are valid", func(c *faultsConfig) { c.Crashes = 0 }, ""},
+		{"negative seed", func(c *faultsConfig) { c.Seed = -1 }, "seed"},
+		{"very negative seed", func(c *faultsConfig) { c.Seed = -1 << 40 }, "seed"},
+		{"zero ranks", func(c *faultsConfig) { c.Ranks = 0 }, "rank"},
+		{"negative ranks per node", func(c *faultsConfig) { c.RanksPerNode = -2 }, "-rpn"},
+		{"negative crashes", func(c *faultsConfig) { c.Crashes = -1 }, "crashes"},
+		{"negative preemptions", func(c *faultsConfig) { c.Preemptions = -3 }, "preempts"},
+		{"negative degradations", func(c *faultsConfig) { c.Degradations = -1 }, "degrades"},
+		{"unknown app", func(c *faultsConfig) { c.App = "lbm" }, `app "lbm"`},
+		{"unknown policy", func(c *faultsConfig) { c.Policy = "abandon-ship" }, `policy "abandon-ship"`},
+		{"misspelled policy", func(c *faultsConfig) { c.Policy = "shrink" }, bench.PolicyShrink},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := ok
+			tc.mutate(&c)
+			err := validateFaults(c)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("valid config rejected: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("got %v, want error mentioning %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestRunFaultsCompareWritesDecisionTrace(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "faults_trace.json")
+	o := tinyOpts()
+	o.Steps = 3
+	err := runFaults(faultsConfig{
+		App: "rd", Platform: "puma", Policy: policyCompare,
+		Ranks: 8, RanksPerNode: 2, Seed: 7, Crashes: 1, TracePath: out,
+	}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"traceEvents", `"ph":"i"`, "shrink"} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("decision trace missing %q", want)
+		}
+	}
+	if err := runFaults(faultsConfig{App: "rd", Policy: "bogus", Ranks: 8, Seed: 1}, o); err == nil {
+		t.Fatal("invalid config reached the supervisor")
+	}
+}
+
 func TestRunTrace(t *testing.T) {
 	dir := t.TempDir()
 	cwd, _ := os.Getwd()

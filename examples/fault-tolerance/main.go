@@ -8,6 +8,8 @@
 // supervisor: the job survives two preemptions, re-provisioning
 // replacement capacity (spot first, on-demand fallback — the paper's
 // "mix") and restoring from the per-rank containers after each loss.
+// A final act pits that checkpoint-restart policy against ULFM-style
+// shrink-and-continue on the identical fault plan.
 package main
 
 import (
@@ -95,6 +97,27 @@ func main() {
 	}
 	fmt.Printf("survived %d preemption(s) in %d attempt(s); the recovered velocity\n",
 		len(notices), rep.Attempts)
-	fmt.Printf("error matches the uninterrupted run exactly (%.3e).\n",
+	fmt.Printf("error matches the uninterrupted run exactly (%.3e).\n\n",
 		rep.Final.Metrics["vel_max_err"])
+
+	// Act 3: the same crash under both recovery policies. Restart rolls the
+	// whole job back and re-runs it at full width; shrink-and-continue has
+	// the survivors agree on the dead, repartitions the mesh over the three
+	// remaining nodes, scatters the last mirrored buddy checkpoint, and
+	// finishes mid-run — wasting strictly less virtual time. Two ranks per
+	// node keeps every rank's buddy off-node, which is what makes the
+	// diskless checkpoints survive a whole-node loss.
+	cmp, err := bench.CompareRecovery(bench.FaultOptions{
+		App: "rd", Platform: "ec2", Ranks: 8, RanksPerNode: 2,
+		PerRankN: 4, Steps: 4,
+		Seed:    2012,
+		Crashes: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.FormatRecoveryComparison(cmp))
+	if cmp.Shrink.WastedVirtualS >= cmp.Restart.WastedVirtualS {
+		log.Fatal("shrink-and-continue should waste strictly less virtual time than restart")
+	}
 }

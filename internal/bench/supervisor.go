@@ -18,6 +18,17 @@ import (
 	"heterohpc/internal/vclock"
 )
 
+// Recovery policies for RunSupervised.
+const (
+	// PolicyRestart is checkpoint-restart: on node loss, re-provision,
+	// restore the last common checkpoint and rerun the whole job shape.
+	PolicyRestart = "restart"
+	// PolicyShrink is ULFM-style shrink-and-continue: survivors agree on
+	// the dead, the world shrinks, state redistributes from diskless buddy
+	// copies, and time-stepping resumes mid-run on the survivor count.
+	PolicyShrink = "shrink-continue"
+)
+
 // FaultOptions configures a supervised run under fault injection.
 type FaultOptions struct {
 	// App is "rd" or "ns".
@@ -27,6 +38,13 @@ type FaultOptions struct {
 	// Ranks is the submitted process count (must be cubic for the
 	// weak-scaling applications).
 	Ranks int
+	// RanksPerNode underfills nodes (0: pack to the platform's cores per
+	// node). Shrink-and-continue needs at least two nodes, so small jobs on
+	// fat-node platforms set this to spread ranks out.
+	RanksPerNode int
+	// Policy selects the recovery strategy: PolicyRestart (default) or
+	// PolicyShrink.
+	Policy string
 	// PerRankN is the per-process mesh edge (default 10, as in Options).
 	PerRankN int
 	// Steps is the number of BDF2 steps (default 4, so at least one
@@ -69,6 +87,9 @@ func (o FaultOptions) withDefaults() FaultOptions {
 	if o.Ranks == 0 {
 		o.Ranks = 8
 	}
+	if o.Policy == "" {
+		o.Policy = PolicyRestart
+	}
 	if o.PerRankN == 0 {
 		o.PerRankN = 10
 	}
@@ -97,6 +118,8 @@ func (o FaultOptions) withDefaults() FaultOptions {
 // next to the clean baseline, with the price of recovery itemised.
 type RecoveryReport struct {
 	Platform, App string
+	// Policy is the recovery strategy the run used.
+	Policy string
 	// Ranks is the submitted size; FinalRanks what the successful attempt
 	// ran with (smaller after graceful degradation).
 	Ranks, FinalRanks int
@@ -121,8 +144,44 @@ type RecoveryReport struct {
 	// platform's billing plus the replacement-capacity premium over the
 	// typical spot rate.
 	RecoveryCostUSD float64
+	// MakespanS is the job's end-to-end virtual time including recovery:
+	// wasted time plus the final attempt for restart, the furthest survivor
+	// clock for shrink-and-continue (whose clocks carry across the shrink).
+	MakespanS float64
+	// Shrink itemises the shrink-and-continue mechanics (nil under
+	// PolicyRestart).
+	Shrink *ShrinkStats
 	// Decisions is the supervisor's audit log.
 	Decisions []trace.Decision
+}
+
+// ShrinkStats itemises what a shrink-and-continue recovery did and what
+// the protection cost.
+type ShrinkStats struct {
+	// Shrinks counts world shrinks (one per recovered node loss).
+	Shrinks int
+	// DeadNodes lists the lost nodes in original numbering, in loss order.
+	DeadNodes []int
+	// Survivors is the final rank count; Grid its block decomposition.
+	Survivors int
+	Grid      [3]int
+	// RestoreStep is the common checkpoint step the last recovery resumed
+	// from (0 when the survivors had to restart the stepping from scratch).
+	RestoreStep int
+	// AgreeS and RedistributeS are the virtual seconds the agreement
+	// collective and the state redistribution cost (max over ranks, summed
+	// over shrinks).
+	AgreeS, RedistributeS float64
+	// BuddyOverheadS is the virtual time the buddy mirroring added to the
+	// critical path (max per-rank overhead, summed over generations);
+	// BuddyBytes the total bytes mirrored.
+	BuddyOverheadS float64
+	BuddyBytes     int64
+	// RevokedMsgs counts pending messages purged by world revocation.
+	RevokedMsgs int
+	// PartitionImbalance is the survivor decomposition's element imbalance
+	// (max/avg; 0 when not evaluated).
+	PartitionImbalance float64
 }
 
 // ckptSnap is one serialised checkpoint container tagged with the step it
@@ -326,15 +385,33 @@ func largestCubeAtMost(n int) int {
 	return best
 }
 
-// RunSupervised executes a weak-scaling job under a fault plan with the
-// paper-grade recovery loop: classify the failure, back off with jitter,
-// re-provision replacement capacity (spot first, on-demand fallback — the
-// paper's "mix"), restore the last checkpoint, and degrade to fewer ranks
-// when no replacement is available. Everything is deterministic for equal
-// seeds.
-func RunSupervised(o FaultOptions) (*RecoveryReport, error) {
-	o = o.withDefaults()
+// degradedShape chooses the rank count a degradation lands on: the largest
+// cube at most want, falling back to the largest cube strictly below cur
+// when want yields nothing smaller than the current size. Returns 0 when
+// no valid degraded shape exists (cur already 1).
+func degradedShape(cur, want int) int {
+	to := largestCubeAtMost(want)
+	if to < 1 || to >= cur {
+		to = largestCubeAtMost(cur - 1)
+	}
+	return to
+}
 
+// superSetup is the shared preamble of both recovery policies: the clean
+// baseline, the supervised target, the effective placement, and the fault
+// plan drawn over the baseline's virtual horizon.
+type superSetup struct {
+	o      FaultOptions
+	tg     *core.Target
+	clean  *core.Report
+	cleanS float64
+	plan   *fault.Plan
+	nodes  int
+	cpn    int // effective ranks per node
+	mem    float64
+}
+
+func newSuperSetup(o FaultOptions) (*superSetup, error) {
 	// Clean baseline on a fresh target: the comparison column, and the
 	// virtual horizon fault plans are drawn over.
 	cleanTG, err := core.NewTarget(o.Platform, o.Seed)
@@ -347,7 +424,8 @@ func RunSupervised(o FaultOptions) (*RecoveryReport, error) {
 		return nil, err
 	}
 	clean, err := cleanTG.Run(core.JobSpec{
-		Ranks: o.Ranks, App: cleanApp, SkipSteps: o.SkipSteps, MemPerRankGB: mem,
+		Ranks: o.Ranks, RanksPerNode: o.RanksPerNode, App: cleanApp,
+		SkipSteps: o.SkipSteps, MemPerRankGB: mem,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("bench: clean baseline failed: %w", err)
@@ -358,8 +436,10 @@ func RunSupervised(o FaultOptions) (*RecoveryReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := tg.Platform
-	cpn := p.CoresPerNode()
+	cpn := tg.Platform.CoresPerNode()
+	if o.RanksPerNode > 0 && o.RanksPerNode < cpn {
+		cpn = o.RanksPerNode
+	}
 	nodes := (o.Ranks + cpn - 1) / cpn
 
 	plan := o.Plan
@@ -372,6 +452,43 @@ func RunSupervised(o FaultOptions) (*RecoveryReport, error) {
 			return nil, err
 		}
 	}
+	return &superSetup{
+		o: o, tg: tg, clean: clean, cleanS: cleanS,
+		plan: plan, nodes: nodes, cpn: cpn, mem: mem,
+	}, nil
+}
+
+// RunSupervised executes a weak-scaling job under a fault plan with the
+// paper-grade recovery loop: classify the failure, back off with jitter,
+// re-provision replacement capacity (spot first, on-demand fallback — the
+// paper's "mix"), restore the last checkpoint, and degrade to fewer ranks
+// when no replacement is available. Everything is deterministic for equal
+// seeds.
+func RunSupervised(o FaultOptions) (*RecoveryReport, error) {
+	o = o.withDefaults()
+	s, err := newSuperSetup(o)
+	if err != nil {
+		return nil, err
+	}
+	switch o.Policy {
+	case PolicyRestart:
+		return runRestart(s)
+	case PolicyShrink:
+		rep, _, err := runShrinkContinue(s)
+		return rep, err
+	default:
+		return nil, fmt.Errorf("bench: unknown recovery policy %q (want %q or %q)",
+			o.Policy, PolicyRestart, PolicyShrink)
+	}
+}
+
+// runRestart is the checkpoint-restart recovery loop.
+func runRestart(s *superSetup) (*RecoveryReport, error) {
+	o := s.o
+	tg, p := s.tg, s.tg.Platform
+	cpn := s.cpn
+	clean, cleanS, plan := s.clean, s.cleanS, s.plan
+
 	fatals := plan.Failures()
 	degrades := plan.Degradations()
 	maxAttempts := o.MaxAttempts
@@ -380,7 +497,7 @@ func RunSupervised(o FaultOptions) (*RecoveryReport, error) {
 	}
 
 	rep := &RecoveryReport{
-		Platform: o.Platform, App: o.App,
+		Platform: o.Platform, App: o.App, Policy: PolicyRestart,
 		Ranks: o.Ranks, FinalRanks: o.Ranks,
 		Plan: plan, Clean: clean, CleanVirtualS: cleanS,
 	}
@@ -405,10 +522,7 @@ func RunSupervised(o FaultOptions) (*RecoveryReport, error) {
 	var replacementPremiumPerHour float64
 
 	degrade := func(atS float64, toRanks int, why string) error {
-		to := largestCubeAtMost(toRanks)
-		if to < 1 || to >= ranks {
-			to = largestCubeAtMost(ranks - 1)
-		}
+		to := degradedShape(ranks, toRanks)
 		if to < 1 {
 			return fmt.Errorf("bench: cannot degrade below 1 rank (%s)", why)
 		}
@@ -450,8 +564,8 @@ func RunSupervised(o FaultOptions) (*RecoveryReport, error) {
 		}
 
 		result, af, err := tg.Attempt(core.JobSpec{
-			Ranks: ranks, App: app, SkipSteps: o.SkipSteps,
-			MemPerRankGB: appMem, Faults: events,
+			Ranks: ranks, RanksPerNode: o.RanksPerNode, App: app,
+			SkipSteps: o.SkipSteps, MemPerRankGB: appMem, Faults: events,
 		})
 		if err != nil {
 			switch fault.Classify(err) {
@@ -469,6 +583,7 @@ func RunSupervised(o FaultOptions) (*RecoveryReport, error) {
 			rep.Final = result
 			rep.FinalRanks = ranks
 			rep.FinalVirtualS = virtualDuration(result)
+			rep.MakespanS = rep.WastedVirtualS + rep.FinalVirtualS
 			rep.RecoveryCostUSD += replacementPremiumPerHour * rep.FinalVirtualS / 3600
 			rec.Record(rep.FinalVirtualS, "complete", "attempt %d finished on %d ranks", attempt, ranks)
 			rep.Decisions = rec.Decisions()
@@ -554,7 +669,8 @@ func RunSupervised(o FaultOptions) (*RecoveryReport, error) {
 // recovered numbers next to the clean baseline with the overhead itemised.
 func FormatRecovery(rep *RecoveryReport) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Fault-injected %s on %s (%d ranks)\n", strings.ToUpper(rep.App), rep.Platform, rep.Ranks)
+	fmt.Fprintf(&b, "Fault-injected %s on %s (%d ranks, policy %s)\n",
+		strings.ToUpper(rep.App), rep.Platform, rep.Ranks, rep.Policy)
 	fmt.Fprintf(&b, "%s\n\nsupervisor decisions:\n", rep.Plan)
 	var rec trace.Recorder
 	for _, d := range rep.Decisions {
@@ -574,10 +690,50 @@ func FormatRecovery(rep *RecoveryReport) string {
 	fmt.Fprintf(&b, "%-24s %14.2e %14.2e\n", errKey, rep.Clean.Metrics[errKey], rep.Final.Metrics[errKey])
 	fmt.Fprintf(&b, "%-24s %14s %14.3f\n", "wasted virtual (s)", "--", rep.WastedVirtualS)
 	fmt.Fprintf(&b, "%-24s %14s %14.3f\n", "  of which backoff (s)", "--", rep.BackoffS)
+	fmt.Fprintf(&b, "%-24s %14.3f %14.3f\n", "makespan (s)", rep.CleanVirtualS, rep.MakespanS)
 	fmt.Fprintf(&b, "%-24s %14s %14.5f\n", "recovery cost (USD)", "--", rep.RecoveryCostUSD)
+	if st := rep.Shrink; st != nil && st.Shrinks > 0 {
+		fmt.Fprintf(&b, "\nshrink-and-continue mechanics:\n")
+		fmt.Fprintf(&b, "  shrinks %d (node(s) %v lost); %d survivor ranks on grid %dx%dx%d, imbalance %.3f\n",
+			st.Shrinks, st.DeadNodes, st.Survivors, st.Grid[0], st.Grid[1], st.Grid[2], st.PartitionImbalance)
+		fmt.Fprintf(&b, "  resumed after step %d; agreement %.4fs, redistribution %.4fs, %d message(s) revoked\n",
+			st.RestoreStep, st.AgreeS, st.RedistributeS, st.RevokedMsgs)
+		fmt.Fprintf(&b, "  buddy mirroring: %.4fs critical-path overhead, %d bytes exchanged\n",
+			st.BuddyOverheadS, st.BuddyBytes)
+	}
 	if rep.Degraded {
 		fmt.Fprintf(&b, "\njob degraded gracefully: finished on %d of %d submitted ranks\n",
 			rep.FinalRanks, rep.Ranks)
+	}
+	return b.String()
+}
+
+// FormatRecoveryComparison renders the two policies' reports side by side:
+// the same fault plan, the same application, only the recovery differs.
+func FormatRecoveryComparison(c *RecoveryComparison) string {
+	r, s := c.Restart, c.Shrink
+	var b strings.Builder
+	fmt.Fprintf(&b, "Recovery-policy comparison: %s on %s (%d ranks)\n",
+		strings.ToUpper(r.App), r.Platform, r.Ranks)
+	fmt.Fprintf(&b, "%s\n\n", r.Plan)
+	errKey := "max_err"
+	if r.App == "ns" {
+		errKey = "vel_max_err"
+	}
+	row := func(label, fmtStr string, rv, sv any) {
+		fmt.Fprintf(&b, "%-26s "+fmtStr+" "+fmtStr+"\n", label, rv, sv)
+	}
+	fmt.Fprintf(&b, "%-26s %14s %14s\n", "", PolicyRestart, PolicyShrink)
+	row("final ranks", "%14d", r.FinalRanks, s.FinalRanks)
+	row("attempts", "%14d", r.Attempts, s.Attempts)
+	row("wasted virtual (s)", "%14.3f", r.WastedVirtualS, s.WastedVirtualS)
+	row("makespan (s)", "%14.3f", r.MakespanS, s.MakespanS)
+	row("recovery cost (USD)", "%14.5f", r.RecoveryCostUSD, s.RecoveryCostUSD)
+	row(errKey, "%14.2e", r.Final.Metrics[errKey], s.Final.Metrics[errKey])
+	if st := s.Shrink; st != nil {
+		fmt.Fprintf(&b, "\nshrink path paid %.4fs of buddy mirroring (%d bytes) and %.4fs of agreement+redistribution\nto avoid %.3fs of restart waste.\n",
+			st.BuddyOverheadS, st.BuddyBytes, st.AgreeS+st.RedistributeS,
+			r.WastedVirtualS-s.WastedVirtualS)
 	}
 	return b.String()
 }

@@ -149,3 +149,30 @@ func TestSupervisedCleanPassThrough(t *testing.T) {
 		t.Fatalf("clean pass-through mis-accounted: %+v", rep)
 	}
 }
+
+func TestLargestCubeAtMost(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 1}, {7, 1}, {8, 8}, {26, 8}, {27, 27}, {28, 27}, {1000, 1000}, {1001, 1000},
+	}
+	for _, c := range cases {
+		if got := largestCubeAtMost(c.n); got != c.want {
+			t.Errorf("largestCubeAtMost(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestDegradedShape(t *testing.T) {
+	cases := []struct{ cur, want, expect int }{
+		{8, 7, 1},        // largest cube <= 7 is 1
+		{27, 26, 8},      // one node short of a cube drops to the next cube
+		{8, 8, 1},        // target not smaller than current: fall back below cur
+		{1000, 999, 729}, // 9^3
+		{27, 0, 8},       // nonsense target still degrades below cur
+		{1, 0, 0},        // nowhere to go
+	}
+	for _, c := range cases {
+		if got := degradedShape(c.cur, c.want); got != c.expect {
+			t.Errorf("degradedShape(%d, %d) = %d, want %d", c.cur, c.want, got, c.expect)
+		}
+	}
+}

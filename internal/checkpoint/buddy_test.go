@@ -1,0 +1,107 @@
+package checkpoint
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"heterohpc/internal/mp"
+	"heterohpc/internal/netmodel"
+	"heterohpc/internal/vclock"
+)
+
+func buddyTopo(t *testing.T, nranks, perNode int) mp.Topology {
+	t.Helper()
+	topo, err := mp.BlockTopology(nranks, perNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestBuddyOfIsOffNodeAndCovering(t *testing.T) {
+	cases := []struct{ nranks, perNode int }{
+		{8, 2},  // 4 equal nodes
+		{8, 4},  // 2 equal nodes
+		{27, 4}, // unequal last node (3 ranks)
+		{5, 2},  // unequal last node (1 rank)
+	}
+	for _, c := range cases {
+		topo := buddyTopo(t, c.nranks, c.perNode)
+		covered := make([]bool, c.nranks)
+		for r := 0; r < c.nranks; r++ {
+			b := BuddyOf(topo, r)
+			if b < 0 || b >= c.nranks {
+				t.Fatalf("%d/%d: BuddyOf(%d) = %d out of range", c.nranks, c.perNode, r, b)
+			}
+			if topo.SameNode(r, b) {
+				t.Fatalf("%d/%d: buddy of rank %d is on-node", c.nranks, c.perNode, r)
+			}
+			covered[r] = true
+			found := false
+			for _, o := range Protects(topo, b) {
+				if o == r {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%d/%d: Protects(%d) misses origin %d", c.nranks, c.perNode, b, r)
+			}
+		}
+		for r, ok := range covered {
+			if !ok {
+				t.Fatalf("rank %d has no buddy", r)
+			}
+		}
+	}
+}
+
+func TestBuddyOfSingleNode(t *testing.T) {
+	topo := buddyTopo(t, 4, 4)
+	if b := BuddyOf(topo, 2); b != -1 {
+		t.Fatalf("single-node buddy = %d, want -1", b)
+	}
+	if p := Protects(topo, 2); p != nil {
+		t.Fatalf("single-node Protects = %v, want none", p)
+	}
+}
+
+func TestMirrorDeliversBlobsAndChargesTime(t *testing.T) {
+	topo := buddyTopo(t, 6, 2)
+	fab, err := netmodel.NewFabric(netmodel.TenGigE, topo.NNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mp.NewWorld(topo, fab, vclock.LinearRater{FlopsPerSec: 1e9, BytesPerSec: 1e10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	got := map[int][]Mirrored{}
+	if err := w.Run(func(r *mp.Rank) error {
+		blob := []byte(fmt.Sprintf("snapshot-of-%d", r.ID()))
+		rcv := Mirror(r, 9000, blob)
+		if r.Wtime() <= 0 {
+			return fmt.Errorf("rank %d: mirroring charged no virtual time", r.ID())
+		}
+		mu.Lock()
+		got[r.ID()] = rcv
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for origin := 0; origin < 6; origin++ {
+		holder := BuddyOf(topo, origin)
+		want := fmt.Sprintf("snapshot-of-%d", origin)
+		found := false
+		for _, m := range got[holder] {
+			if m.Origin == origin && string(m.Blob) == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("holder %d did not receive origin %d's blob", holder, origin)
+		}
+	}
+}

@@ -142,6 +142,10 @@ type AttemptFailure struct {
 	// ElapsedS is the furthest virtual time any rank reached before the
 	// world shut down — diagnostic only; it varies run to run.
 	ElapsedS float64
+	// World is the poisoned world the attempt died in. A shrink-and-
+	// continue supervisor calls World.Shrink() on it to re-form the
+	// survivors; restart supervisors may ignore it.
+	World *mp.World
 }
 
 // Error implements error so a failure can be wrapped and classified.
@@ -243,6 +247,7 @@ func (t *Target) Attempt(spec JobSpec) (*Report, *AttemptFailure, error) {
 				spec.App.Name(), p.Name, spec.Ranks, runErr),
 			Node:     -1,
 			ElapsedS: world.MaxVirtualTime(),
+			World:    world,
 		}
 		if f, down := world.Failure(); down {
 			af.Node, af.At = f.Node, f.At
@@ -267,6 +272,71 @@ func (t *Target) Attempt(spec JobSpec) (*Report, *AttemptFailure, error) {
 	}
 	if sb, err := cost.SpotForPlatform(p); err == nil {
 		rep.SpotCostPerIter = sb.PerIteration(iter.MaxTotal, spec.Ranks)
+	}
+	return rep, nil, nil
+}
+
+// ResumeAttempt runs app on an already-formed world — the survivor world a
+// Shrink produced — instead of building placement, fabric, and topology
+// from a JobSpec. There is no scheduler admission and no queue wait: the
+// nodes are the ones the original job already held. faults arms any
+// remaining failure schedule (translated to the survivor node numbering);
+// the same three-way verdict as Attempt applies, so a second node loss in
+// the continuation surfaces as another *AttemptFailure carrying its own
+// poisoned world.
+func (t *Target) ResumeAttempt(world *mp.World, app App, skipSteps int, faults []fault.Event) (*Report, *AttemptFailure, error) {
+	if app == nil {
+		return nil, nil, fmt.Errorf("core: resume without application")
+	}
+	if world == nil {
+		return nil, nil, fmt.Errorf("core: resume without world")
+	}
+	if err := fault.Arm(world, faults); err != nil {
+		return nil, nil, err
+	}
+	ranks := world.Size()
+	perRank := make([][]vclock.PhaseTimes, ranks)
+	var metrics map[string]float64
+	runErr := world.Run(func(r *mp.Rank) error {
+		steps, m, err := app.Run(r)
+		if err != nil {
+			return err
+		}
+		perRank[r.ID()] = steps
+		if r.ID() == 0 {
+			metrics = m
+		}
+		return nil
+	})
+	if runErr != nil {
+		af := &AttemptFailure{
+			Err: fmt.Errorf("core: %s resumed on %s with %d ranks: %w",
+				app.Name(), t.Platform.Name, ranks, runErr),
+			Node:     -1,
+			ElapsedS: world.MaxVirtualTime(),
+			World:    world,
+		}
+		if f, down := world.Failure(); down {
+			af.Node, af.At = f.Node, f.At
+		}
+		return nil, af, nil
+	}
+	iter, err := aggregate(perRank, skipSteps)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{
+		Platform:     t.Platform.Name,
+		App:          app.Name(),
+		Ranks:        ranks,
+		Nodes:        world.Topology().NNodes(),
+		Iter:         iter,
+		CostPerIter:  t.Billing.PerIteration(iter.MaxTotal, ranks),
+		Metrics:      metrics,
+		PerRankSteps: perRank,
+	}
+	if sb, err := cost.SpotForPlatform(t.Platform); err == nil {
+		rep.SpotCostPerIter = sb.PerIteration(iter.MaxTotal, ranks)
 	}
 	return rep, nil, nil
 }

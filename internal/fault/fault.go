@@ -226,6 +226,22 @@ func Arm(w *mp.World, events []Event) error {
 	return nil
 }
 
+// Remap translates planned events into a renumbered node space — the
+// survivor numbering a world shrink produces. nodeMap[old] gives the new
+// node index, or -1 for a node that no longer exists; events aimed at
+// vanished or out-of-range nodes are dropped. The input is not mutated.
+func Remap(events []Event, nodeMap []int) []Event {
+	var out []Event
+	for _, e := range events {
+		if e.Node < 0 || e.Node >= len(nodeMap) || nodeMap[e.Node] < 0 {
+			continue
+		}
+		e.Node = nodeMap[e.Node]
+		out = append(out, e)
+	}
+	return out
+}
+
 // Class is the supervisor's coarse failure classification, which decides
 // the recovery strategy.
 type Class int

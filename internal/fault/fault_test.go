@@ -134,3 +134,24 @@ func TestBackoffCappedAndJittered(t *testing.T) {
 		}
 	}
 }
+
+func TestRemapTranslatesAndDrops(t *testing.T) {
+	events := []Event{
+		{Kind: KindCrash, Node: 0, At: 1},
+		{Kind: KindCrash, Node: 1, At: 2}, // dead node: dropped
+		{Kind: KindDegrade, Node: 2, At: 3, Until: 4, Factor: 2},
+		{Kind: KindCrash, Node: 9, At: 5}, // out of range: dropped
+	}
+	nodeMap := []int{0, -1, 1, 2}
+	got := Remap(events, nodeMap)
+	want := []Event{
+		{Kind: KindCrash, Node: 0, At: 1},
+		{Kind: KindDegrade, Node: 1, At: 3, Until: 4, Factor: 2},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Remap = %+v, want %+v", got, want)
+	}
+	if events[2].Node != 2 {
+		t.Fatal("Remap mutated its input")
+	}
+}

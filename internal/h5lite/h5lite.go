@@ -12,6 +12,7 @@ package h5lite
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -21,6 +22,13 @@ import (
 
 // Magic identifies an h5lite stream (version 1).
 const Magic = "H5L1"
+
+// ErrCorrupt is wrapped by every ReadFrom error caused by semantically
+// invalid input — bad magic, implausible counts or shapes, unknown dtypes,
+// invalid or duplicate names. Truncated input surfaces as io.EOF /
+// io.ErrUnexpectedEOF instead, so callers can distinguish "short file"
+// from "hostile file". errors.Is(err, ErrCorrupt) tests for the latter.
+var ErrCorrupt = errors.New("h5lite: corrupt container")
 
 const (
 	dtypeF64 = 0
@@ -215,7 +223,7 @@ func ReadFrom(r io.Reader) (*File, error) {
 		return nil, fmt.Errorf("h5lite: reading magic: %w", err)
 	}
 	if string(magic[:]) != Magic {
-		return nil, fmt.Errorf("h5lite: bad magic %q", magic)
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, magic)
 	}
 	var count uint32
 	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
@@ -223,7 +231,7 @@ func ReadFrom(r io.Reader) (*File, error) {
 	}
 	const maxDatasets = 1 << 20
 	if count > maxDatasets {
-		return nil, fmt.Errorf("h5lite: implausible dataset count %d", count)
+		return nil, fmt.Errorf("%w: implausible dataset count %d", ErrCorrupt, count)
 	}
 	f := New()
 	for i := uint32(0); i < count; i++ {
@@ -240,21 +248,39 @@ func ReadFrom(r io.Reader) (*File, error) {
 			return nil, err
 		}
 		if ndims > 16 {
-			return nil, fmt.Errorf("h5lite: %q has %d dimensions", name, ndims)
+			return nil, fmt.Errorf("%w: %q has %d dimensions", ErrCorrupt, name, ndims)
 		}
+		// The element count is accumulated in uint64 against an explicit
+		// ceiling, so hostile dims can neither overflow int nor describe an
+		// allocation the host could not satisfy.
+		const maxElems = 1 << 40
 		dims := make([]int, ndims)
-		n := 1
+		elems := uint64(1)
 		for j := range dims {
 			var d uint64
 			if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
 				return nil, err
 			}
+			if d > maxElems {
+				return nil, fmt.Errorf("%w: %q dimension %d is %d", ErrCorrupt, name, j, d)
+			}
 			dims[j] = int(d)
-			n *= dims[j]
+			if d != 0 {
+				if elems > maxElems/d {
+					return nil, fmt.Errorf("%w: %q shape %v overflows the element limit", ErrCorrupt, name, dims[:j+1])
+				}
+				elems *= d
+			} else {
+				elems = 0
+			}
 		}
+		n := int(elems)
 		var nattrs uint32
 		if err := binary.Read(r, binary.LittleEndian, &nattrs); err != nil {
 			return nil, err
+		}
+		if nattrs > 1<<16 {
+			return nil, fmt.Errorf("%w: %q has %d attributes", ErrCorrupt, name, nattrs)
 		}
 		attrs := map[string]string{}
 		for j := uint32(0); j < nattrs; j++ {
@@ -268,33 +294,42 @@ func ReadFrom(r io.Reader) (*File, error) {
 			}
 			attrs[k] = v
 		}
+		// The data buffer grows with the bytes actually read (bounded
+		// initial capacity), so a header claiming a huge shape over a tiny
+		// stream fails with an io error instead of allocating n elements
+		// up front.
+		const chunkElems = 1 << 16
+		initCap := n
+		if initCap > chunkElems {
+			initCap = chunkElems
+		}
 		switch dtype {
 		case dtypeF64:
-			data := make([]float64, n)
-			for j := range data {
+			data := make([]float64, 0, initCap)
+			for j := 0; j < n; j++ {
 				var bits uint64
 				if err := binary.Read(r, binary.LittleEndian, &bits); err != nil {
 					return nil, fmt.Errorf("h5lite: %q data: %w", name, err)
 				}
-				data[j] = math.Float64frombits(bits)
+				data = append(data, math.Float64frombits(bits))
 			}
 			if err := f.CreateF64(name, dims, data); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 			}
 		case dtypeI64:
-			data := make([]int64, n)
-			for j := range data {
+			data := make([]int64, 0, initCap)
+			for j := 0; j < n; j++ {
 				var bits uint64
 				if err := binary.Read(r, binary.LittleEndian, &bits); err != nil {
 					return nil, fmt.Errorf("h5lite: %q data: %w", name, err)
 				}
-				data[j] = int64(bits)
+				data = append(data, int64(bits))
 			}
 			if err := f.CreateI64(name, dims, data); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 			}
 		default:
-			return nil, fmt.Errorf("h5lite: %q has unknown dtype %d", name, dtype)
+			return nil, fmt.Errorf("%w: %q has unknown dtype %d", ErrCorrupt, name, dtype)
 		}
 		for k, v := range attrs {
 			if err := f.SetAttr(name, k, v); err != nil {
@@ -319,7 +354,7 @@ func readString(r io.Reader) (string, error) {
 		return "", err
 	}
 	if n > 1<<20 {
-		return "", fmt.Errorf("h5lite: implausible string length %d", n)
+		return "", fmt.Errorf("%w: implausible string length %d", ErrCorrupt, n)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {

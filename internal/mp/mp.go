@@ -104,6 +104,7 @@ type message struct {
 	src, tag int
 	f64      []float64
 	ints     []int
+	bytes    []byte
 	// arriveAt is the sender's virtual time at which the payload is fully
 	// delivered; the receiver's clock advances to at least this time.
 	arriveAt float64
@@ -202,8 +203,13 @@ func (mb *mailbox) take(src, tag int) message {
 type World struct {
 	topo   Topology
 	fabric *netmodel.Fabric
+	rater  vclock.ComputeRater
 	clocks []*vclock.Clock
 	boxes  []*mailbox
+
+	// shrunk marks a world consumed by Shrink; its mailboxes are revoked
+	// and it must not Run again.
+	shrunk bool
 
 	// Fault-injection state (see fault.go). killAt and degrades are fixed
 	// before Run; down/failure are the per-World kill switch tripped when a
@@ -235,6 +241,7 @@ func NewWorld(topo Topology, fabric *netmodel.Fabric, rater vclock.ComputeRater)
 	w := &World{
 		topo:     topo,
 		fabric:   fabric,
+		rater:    rater,
 		clocks:   make([]*vclock.Clock, p),
 		boxes:    make([]*mailbox, p),
 		rankDead: make([]atomic.Bool, p),
@@ -270,6 +277,9 @@ func (e *RankError) Unwrap() error { return e.Err }
 // (by rank order) if any rank fails or panics. Run may be called once per
 // World.
 func (w *World) Run(body func(r *Rank) error) error {
+	if w.shrunk {
+		return fmt.Errorf("mp: world was consumed by Shrink; run the survivor world instead")
+	}
 	p := w.Size()
 	errs := make([]error, p)
 	var wg sync.WaitGroup
@@ -403,6 +413,30 @@ func (r *Rank) RecvInts(src, tag int) []int {
 	r.clk.AdvanceTo(m.arriveAt)
 	r.checkFault()
 	return m.ints
+}
+
+// SendBytes sends a copy of an opaque byte payload to rank dst — the
+// transport of serialised checkpoint blobs between buddy ranks. The
+// transfer is charged through the fabric like any other message, so
+// diskless checkpoint protection shows up in virtual time.
+func (r *Rank) SendBytes(dst, tag int, data []byte) {
+	if dst < 0 || dst >= r.Size() {
+		panic(fmt.Sprintf("mp: send to invalid rank %d", dst))
+	}
+	r.checkFault()
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	at := r.chargeSend(dst, len(data))
+	r.world.boxes[dst].put(message{src: r.id, tag: tag, bytes: cp, arriveAt: at})
+}
+
+// RecvBytes blocks for a byte message with the given source and tag.
+func (r *Rank) RecvBytes(src, tag int) []byte {
+	r.checkFault()
+	m := r.world.boxes[r.id].take(src, tag)
+	r.clk.AdvanceTo(m.arriveAt)
+	r.checkFault()
+	return m.bytes
 }
 
 // SendRecvF64 exchanges float64 slices with a peer (both sides must call

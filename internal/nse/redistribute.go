@@ -1,0 +1,138 @@
+// State redistribution after a world shrink, the Navier–Stokes analogue of
+// rd.Redistribute: survivors scatter held checkpoint fragments (their own
+// plus buddy copies of the dead) to the owners under the survivor-count
+// block decomposition, as real mp traffic, and assemble the resume state.
+package nse
+
+import (
+	"fmt"
+	"sort"
+
+	"heterohpc/internal/mesh"
+	"heterohpc/internal/mp"
+)
+
+// HeldState is one pre-shrink rank's worth of checkpointed solver state in
+// a survivor's memory: its own snapshot, or a buddy copy of a dead rank's.
+type HeldState struct {
+	// Rank is the origin rank in the pre-shrink decomposition (diagnostic).
+	Rank int
+	// OwnedIDs are the global vertex ids the values belong to.
+	OwnedIDs []int
+	// State is the origin's snapshot; all held states passed to one
+	// Redistribute call must share StepsDone and Time.
+	State State
+}
+
+// valsPerDof is the payload per vertex: three components each of u^{n-1}
+// and u^{n-2}, plus pressure.
+const valsPerDof = 7
+
+// Redistribute scatters held checkpoint fragments onto the px×py×pz block
+// decomposition of m over the calling world and returns the resume state
+// plus this rank's owned global ids under the new decomposition. Like its
+// rd counterpart it is a collective pure permutation of the stored values:
+// no arithmetic touches them, so resumption is bit-identical to a run at
+// the new rank count restored from the same snapshot. tag and tag+1 must
+// be free application tags.
+func Redistribute(r *mp.Rank, m *mesh.Mesh, grid [3]int, held []HeldState, tag int) (State, []int, error) {
+	p := r.Size()
+	if grid[0]*grid[1]*grid[2] != p {
+		return State{}, nil, fmt.Errorf("nse: grid %v for %d ranks", grid, p)
+	}
+	if len(held) == 0 {
+		return State{}, nil, fmt.Errorf("nse: rank %d holds no state to redistribute", r.ID())
+	}
+	step, tm := held[0].State.StepsDone, held[0].State.Time
+	for _, h := range held {
+		n := len(h.OwnedIDs)
+		for c := 0; c < 3; c++ {
+			if len(h.State.U1[c]) != n || len(h.State.U2[c]) != n {
+				return State{}, nil, fmt.Errorf("nse: origin %d holds %d ids but component %d has %d/%d values",
+					h.Rank, n, c, len(h.State.U1[c]), len(h.State.U2[c]))
+			}
+		}
+		if len(h.State.P) != n {
+			return State{}, nil, fmt.Errorf("nse: origin %d holds %d ids for %d pressures", h.Rank, n, len(h.State.P))
+		}
+		if h.State.StepsDone != step || h.State.Time != tm {
+			return State{}, nil, fmt.Errorf("nse: origin %d at step %d (t=%v), origin %d at step %d (t=%v)",
+				held[0].Rank, step, tm, h.Rank, h.State.StepsDone, h.State.Time)
+		}
+	}
+	agree := r.Allreduce(mp.OpMax, []float64{float64(step), tm, -float64(step), -tm})
+	if agree[0] != -agree[2] || agree[1] != -agree[3] {
+		return State{}, nil, fmt.Errorf("nse: ranks disagree on the restore line (steps up to %v, times up to %v)",
+			agree[0], agree[1])
+	}
+
+	sort.Slice(held, func(a, b int) bool { return held[a].Rank < held[b].Rank })
+	sendIDs := make([][]int, p)
+	sendVals := make([][]float64, p) // u1 xyz, u2 xyz, p per dof
+	for _, h := range held {
+		for i, gid := range h.OwnedIDs {
+			d := mesh.VertexOwnerOnBlocks(m, grid[0], grid[1], grid[2], gid)
+			sendIDs[d] = append(sendIDs[d], gid)
+			sendVals[d] = append(sendVals[d],
+				h.State.U1[0][i], h.State.U1[1][i], h.State.U1[2][i],
+				h.State.U2[0][i], h.State.U2[1][i], h.State.U2[2][i],
+				h.State.P[i])
+		}
+		r.ChargeCompute(10*float64(len(h.OwnedIDs)), 8*valsPerDof*float64(len(h.OwnedIDs)))
+	}
+
+	recvIDs := [][]int{sendIDs[r.ID()]}
+	recvVals := [][]float64{sendVals[r.ID()]}
+	for s := 1; s < p; s++ {
+		dst := (r.ID() + s) % p
+		src := (r.ID() - s + p) % p
+		r.SendInts(dst, tag, sendIDs[dst])
+		r.SendF64(dst, tag+1, sendVals[dst])
+		ids := r.RecvInts(src, tag)
+		vals := r.RecvF64(src, tag+1)
+		if valsPerDof*len(ids) != len(vals) {
+			return State{}, nil, fmt.Errorf("nse: rank %d sent %d ids with %d values", src, len(ids), len(vals))
+		}
+		recvIDs = append(recvIDs, ids)
+		recvVals = append(recvVals, vals)
+	}
+
+	l, err := mesh.NewLocalFromBlock(m, grid[0], grid[1], grid[2], r.ID())
+	if err != nil {
+		return State{}, nil, err
+	}
+	owned := append([]int(nil), l.VertGlobal[:l.NumOwned]...)
+	idx := make(map[int]int, len(owned))
+	for i, gid := range owned {
+		idx[gid] = i
+	}
+	st := State{StepsDone: step, Time: tm, P: make([]float64, len(owned))}
+	for c := 0; c < 3; c++ {
+		st.U1[c] = make([]float64, len(owned))
+		st.U2[c] = make([]float64, len(owned))
+	}
+	filled := make([]bool, len(owned))
+	for b, ids := range recvIDs {
+		for i, gid := range ids {
+			li, ok := idx[gid]
+			if !ok {
+				return State{}, nil, fmt.Errorf("nse: received vertex %d not owned by rank %d", gid, r.ID())
+			}
+			if filled[li] {
+				return State{}, nil, fmt.Errorf("nse: vertex %d delivered twice", gid)
+			}
+			filled[li] = true
+			v := recvVals[b][valsPerDof*i : valsPerDof*(i+1)]
+			st.U1[0][li], st.U1[1][li], st.U1[2][li] = v[0], v[1], v[2]
+			st.U2[0][li], st.U2[1][li], st.U2[2][li] = v[3], v[4], v[5]
+			st.P[li] = v[6]
+		}
+	}
+	for i, ok := range filled {
+		if !ok {
+			return State{}, nil, fmt.Errorf("nse: vertex %d of rank %d never delivered — held fragments do not cover the field",
+				owned[i], r.ID())
+		}
+	}
+	return st, owned, nil
+}

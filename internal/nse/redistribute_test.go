@@ -1,0 +1,84 @@
+package nse
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"heterohpc/internal/mesh"
+	"heterohpc/internal/mp"
+)
+
+func nsFragment(t *testing.T, m *mesh.Mesh, gridOld [3]int, origin, step int, tm float64) HeldState {
+	t.Helper()
+	l, err := mesh.NewLocalFromBlock(m, gridOld[0], gridOld[1], gridOld[2], origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := append([]int(nil), l.VertGlobal[:l.NumOwned]...)
+	st := State{StepsDone: step, Time: tm, P: make([]float64, len(owned))}
+	for c := 0; c < 3; c++ {
+		st.U1[c] = make([]float64, len(owned))
+		st.U2[c] = make([]float64, len(owned))
+	}
+	for i, gid := range owned {
+		for c := 0; c < 3; c++ {
+			st.U1[c][i] = float64(gid) + 0.1*float64(c)
+			st.U2[c][i] = 1.0 / float64(gid+2+c)
+		}
+		st.P[i] = math.Sin(float64(gid))
+	}
+	return HeldState{Rank: origin, OwnedIDs: owned, State: st}
+}
+
+func TestNSRedistributeIsAnExactPermutation(t *testing.T) {
+	m := mesh.NewUnitCube(4)
+	gridOld := [3]int{2, 2, 1} // 4 old ranks
+	gridNew := [3]int{3, 1, 1} // 3 survivors, non-cubic
+	heldBy := [][]int{{0, 3}, {1}, {2}}
+
+	var mu sync.Mutex
+	gotIDs := make([][]int, 3)
+	gotSt := make([]State, 3)
+	runRanks(t, 3, func(r *mp.Rank) error {
+		var held []HeldState
+		for _, origin := range heldBy[r.ID()] {
+			held = append(held, nsFragment(t, m, gridOld, origin, 2, 0.25))
+		}
+		st, owned, err := Redistribute(r, m, gridNew, held, 9100)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		gotIDs[r.ID()], gotSt[r.ID()] = owned, st
+		mu.Unlock()
+		return nil
+	})
+
+	seen := map[int]bool{}
+	for rk := 0; rk < 3; rk++ {
+		if gotSt[rk].StepsDone != 2 || gotSt[rk].Time != 0.25 {
+			t.Fatalf("rank %d resumed at step %d t=%v", rk, gotSt[rk].StepsDone, gotSt[rk].Time)
+		}
+		for i, gid := range gotIDs[rk] {
+			if seen[gid] {
+				t.Fatalf("vertex %d owned twice", gid)
+			}
+			seen[gid] = true
+			for c := 0; c < 3; c++ {
+				if math.Float64bits(gotSt[rk].U1[c][i]) != math.Float64bits(float64(gid)+0.1*float64(c)) {
+					t.Fatalf("u1[%d] at vertex %d not bit-identical", c, gid)
+				}
+				if math.Float64bits(gotSt[rk].U2[c][i]) != math.Float64bits(1.0/float64(gid+2+c)) {
+					t.Fatalf("u2[%d] at vertex %d not bit-identical", c, gid)
+				}
+			}
+			if math.Float64bits(gotSt[rk].P[i]) != math.Float64bits(math.Sin(float64(gid))) {
+				t.Fatalf("pressure at vertex %d not bit-identical", gid)
+			}
+		}
+	}
+	if len(seen) != m.NumVerts() {
+		t.Fatalf("redistribution covered %d of %d vertices", len(seen), m.NumVerts())
+	}
+}

@@ -1,0 +1,63 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BalancedGrid factors nparts into a px×py×pz block grid for an nx×ny×nz
+// element mesh, choosing the most cube-like factorisation that still fits
+// (no grid dimension may exceed the mesh dimension it cuts, or a block
+// would own no elements). Larger factors go to larger mesh dimensions.
+// Unlike mesh.CubeGrid it accepts any nparts — after a shrink the survivor
+// count is rarely a perfect cube — and it is deterministic: equal inputs
+// always return the same grid.
+func BalancedGrid(nparts, nx, ny, nz int) ([3]int, error) {
+	if nparts < 1 {
+		return [3]int{}, fmt.Errorf("partition: %d parts", nparts)
+	}
+	if nx < 1 || ny < 1 || nz < 1 {
+		return [3]int{}, fmt.Errorf("partition: mesh %dx%dx%d", nx, ny, nz)
+	}
+	// Enumerate every factor triple a ≤ b ≤ c with a·b·c = nparts, most
+	// cube-like first (smallest spread, then smallest largest factor).
+	var triples [][3]int
+	for a := 1; a*a*a <= nparts; a++ {
+		if nparts%a != 0 {
+			continue
+		}
+		rest := nparts / a
+		for b := a; b*b <= rest; b++ {
+			if rest%b == 0 {
+				triples = append(triples, [3]int{a, b, rest / b})
+			}
+		}
+	}
+	sort.Slice(triples, func(i, j int) bool {
+		si, sj := triples[i][2]-triples[i][0], triples[j][2]-triples[j][0]
+		if si != sj {
+			return si < sj
+		}
+		return triples[i][2] < triples[j][2]
+	})
+
+	// Mesh dimensions sorted descending, stable by axis index, so the
+	// largest factor lands on the largest dimension.
+	dims := []struct{ n, axis int }{{nx, 0}, {ny, 1}, {nz, 2}}
+	sort.SliceStable(dims, func(i, j int) bool { return dims[i].n > dims[j].n })
+
+	for _, tr := range triples {
+		// tr is ascending; assign tr[2] to the largest dim, tr[0] to the
+		// smallest.
+		if tr[2] > dims[0].n || tr[1] > dims[1].n || tr[0] > dims[2].n {
+			continue
+		}
+		var grid [3]int
+		grid[dims[0].axis] = tr[2]
+		grid[dims[1].axis] = tr[1]
+		grid[dims[2].axis] = tr[0]
+		return grid, nil
+	}
+	return [3]int{}, fmt.Errorf("partition: no factorisation of %d parts fits a %dx%dx%d mesh",
+		nparts, nx, ny, nz)
+}

@@ -1,0 +1,54 @@
+package partition
+
+import "testing"
+
+func TestBalancedGridPrefersCubeLikeShapes(t *testing.T) {
+	cases := []struct {
+		nparts, nx, ny, nz int
+		want               [3]int
+	}{
+		{1, 4, 4, 4, [3]int{1, 1, 1}},
+		{8, 4, 4, 4, [3]int{2, 2, 2}},
+		{27, 9, 9, 9, [3]int{3, 3, 3}},
+		{6, 4, 4, 4, [3]int{3, 2, 1}},   // cube mesh: largest factor on x (stable tie-break)
+		{6, 2, 8, 4, [3]int{1, 3, 2}},   // largest factor follows the largest dimension
+		{12, 6, 6, 6, [3]int{3, 2, 2}},  // 2·2·3 beats 1·3·4 and 1·2·6
+		{7, 8, 8, 8, [3]int{7, 1, 1}},   // primes go flat
+		{5, 2, 2, 8, [3]int{1, 1, 5}},   // only one placement fits
+		{10, 12, 2, 6, [3]int{5, 1, 2}}, // 1·2·5 with 5 on the largest dim
+	}
+	for _, c := range cases {
+		got, err := BalancedGrid(c.nparts, c.nx, c.ny, c.nz)
+		if err != nil {
+			t.Fatalf("BalancedGrid(%d, %d,%d,%d): %v", c.nparts, c.nx, c.ny, c.nz, err)
+		}
+		if got != c.want {
+			t.Errorf("BalancedGrid(%d, %d,%d,%d) = %v, want %v", c.nparts, c.nx, c.ny, c.nz, got, c.want)
+		}
+		if got[0]*got[1]*got[2] != c.nparts {
+			t.Errorf("grid %v does not multiply to %d", got, c.nparts)
+		}
+	}
+}
+
+func TestBalancedGridRejectsImpossibleFits(t *testing.T) {
+	if _, err := BalancedGrid(64, 2, 2, 2); err == nil {
+		t.Fatal("64 parts on a 2x2x2 mesh accepted")
+	}
+	if _, err := BalancedGrid(0, 4, 4, 4); err == nil {
+		t.Fatal("zero parts accepted")
+	}
+	if _, err := BalancedGrid(4, 4, 0, 4); err == nil {
+		t.Fatal("degenerate mesh accepted")
+	}
+}
+
+func TestBalancedGridIsDeterministic(t *testing.T) {
+	for n := 1; n <= 64; n++ {
+		a, errA := BalancedGrid(n, 16, 16, 16)
+		b, errB := BalancedGrid(n, 16, 16, 16)
+		if (errA == nil) != (errB == nil) || a != b {
+			t.Fatalf("nparts %d: %v/%v vs %v/%v", n, a, errA, b, errB)
+		}
+	}
+}

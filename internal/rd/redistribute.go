@@ -1,0 +1,140 @@
+// State redistribution after a world shrink: the survivors hold a full
+// copy of the checkpointed field (their own snapshots plus the buddy
+// copies of the dead), but ownership under the survivor-count block
+// decomposition no longer matches where the values sit. Redistribute
+// scatters every held dof to its new owner as real mp traffic and
+// assembles the resume state time-stepping continues from.
+package rd
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"heterohpc/internal/mesh"
+	"heterohpc/internal/mp"
+)
+
+// HeldState is one pre-shrink rank's worth of checkpointed solver state in
+// a survivor's memory: its own snapshot, or a buddy copy of a dead rank's.
+type HeldState struct {
+	// Rank is the origin rank in the pre-shrink decomposition (diagnostic).
+	Rank int
+	// OwnedIDs are the global vertex ids the values belong to.
+	OwnedIDs []int
+	// State is the origin's snapshot; all held states passed to one
+	// Redistribute call must share StepsDone and Time.
+	State State
+}
+
+// Redistribute scatters held checkpoint fragments onto the px×py×pz block
+// decomposition of m over the calling world and returns the resume state
+// plus this rank's owned global ids under the new decomposition. It is a
+// collective: every rank passes its own held fragments (at least one), and
+// together they must cover the global field exactly once. The exchange is
+// a pure permutation of the stored float64 values — no arithmetic — so a
+// run resumed from the returned state is bit-identical to a run at the new
+// rank count resumed from the same snapshot. tag and tag+1 must be free
+// application tags.
+func Redistribute(r *mp.Rank, m *mesh.Mesh, grid [3]int, held []HeldState, tag int) (State, []int, error) {
+	p := r.Size()
+	if grid[0]*grid[1]*grid[2] != p {
+		return State{}, nil, fmt.Errorf("rd: grid %v for %d ranks", grid, p)
+	}
+	if len(held) == 0 {
+		return State{}, nil, fmt.Errorf("rd: rank %d holds no state to redistribute", r.ID())
+	}
+	step, tm := held[0].State.StepsDone, held[0].State.Time
+	for _, h := range held {
+		if len(h.OwnedIDs) != len(h.State.U1) || len(h.State.U1) != len(h.State.U2) {
+			return State{}, nil, fmt.Errorf("rd: origin %d holds %d ids for %d/%d values",
+				h.Rank, len(h.OwnedIDs), len(h.State.U1), len(h.State.U2))
+		}
+		if h.State.StepsDone != step || h.State.Time != tm {
+			return State{}, nil, fmt.Errorf("rd: origin %d at step %d (t=%v), origin %d at step %d (t=%v)",
+				held[0].Rank, step, tm, h.Rank, h.State.StepsDone, h.State.Time)
+		}
+	}
+	// Global agreement that every survivor resumes the same step: one
+	// allreduce carrying (step, time) and their negations detects any
+	// mismatch without a second collective.
+	agree := r.Allreduce(mp.OpMax, []float64{float64(step), tm, -float64(step), -tm})
+	if agree[0] != -agree[2] || agree[1] != -agree[3] {
+		return State{}, nil, fmt.Errorf("rd: ranks disagree on the restore line (steps up to %v, times up to %v)",
+			agree[0], agree[1])
+	}
+
+	// Bucket every held dof by its new owner. Sorting fragments by origin
+	// keeps the per-destination payload order identical across runs.
+	sort.Slice(held, func(a, b int) bool { return held[a].Rank < held[b].Rank })
+	sendIDs := make([][]int, p)
+	sendVals := make([][]float64, p) // u1,u2 interleaved per dof
+	for _, h := range held {
+		for i, gid := range h.OwnedIDs {
+			d := mesh.VertexOwnerOnBlocks(m, grid[0], grid[1], grid[2], gid)
+			sendIDs[d] = append(sendIDs[d], gid)
+			sendVals[d] = append(sendVals[d], h.State.U1[i], h.State.U2[i])
+		}
+		r.ChargeCompute(10*float64(len(h.OwnedIDs)), 40*float64(len(h.OwnedIDs)))
+	}
+
+	// Pairwise exchange on the Alltoall schedule; sends are buffered so the
+	// rounds cannot deadlock.
+	recvIDs := [][]int{sendIDs[r.ID()]}
+	recvVals := [][]float64{sendVals[r.ID()]}
+	for s := 1; s < p; s++ {
+		dst := (r.ID() + s) % p
+		src := (r.ID() - s + p) % p
+		r.SendInts(dst, tag, sendIDs[dst])
+		r.SendF64(dst, tag+1, sendVals[dst])
+		ids := r.RecvInts(src, tag)
+		vals := r.RecvF64(src, tag+1)
+		if 2*len(ids) != len(vals) {
+			return State{}, nil, fmt.Errorf("rd: rank %d sent %d ids with %d values", src, len(ids), len(vals))
+		}
+		recvIDs = append(recvIDs, ids)
+		recvVals = append(recvVals, vals)
+	}
+
+	// Assemble into owned order under the new decomposition.
+	l, err := mesh.NewLocalFromBlock(m, grid[0], grid[1], grid[2], r.ID())
+	if err != nil {
+		return State{}, nil, err
+	}
+	owned := append([]int(nil), l.VertGlobal[:l.NumOwned]...)
+	idx := make(map[int]int, len(owned))
+	for i, gid := range owned {
+		idx[gid] = i
+	}
+	st := State{
+		StepsDone: step,
+		Time:      tm,
+		U1:        make([]float64, len(owned)),
+		U2:        make([]float64, len(owned)),
+	}
+	filled := make([]bool, len(owned))
+	for b, ids := range recvIDs {
+		for i, gid := range ids {
+			li, ok := idx[gid]
+			if !ok {
+				return State{}, nil, fmt.Errorf("rd: received vertex %d not owned by rank %d", gid, r.ID())
+			}
+			if filled[li] {
+				return State{}, nil, fmt.Errorf("rd: vertex %d delivered twice", gid)
+			}
+			filled[li] = true
+			st.U1[li] = recvVals[b][2*i]
+			st.U2[li] = recvVals[b][2*i+1]
+		}
+	}
+	for i, ok := range filled {
+		if !ok {
+			return State{}, nil, fmt.Errorf("rd: vertex %d of rank %d never delivered — held fragments do not cover the field",
+				owned[i], r.ID())
+		}
+	}
+	if math.IsNaN(st.Time) {
+		return State{}, nil, fmt.Errorf("rd: restored time is NaN")
+	}
+	return st, owned, nil
+}

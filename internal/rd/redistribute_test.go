@@ -1,0 +1,172 @@
+package rd
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"heterohpc/internal/mesh"
+	"heterohpc/internal/mp"
+	"heterohpc/internal/netmodel"
+	"heterohpc/internal/vclock"
+)
+
+// fragment builds the HeldState of origin rank `origin` in an old pOld-rank
+// decomposition of m, with synthetic per-vertex values derived from the
+// global id so the test can verify exact placement after redistribution.
+func fragment(t *testing.T, m *mesh.Mesh, gridOld [3]int, origin, step int, tm float64) HeldState {
+	t.Helper()
+	l, err := mesh.NewLocalFromBlock(m, gridOld[0], gridOld[1], gridOld[2], origin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := append([]int(nil), l.VertGlobal[:l.NumOwned]...)
+	st := State{StepsDone: step, Time: tm, U1: make([]float64, len(owned)), U2: make([]float64, len(owned))}
+	for i, gid := range owned {
+		st.U1[i] = 1.0 / float64(gid+1)
+		st.U2[i] = math.Sqrt(float64(gid + 7))
+	}
+	return HeldState{Rank: origin, OwnedIDs: owned, State: st}
+}
+
+func TestRedistributeIsAnExactPermutation(t *testing.T) {
+	m := mesh.NewUnitCube(4)
+	gridOld := [3]int{2, 2, 1} // 4 old ranks
+	gridNew := [3]int{2, 1, 1} // 2 survivor ranks
+	// Survivor 0 holds its own fragment plus buddy copies of dead origins
+	// 2 and 3; survivor 1 holds only origin 1's.
+	heldBy := [][]int{{0, 2, 3}, {1}}
+
+	var mu sync.Mutex
+	gotIDs := make([][]int, 2)
+	gotSt := make([]State, 2)
+	runRanks(t, 2, func(r *mp.Rank) error {
+		var held []HeldState
+		for _, origin := range heldBy[r.ID()] {
+			held = append(held, fragment(t, m, gridOld, origin, 3, 0.375))
+		}
+		st, owned, err := Redistribute(r, m, gridNew, held, 9100)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		gotIDs[r.ID()], gotSt[r.ID()] = owned, st
+		mu.Unlock()
+		return nil
+	})
+
+	seen := map[int]bool{}
+	for rk := 0; rk < 2; rk++ {
+		l, err := mesh.NewLocalFromBlock(m, gridNew[0], gridNew[1], gridNew[2], rk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotSt[rk].StepsDone != 3 || gotSt[rk].Time != 0.375 {
+			t.Fatalf("rank %d resumed at step %d t=%v", rk, gotSt[rk].StepsDone, gotSt[rk].Time)
+		}
+		if len(gotIDs[rk]) != l.NumOwned {
+			t.Fatalf("rank %d owns %d ids, want %d", rk, len(gotIDs[rk]), l.NumOwned)
+		}
+		for i, gid := range gotIDs[rk] {
+			if gid != l.VertGlobal[i] {
+				t.Fatalf("rank %d owned[%d] = %d, want %d", rk, i, gid, l.VertGlobal[i])
+			}
+			if seen[gid] {
+				t.Fatalf("vertex %d owned twice", gid)
+			}
+			seen[gid] = true
+			// Bit-exact: the values must be the exact floats the origins held.
+			if w := math.Float64bits(1.0 / float64(gid+1)); math.Float64bits(gotSt[rk].U1[i]) != w {
+				t.Fatalf("u1 at vertex %d not bit-identical", gid)
+			}
+			if w := math.Float64bits(math.Sqrt(float64(gid + 7))); math.Float64bits(gotSt[rk].U2[i]) != w {
+				t.Fatalf("u2 at vertex %d not bit-identical", gid)
+			}
+		}
+	}
+	if len(seen) != m.NumVerts() {
+		t.Fatalf("redistribution covered %d of %d vertices", len(seen), m.NumVerts())
+	}
+}
+
+func TestRedistributeRejectsMismatchedRestoreLines(t *testing.T) {
+	m := mesh.NewUnitCube(3)
+	gridOld := [3]int{2, 1, 1}
+	err := func() (err error) {
+		runRanksErr(t, 2, func(r *mp.Rank) error {
+			// Rank 1's fragment claims a different step than rank 0's.
+			h := fragment(t, m, gridOld, r.ID(), 2+r.ID(), 0.25)
+			_, _, e := Redistribute(r, m, gridOld, []HeldState{h}, 9100)
+			return e
+		}, &err)
+		return err
+	}()
+	if err == nil {
+		t.Fatal("mismatched restore lines accepted")
+	}
+}
+
+func TestRedistributeRejectsIncompleteCoverage(t *testing.T) {
+	m := mesh.NewUnitCube(3)
+	gridOld := [3]int{2, 1, 1}
+	err := func() (err error) {
+		runRanksErr(t, 2, func(r *mp.Rank) error {
+			h := fragment(t, m, gridOld, r.ID(), 1, 0.125)
+			if r.ID() == 1 {
+				// Drop half the fragment: some vertices are never delivered.
+				n := len(h.OwnedIDs) / 2
+				h.OwnedIDs = h.OwnedIDs[:n]
+				h.State.U1 = h.State.U1[:n]
+				h.State.U2 = h.State.U2[:n]
+			}
+			_, _, e := Redistribute(r, m, gridOld, []HeldState{h}, 9100)
+			return e
+		}, &err)
+		return err
+	}()
+	if err == nil {
+		t.Fatal("incomplete coverage accepted")
+	}
+}
+
+// runRanksErr is runRanks for bodies expected to fail: the world error is
+// handed back instead of failing the test.
+func runRanksErr(t *testing.T, nranks int, body func(r *mp.Rank) error, out *error) {
+	t.Helper()
+	topo, err := mp.BlockTopology(nranks, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab, err := netmodel.NewFabric(netmodel.Loopback, topo.NNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := mp.NewWorld(topo, fab, vclock.LinearRater{FlopsPerSec: 1e9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	*out = w.Run(body)
+}
+
+func TestRedistributeIdentityWhenDecompositionUnchanged(t *testing.T) {
+	// Same grid in and out: every rank keeps exactly its own values.
+	m := mesh.NewUnitCube(4)
+	grid := [3]int{2, 2, 1}
+	runRanks(t, 4, func(r *mp.Rank) error {
+		h := fragment(t, m, grid, r.ID(), 5, 1.5)
+		st, owned, err := Redistribute(r, m, grid, []HeldState{h}, 9100)
+		if err != nil {
+			return err
+		}
+		if len(owned) != len(h.OwnedIDs) {
+			return fmt.Errorf("rank %d: %d owned after, %d before", r.ID(), len(owned), len(h.OwnedIDs))
+		}
+		for i := range owned {
+			if owned[i] != h.OwnedIDs[i] || st.U1[i] != h.State.U1[i] || st.U2[i] != h.State.U2[i] {
+				return fmt.Errorf("rank %d: identity redistribution changed vertex %d", r.ID(), owned[i])
+			}
+		}
+		return nil
+	})
+}

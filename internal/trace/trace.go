@@ -14,14 +14,15 @@ import (
 	"heterohpc/internal/vclock"
 )
 
-// event is one Chrome trace "complete" (ph = "X") event. Timestamps and
-// durations are microseconds.
+// event is one Chrome trace event: a "complete" slice (ph = "X") or a
+// decision instant (ph = "i"). Timestamps and durations are microseconds.
 type event struct {
 	Name string            `json:"name"`
 	Cat  string            `json:"cat"`
 	Ph   string            `json:"ph"`
 	Ts   float64           `json:"ts"`
-	Dur  float64           `json:"dur"`
+	Dur  float64           `json:"dur,omitempty"`
+	S    string            `json:"s,omitempty"`
 	Pid  int               `json:"pid"`
 	Tid  int               `json:"tid"`
 	Args map[string]string `json:"args,omitempty"`
@@ -32,6 +33,14 @@ type event struct {
 // laid out sequentially in solver order (assembly → precond → solve →
 // other), which matches how the applications execute them.
 func WriteChrome(w io.Writer, jobName string, perRank [][]vclock.PhaseTimes) error {
+	return WriteChromeWithDecisions(w, jobName, perRank, nil)
+}
+
+// WriteChromeWithDecisions renders the phase timeline with the supervisor's
+// recovery decisions overlaid as global instant events, so a failure, the
+// shrink, the restore and the completion appear on the same time axis as
+// the per-rank solver slices.
+func WriteChromeWithDecisions(w io.Writer, jobName string, perRank [][]vclock.PhaseTimes, decisions []Decision) error {
 	if len(perRank) == 0 {
 		return fmt.Errorf("trace: no ranks")
 	}
@@ -69,6 +78,16 @@ func WriteChrome(w io.Writer, jobName string, perRank [][]vclock.PhaseTimes) err
 				cursor += durUS
 			}
 		}
+	}
+	for _, d := range decisions {
+		events = append(events, event{
+			Name: d.Kind,
+			Cat:  jobName,
+			Ph:   "i",
+			Ts:   d.AtS * 1e6,
+			S:    "g", // global scope: spans all rank tracks
+			Args: map[string]string{"detail": d.Detail},
+		})
 	}
 	doc := struct {
 		TraceEvents []event `json:"traceEvents"`

@@ -143,3 +143,47 @@ func TestRecorder(t *testing.T) {
 		t.Error("empty recorder formats to nothing")
 	}
 }
+
+func TestWriteChromeWithDecisionsOverlay(t *testing.T) {
+	var pt vclock.PhaseTimes
+	pt.Compute[vclock.PhaseAssembly] = 0.5
+	perRank := [][]vclock.PhaseTimes{{pt}}
+	decisions := []Decision{
+		{AtS: 0.25, Kind: "failure", Detail: "crash killed node 1"},
+		{AtS: 0.25, Kind: "shrink", Detail: "world shrunk 8 -> 6 ranks"},
+	}
+	var b strings.Builder
+	if err := WriteChromeWithDecisions(&b, "job", perRank, decisions); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			S    string            `json:"s"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var slices, instants int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			slices++
+			if e.S != "" {
+				t.Fatalf("slice event carries scope %q", e.S)
+			}
+		case "i":
+			instants++
+			if e.S != "g" || e.Ts != 0.25e6 || e.Args["detail"] == "" {
+				t.Fatalf("bad instant %+v", e)
+			}
+		}
+	}
+	if slices != 1 || instants != 2 {
+		t.Fatalf("%d slices, %d instants; want 1 and 2", slices, instants)
+	}
+}

@@ -111,6 +111,18 @@ func New(rater ComputeRater) *Clock {
 	return &Clock{rater: rater}
 }
 
+// NewAt returns a clock whose virtual time starts at t0 with empty phase
+// accounts — the clock of a rank resuming inside a shrunk world, which
+// carries its absolute time across the re-formation without attributing the
+// pre-shrink span to any phase (AdvanceTo would book it as communication).
+func NewAt(rater ComputeRater, t0 float64) *Clock {
+	c := New(rater)
+	if t0 > 0 {
+		c.now = t0
+	}
+	return c
+}
+
 // SetPhase selects the phase subsequent charges accrue to and returns the
 // previous phase so callers can restore it.
 func (c *Clock) SetPhase(p Phase) Phase {
