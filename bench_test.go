@@ -23,6 +23,7 @@ func benchOpts() bench.Options {
 // BenchmarkTableICapabilities regenerates Table I (platform capability
 // matrix).
 func BenchmarkTableICapabilities(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if out := bench.FormatCapabilities(); len(out) == 0 {
 			b.Fatal("empty table")
@@ -33,6 +34,7 @@ func BenchmarkTableICapabilities(b *testing.B) {
 // BenchmarkProvisioningPlans regenerates the §VI porting plans (experiment
 // E2) and reports the EC2 effort estimate.
 func BenchmarkProvisioningPlans(b *testing.B) {
+	b.ReportAllocs()
 	reg := provision.DefaultRegistry()
 	var hours float64
 	for i := 0; i < b.N; i++ {
@@ -56,6 +58,7 @@ func BenchmarkProvisioningPlans(b *testing.B) {
 // BenchmarkFig4RDWeakScaling regenerates Figure 4: the RD weak-scaling
 // series on all four platforms (reduced loading).
 func BenchmarkFig4RDWeakScaling(b *testing.B) {
+	b.ReportAllocs()
 	var growth float64
 	for i := 0; i < b.N; i++ {
 		series, err := bench.RunWeakAll("rd", benchOpts())
@@ -75,6 +78,7 @@ func BenchmarkFig4RDWeakScaling(b *testing.B) {
 // BenchmarkFig5NSWeakScaling regenerates Figure 5: the Navier–Stokes
 // weak-scaling series (reduced loading and series — NS is ~4 solves/step).
 func BenchmarkFig5NSWeakScaling(b *testing.B) {
+	b.ReportAllocs()
 	o := benchOpts()
 	o.MaxRanks = 27
 	var growth float64
@@ -96,6 +100,7 @@ func BenchmarkFig5NSWeakScaling(b *testing.B) {
 // BenchmarkTableIIPlacement regenerates Table II: full on-demand single
 // placement group vs. spot mix across four groups on EC2.
 func BenchmarkTableIIPlacement(b *testing.B) {
+	b.ReportAllocs()
 	var ratio float64
 	for i := 0; i < b.N; i++ {
 		res, err := bench.RunPlacement(benchOpts())
@@ -116,6 +121,7 @@ func BenchmarkTableIIPlacement(b *testing.B) {
 // BenchmarkFig6RDCost regenerates Figure 6: RD per-iteration costs across
 // platforms including the ec2 mix curve.
 func BenchmarkFig6RDCost(b *testing.B) {
+	b.ReportAllocs()
 	var table string
 	for i := 0; i < b.N; i++ {
 		series, err := bench.RunWeakAll("rd", benchOpts())
@@ -131,6 +137,7 @@ func BenchmarkFig6RDCost(b *testing.B) {
 
 // BenchmarkFig7NSCost regenerates Figure 7: NS per-iteration costs.
 func BenchmarkFig7NSCost(b *testing.B) {
+	b.ReportAllocs()
 	o := benchOpts()
 	o.MaxRanks = 27
 	var table string
@@ -149,6 +156,7 @@ func BenchmarkFig7NSCost(b *testing.B) {
 // BenchmarkAvailability regenerates the §VIII availability comparison
 // (experiment E9).
 func BenchmarkAvailability(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.FormatAvailability(benchOpts(), 8); err != nil {
 			b.Fatal(err)
@@ -158,6 +166,7 @@ func BenchmarkAvailability(b *testing.B) {
 
 // BenchmarkSpotAcquisition measures the spot-market fleet assembly of §VII-B.
 func BenchmarkSpotAcquisition(b *testing.B) {
+	b.ReportAllocs()
 	var spotShare float64
 	for i := 0; i < b.N; i++ {
 		m := spot.NewMarket(uint64(i+1), 2.40)
@@ -173,6 +182,7 @@ func BenchmarkSpotAcquisition(b *testing.B) {
 // BenchmarkRDIteration measures one full platform-modelled RD run (the unit
 // of every figure) at quickstart size.
 func BenchmarkRDIteration(b *testing.B) {
+	b.ReportAllocs()
 	tg, err := core.NewTarget("ec2", 1)
 	if err != nil {
 		b.Fatal(err)

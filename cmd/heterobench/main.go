@@ -27,6 +27,7 @@ import (
 
 	"heterohpc/internal/bench"
 	"heterohpc/internal/core"
+	"heterohpc/internal/perf"
 	"heterohpc/internal/trace"
 )
 
@@ -57,6 +58,10 @@ func main() {
 		"recovery policy for the faults command: restart, shrink-continue or compare")
 	rpn := fs.Int("rpn", 0, "ranks per node for the faults command (0 = pack by cores; shrink needs >= 2 nodes)")
 	tracePath := fs.String("trace", "", "faults command: also write the recovered timeline with decision markers as a Chrome trace to this file")
+	benchOut := fs.String("out", "BENCH.json", "perf command: output path for the benchmark report")
+	benchFilter := fs.String("filter", "", "perf command: only run cases whose name contains this substring")
+	cpuProfile := fs.String("cpuprofile", "", "perf command: write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "perf command: write a heap profile to this file")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -107,6 +112,8 @@ func main() {
 			Crashes: *crashes, Preemptions: *preempts, Degradations: *degrades,
 			TracePath: *tracePath,
 		}, opts)
+	case "perf":
+		err = runPerf(*benchOut, *benchFilter, *cpuProfile, *memProfile)
 	case "all":
 		err = runAll(opts, *nodes)
 	case "help", "-h", "--help":
@@ -139,9 +146,22 @@ commands:
   trace -ranks N          write a Chrome/Perfetto trace of one job's virtual timeline
   faults [-platform P]    robustness: supervised run under injected crashes/preemptions
                           -policy restart|shrink-continue|compare, -rpn N, -trace out.json
+  perf [-out BENCH.json]  host-performance harness: tracked ns/op, B/op, allocs/op
+                          -filter substr, -cpuprofile out.pb.gz, -memprofile out.pb.gz
   all                     run everything
 
 flags: -n 10 -steps 3 -skip 1 -max 1000 -platforms puma,ellipse,lagrange,ec2 -seed 2012`)
+}
+
+func runPerf(outPath, filter, cpuProfile, memProfile string) error {
+	return perf.Profile(cpuProfile, memProfile, func() error {
+		rep := perf.Run(filter, os.Stderr)
+		if err := perf.WriteJSON(rep, outPath); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+		return nil
+	})
 }
 
 func runWeak(app string, opts bench.Options, csvPath string) error {

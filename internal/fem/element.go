@@ -74,10 +74,13 @@ func (nopCharger) ChargeCompute(float64, float64) {}
 // assembly phase is exactly this work).
 type Element struct {
 	Hx, Hy, Hz float64
-	qp         []QuadPoint
-	n          [][8]float64    // shape values per qp
-	dphys      [][8][3]float64 // physical gradients per qp
-	jac        float64         // |J| = hx·hy·hz/8
+	// Fixed-size arrays (the rule is always 2×2×2): the whole Element is
+	// one allocation, which matters because every world setup builds one
+	// per space.
+	qp    [8]QuadPoint
+	n     [8][8]float64    // shape values per qp
+	dphys [8][8][3]float64 // physical gradients per qp
+	jac   float64          // |J| = hx·hy·hz/8
 }
 
 // NewElement precomputes quadrature data for an hx×hy×hz element.
@@ -85,18 +88,26 @@ func NewElement(hx, hy, hz float64) (*Element, error) {
 	if hx <= 0 || hy <= 0 || hz <= 0 {
 		return nil, fmt.Errorf("fem: non-positive element size %v×%v×%v", hx, hy, hz)
 	}
-	el := &Element{Hx: hx, Hy: hy, Hz: hz, qp: Gauss222(), jac: hx * hy * hz / 8}
-	inv := [3]float64{2 / hx, 2 / hy, 2 / hz}
-	for _, q := range el.qp {
-		n, dn := ShapeQ1(q.Xi)
-		var dp [8][3]float64
-		for a := 0; a < 8; a++ {
-			for d := 0; d < 3; d++ {
-				dp[a][d] = dn[a][d] * inv[d]
+	el := &Element{Hx: hx, Hy: hy, Hz: hz, jac: hx * hy * hz / 8}
+	const g = 0.5773502691896257 // 1/sqrt(3)
+	i := 0
+	for _, z := range [2]float64{-g, g} {
+		for _, y := range [2]float64{-g, g} {
+			for _, x := range [2]float64{-g, g} {
+				el.qp[i] = QuadPoint{Xi: [3]float64{x, y, z}, W: 1}
+				i++
 			}
 		}
-		el.n = append(el.n, n)
-		el.dphys = append(el.dphys, dp)
+	}
+	inv := [3]float64{2 / hx, 2 / hy, 2 / hz}
+	for q, p := range el.qp {
+		n, dn := ShapeQ1(p.Xi)
+		for a := 0; a < 8; a++ {
+			for d := 0; d < 3; d++ {
+				el.dphys[q][a][d] = dn[a][d] * inv[d]
+			}
+		}
+		el.n[q] = n
 	}
 	return el, nil
 }

@@ -23,6 +23,9 @@ type Space struct {
 	El *Element
 
 	patchImp *sparse.Importer
+	// vecBuf is the persistent patch-length staging buffer of
+	// AssembleVector (zeroed at each use).
+	vecBuf []float64
 }
 
 // NewSpaceBlock builds the space for the px×py×pz block decomposition with
@@ -100,6 +103,7 @@ func (s *Space) ElemCorner(e int) [3]float64 {
 // (the triplet order is stable across calls).
 func (s *Space) AssembleMatrix(coo *sparse.COO, elemMat func(e int, out *[8][8]float64)) {
 	coo.Reset()
+	coo.Grow(64 * len(s.L.Elems))
 	var ke [8][8]float64
 	for _, e := range s.L.Elems {
 		elemMat(e, &ke)
@@ -139,7 +143,13 @@ func (s *Space) AssembleMatrixValues(coo *sparse.COO, elemMat func(e int, out *[
 // owners (the vector GlobalAssemble). out must have length ≥ NOwned and is
 // overwritten.
 func (s *Space) AssembleVector(out []float64, elemVec func(e int, out *[8]float64)) {
-	buf := make([]float64, s.NPatch())
+	if s.vecBuf == nil {
+		s.vecBuf = make([]float64, s.NPatch())
+	}
+	buf := s.vecBuf
+	for i := range buf {
+		buf[i] = 0
+	}
 	var fe [8]float64
 	for _, e := range s.L.Elems {
 		elemVec(e, &fe)

@@ -30,19 +30,12 @@ func GMRES(sys System, M Preconditioner, b, x []float64, opt Options) (Result, e
 		return res, nil
 	}
 
-	V := make([][]float64, m+1)
-	for i := range V {
-		V[i] = make([]float64, n)
-	}
-	H := make([][]float64, m+1) // H[i][j], i row, j col (column Hessenberg)
-	for i := range H {
-		H[i] = make([]float64, m)
-	}
-	cs := make([]float64, m)
-	sn := make([]float64, m)
-	g := make([]float64, m+1)
-	w := make([]float64, n)
-	z := make([]float64, n)
+	ws := opt.workspace()
+	// H[i][j], i row, j col (column Hessenberg); yAll is the triangular-
+	// solve solution, sliced to the cycle's dimension below.
+	V, H, cs, sn, g, yAll := ws.gmres(n, m)
+	vv := ws.vectors(n, 2)
+	w, z := vv[0], vv[1]
 
 	for res.Iterations < opt.MaxIter {
 		// r = b − A·x
@@ -114,7 +107,7 @@ func GMRES(sys System, M Preconditioner, b, x []float64, opt Options) (Result, e
 			}
 		}
 		// Solve the k×k triangular system H·y = g.
-		y := make([]float64, k)
+		y := yAll[:k]
 		for i := k - 1; i >= 0; i-- {
 			sum := g[i]
 			for j := i + 1; j < k; j++ {

@@ -76,6 +76,10 @@ type Options struct {
 	Restart int
 	// RecordHistory stores the residual norm after each iteration.
 	RecordHistory bool
+	// Work supplies reusable scratch storage so repeated solves (one per
+	// time step) allocate nothing in steady state. Nil means the solver
+	// allocates a private workspace for the call.
+	Work *Workspace
 }
 
 func (o Options) withDefaults() Options {
@@ -136,10 +140,8 @@ func CG(sys System, M Preconditioner, b, x []float64, opt Options) (Result, erro
 		res.Converged = true
 		return res, nil
 	}
-	r := make([]float64, n)
-	z := make([]float64, n)
-	p := make([]float64, n)
-	q := make([]float64, n)
+	vv := opt.workspace().vectors(n, 4)
+	r, z, p, q := vv[0], vv[1], vv[2], vv[3]
 	sys.Apply(x, r)
 	for i := 0; i < n; i++ {
 		r[i] = b[i] - r[i]
@@ -202,20 +204,14 @@ func BiCGStab(sys System, M Preconditioner, b, x []float64, opt Options) (Result
 		res.Converged = true
 		return res, nil
 	}
-	r := make([]float64, n)
+	vv := opt.workspace().vectors(n, 8)
+	r, rhat, p, v, phat, shat, t, s := vv[0], vv[1], vv[2], vv[3], vv[4], vv[5], vv[6], vv[7]
 	sys.Apply(x, r)
 	for i := 0; i < n; i++ {
 		r[i] = b[i] - r[i]
 	}
 	sys.ChargeCompute(float64(n), 24*float64(n))
-	rhat := make([]float64, n)
 	sparse.CopyN(n, rhat, r, sys)
-	p := make([]float64, n)
-	v := make([]float64, n)
-	phat := make([]float64, n)
-	shat := make([]float64, n)
-	t := make([]float64, n)
-	s := make([]float64, n)
 	var rho, alpha, omega float64 = 1, 1, 1
 	for k := 0; k < opt.MaxIter; k++ {
 		rhoNew := dot(sys, rhat, r)

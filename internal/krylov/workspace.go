@@ -1,0 +1,79 @@
+package krylov
+
+// Workspace holds the scratch storage of the iterative solvers so a time
+// loop can run one solve per step without reallocating the 4–8 owned-length
+// vectors (plus GMRES's Krylov basis) every call. Thread one Workspace per
+// rank through Options.Work; the zero value is ready to use and grows on
+// demand. A Workspace must not be shared between concurrently running
+// solves (one per rank is the natural granularity).
+//
+// Reuse is value-safe without zeroing: every solver writes each scratch
+// vector completely before its first read (residuals via Apply, search
+// directions via CopyN, preconditioned vectors via M.Apply), so a dirty
+// buffer can never leak values from a previous solve into the arithmetic.
+type Workspace struct {
+	vecs [][]float64
+
+	// GMRES restart storage, sized for (gmN, gmM).
+	gmN, gmM int
+	gmV      [][]float64
+	gmH      [][]float64
+	gmCS     []float64
+	gmSN     []float64
+	gmG      []float64
+	gmY      []float64
+}
+
+// vectors returns k owned-length scratch vectors, reusing prior
+// allocations whenever their capacity suffices.
+func (ws *Workspace) vectors(n, k int) [][]float64 {
+	for len(ws.vecs) < k {
+		ws.vecs = append(ws.vecs, nil)
+	}
+	out := ws.vecs[:k]
+	for i := range out {
+		if cap(out[i]) < n {
+			out[i] = make([]float64, n)
+			ws.vecs[i] = out[i]
+		}
+		out[i] = out[i][:n]
+	}
+	return out
+}
+
+// gmres returns the restart-cycle storage for vector length n and restart
+// length m: the m+1 basis vectors V, the column Hessenberg H, the Givens
+// coefficient arrays cs/sn, the rotated residual g and the triangular-solve
+// solution y (the per-cycle allocation hoisted out of the Arnoldi loop).
+func (ws *Workspace) gmres(n, m int) (V, H [][]float64, cs, sn, g, y []float64) {
+	if ws.gmN < n || ws.gmM < m {
+		ws.gmV = make([][]float64, m+1)
+		for i := range ws.gmV {
+			ws.gmV[i] = make([]float64, n)
+		}
+		ws.gmH = make([][]float64, m+1)
+		for i := range ws.gmH {
+			ws.gmH[i] = make([]float64, m)
+		}
+		ws.gmCS = make([]float64, m)
+		ws.gmSN = make([]float64, m)
+		ws.gmG = make([]float64, m+1)
+		ws.gmY = make([]float64, m)
+		ws.gmN, ws.gmM = n, m
+	}
+	V = ws.gmV[:m+1]
+	for i := range V {
+		V[i] = V[i][:n]
+	}
+	H = ws.gmH[:m+1]
+	return V, H, ws.gmCS[:m], ws.gmSN[:m], ws.gmG[:m+1], ws.gmY[:m]
+}
+
+// workspace returns the Options' workspace, or a fresh private one so the
+// solvers never need a nil path.
+func (o Options) workspace() *Workspace {
+	if o.Work != nil {
+		return o.Work
+	}
+	return &Workspace{}
+}

@@ -1,0 +1,181 @@
+package krylov
+
+import (
+	"math"
+	"testing"
+)
+
+// solveBoth runs a solver twice — once with fresh allocations and once
+// through a shared Workspace that has already been dirtied by an unrelated
+// solve — and returns the two solutions.
+func solveBoth(t *testing.T, solve func(opt Options, x []float64) Result) ([]float64, []float64, *Workspace) {
+	t.Helper()
+	const n = 80
+	fresh := make([]float64, n)
+	r1 := solve(Options{Tol: 1e-10}, fresh)
+
+	ws := &Workspace{}
+	// Dirty the workspace with a different system so reuse cannot hide
+	// behind zero-initialised buffers.
+	a2 := convdiff(n, 0.3)
+	b2 := make([]float64, n)
+	for i := range b2 {
+		b2[i] = math.Cos(float64(3 * i))
+	}
+	if _, err := GMRES(SerialSystem{A: a2}, nil, b2, make([]float64, n), Options{Tol: 1e-8, Work: ws}); err != nil {
+		t.Fatalf("dirtying solve: %v", err)
+	}
+
+	reused := make([]float64, n)
+	r2 := solve(Options{Tol: 1e-10, Work: ws}, reused)
+	if r1.Iterations != r2.Iterations || r1.Residual != r2.Residual {
+		t.Fatalf("workspace solve diverged: %d it %.17g vs %d it %.17g",
+			r1.Iterations, r1.Residual, r2.Iterations, r2.Residual)
+	}
+	return fresh, reused, ws
+}
+
+func requireIdentical(t *testing.T, fresh, reused []float64) {
+	t.Helper()
+	for i := range fresh {
+		if fresh[i] != reused[i] {
+			t.Fatalf("x[%d]: fresh %.17g != reused %.17g", i, fresh[i], reused[i])
+		}
+	}
+}
+
+// TestWorkspaceBitIdentical checks that solving through a dirty reused
+// Workspace yields bit-identical solutions to freshly allocated scratch —
+// the property that lets the time loops pool without perturbing numerics.
+func TestWorkspaceBitIdentical(t *testing.T) {
+	const n = 80
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = math.Sin(float64(i))
+	}
+	spd := lap1d(n)
+	nonsym := convdiff(n, 0.4)
+
+	t.Run("cg", func(t *testing.T) {
+		fresh, reused, _ := solveBoth(t, func(opt Options, x []float64) Result {
+			res, err := CG(SerialSystem{A: spd}, nil, rhs, x, opt)
+			if err != nil {
+				t.Fatalf("CG: %v", err)
+			}
+			return res
+		})
+		requireIdentical(t, fresh, reused)
+	})
+	t.Run("bicgstab", func(t *testing.T) {
+		fresh, reused, _ := solveBoth(t, func(opt Options, x []float64) Result {
+			res, err := BiCGStab(SerialSystem{A: nonsym}, nil, rhs, x, opt)
+			if err != nil {
+				t.Fatalf("BiCGStab: %v", err)
+			}
+			return res
+		})
+		requireIdentical(t, fresh, reused)
+	})
+	t.Run("gmres", func(t *testing.T) {
+		fresh, reused, _ := solveBoth(t, func(opt Options, x []float64) Result {
+			res, err := GMRES(SerialSystem{A: nonsym}, nil, rhs, x, Options{Tol: opt.Tol, Restart: 25, Work: opt.Work})
+			if err != nil {
+				t.Fatalf("GMRES: %v", err)
+			}
+			return res
+		})
+		requireIdentical(t, fresh, reused)
+	})
+}
+
+// TestSolversZeroAllocSteadyState pins the tentpole property at the solver
+// layer: with a warm Workspace, repeated serial solves allocate nothing.
+func TestSolversZeroAllocSteadyState(t *testing.T) {
+	const n = 120
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = math.Sin(float64(i))
+	}
+	x := make([]float64, n)
+	// Convert to the interface once: boxing a SerialSystem value per call
+	// would itself count as an allocation.
+	var spd, nonsym System = SerialSystem{A: lap1d(n)}, SerialSystem{A: convdiff(n, 0.4)}
+	cases := []struct {
+		name  string
+		solve func(opt Options) error
+	}{
+		{"cg", func(opt Options) error {
+			_, err := CG(spd, nil, rhs, x, opt)
+			return err
+		}},
+		{"bicgstab", func(opt Options) error {
+			_, err := BiCGStab(nonsym, nil, rhs, x, opt)
+			return err
+		}},
+		{"gmres", func(opt Options) error {
+			_, err := GMRES(nonsym, nil, rhs, x, opt)
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ws := &Workspace{}
+			opt := Options{Tol: 1e-8, Work: ws}
+			if err := tc.solve(opt); err != nil { // warm the workspace
+				t.Fatalf("warm-up: %v", err)
+			}
+			allocs := testing.AllocsPerRun(20, func() {
+				for i := range x {
+					x[i] = 0
+				}
+				if err := tc.solve(opt); err != nil {
+					t.Fatalf("solve: %v", err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("warm %s solve allocated %v objects per run; want 0", tc.name, allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkGMRESArnoldiSteadyState is the regression benchmark for the
+// hoisted per-restart-cycle triangular-solve allocation (formerly
+// y := make([]float64, k) inside the Arnoldi restart loop): with a warm
+// Workspace every GMRES cycle must report 0 allocs/op.
+func BenchmarkGMRESArnoldiSteadyState(b *testing.B) {
+	const n = 400
+	a := convdiff(n, 0.4)
+	rhs := make([]float64, n)
+	for i := range rhs {
+		rhs[i] = math.Sin(float64(i))
+	}
+	x := make([]float64, n)
+	ws := &Workspace{}
+	opt := Options{Tol: 1e-10, Restart: 30, Work: ws}
+	var sys System = SerialSystem{A: a}
+	if _, err := GMRES(sys, nil, rhs, x, opt); err != nil {
+		b.Fatalf("warm-up: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range x {
+			x[j] = 0
+		}
+		if _, err := GMRES(sys, nil, rhs, x, opt); err != nil {
+			b.Fatalf("GMRES: %v", err)
+		}
+	}
+	b.StopTimer()
+	if got := testing.AllocsPerRun(10, func() {
+		for j := range x {
+			x[j] = 0
+		}
+		if _, err := GMRES(sys, nil, rhs, x, opt); err != nil {
+			b.Fatalf("GMRES: %v", err)
+		}
+	}); got != 0 {
+		b.Fatalf("warm GMRES allocated %v objects per solve; want 0", got)
+	}
+}

@@ -162,9 +162,90 @@ func (r *Rank) Allreduce(op ReduceOp, data []float64) []float64 {
 	return r.Bcast(0, acc)
 }
 
-// AllreduceScalar is Allreduce for a single value.
+// applyScalar is the one-element form of apply, with the identical
+// floating-point evaluation order (acc op= v).
+func (op ReduceOp) applyScalar(acc, v float64) float64 {
+	switch op {
+	case OpSum:
+		return acc + v
+	case OpMax:
+		if v > acc {
+			return v
+		}
+		return acc
+	case OpMin:
+		if v < acc {
+			return v
+		}
+		return acc
+	default:
+		panic(fmt.Sprintf("mp: unknown reduce op %d", op))
+	}
+}
+
+// sendScalar and recvScalar move one float64 through pooled one-element
+// payloads — the transport under the allocation-free scalar collectives.
+func (r *Rank) sendScalar(dst, tag int, v float64) {
+	r.checkFault()
+	cp := r.world.pool.get(1)
+	cp[0] = v
+	at := r.chargeSend(dst, 8)
+	r.world.boxes[dst].put(message{src: r.id, tag: tag, f64: cp, arriveAt: at})
+}
+
+func (r *Rank) recvScalar(src, tag int) float64 {
+	r.checkFault()
+	m := r.world.boxes[r.id].take(src, tag)
+	r.clk.AdvanceTo(m.arriveAt)
+	r.checkFault()
+	v := m.f64[0]
+	r.world.pool.put(m.f64)
+	return v
+}
+
+// AllreduceScalar is Allreduce for a single value — the reduction under
+// every distributed dot product, so it runs twice per Krylov iteration on
+// every rank. It mirrors Reduce(0)+Bcast(0) exactly (same binomial trees,
+// tag sequence, message sizes and combination order, hence bit-identical
+// values and virtual times) while keeping the payloads pooled.
 func (r *Rank) AllreduceScalar(op ReduceOp, x float64) float64 {
-	return r.Allreduce(op, []float64{x})[0]
+	p := r.Size()
+	acc := x
+	// Reduce to rank 0 (kindReduce tag, as Allreduce's Reduce leg).
+	tag := r.collTag(kindReduce)
+	if p > 1 {
+		rel := r.id
+		for mask := 1; mask < p; mask <<= 1 {
+			if rel&mask == 0 {
+				if rel+mask < p {
+					acc = op.applyScalar(acc, r.recvScalar(rel+mask, tag))
+				}
+			} else {
+				r.sendScalar(rel-mask, tag, acc)
+				break
+			}
+		}
+	}
+	// Bcast from rank 0 (kindBcast tag, as Allreduce's Bcast leg).
+	tag = r.collTag(kindBcast)
+	if p > 1 {
+		rel := r.id
+		mask := 1
+		for mask < p {
+			if rel&mask != 0 {
+				acc = r.recvScalar(rel-mask, tag)
+				break
+			}
+			mask <<= 1
+		}
+		mask >>= 1
+		for ; mask > 0; mask >>= 1 {
+			if rel+mask < p {
+				r.sendScalar(rel+mask, tag, acc)
+			}
+		}
+	}
+	return acc
 }
 
 // Gather collects each rank's (variable-length) data on root, returned as a

@@ -98,8 +98,9 @@ func (t Topology) SameGroup(a, b int) bool {
 // NICShare returns the number of job ranks sharing rank r's NIC.
 func (t Topology) NICShare(r int) int { return t.ranksOnNode[t.NodeOf[r]] }
 
-// message is one in-flight payload. Payloads are defensive copies, so a
-// sender may reuse its buffer immediately (MPI buffered-send semantics).
+// message is one in-flight payload. Payloads are private to the message —
+// either defensive copies or freshly packed pool buffers — so a sender may
+// reuse its buffer immediately (MPI buffered-send semantics).
 type message struct {
 	src, tag int
 	f64      []float64
@@ -113,11 +114,89 @@ type message struct {
 // msgKey identifies a matched-receive queue.
 type msgKey struct{ src, tag int }
 
-// mailbox is an unbounded matched-receive queue with O(1) matching.
+// msgQueue is a FIFO of messages that recycles its backing array: popping
+// the last element rewinds the queue in place, so a queue that drains every
+// iteration (the steady-state pattern) never reallocates.
+type msgQueue struct {
+	buf  []message
+	head int
+}
+
+func (q *msgQueue) push(m message) {
+	if cap(q.buf) == 0 {
+		// Most queues hold a handful of messages; skip the 1→2→4 append
+		// growth so a queue's backing array is a single allocation.
+		q.buf = make([]message, 0, 4)
+	}
+	q.buf = append(q.buf, m)
+}
+
+func (q *msgQueue) empty() bool { return q.head == len(q.buf) }
+
+func (q *msgQueue) len() int { return len(q.buf) - q.head }
+
+func (q *msgQueue) pop() message {
+	m := q.buf[q.head]
+	q.buf[q.head] = message{} // drop payload references
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return m
+}
+
+// popTag removes and returns the oldest message with the given tag,
+// preserving the order of the rest. Messages of one tag are delivered in
+// send order; the scan only walks past head when collectives with distinct
+// tags are simultaneously in flight.
+func (q *msgQueue) popTag(tag int) (message, bool) {
+	for i := q.head; i < len(q.buf); i++ {
+		if q.buf[i].tag == tag {
+			m := q.buf[i]
+			copy(q.buf[i:], q.buf[i+1:])
+			q.buf[len(q.buf)-1] = message{}
+			q.buf = q.buf[:len(q.buf)-1]
+			if q.head == len(q.buf) {
+				q.buf = q.buf[:0]
+				q.head = 0
+			}
+			return m, true
+		}
+	}
+	return message{}, false
+}
+
+// mailbox is an unbounded matched-receive queue with O(1) matching for both
+// directed receives (per-(src,tag) queues) and any-source receives (per-tag
+// arrival FIFOs).
+//
+// Only the owning rank's goroutine ever blocks on cond (sends and the
+// revoke/markDead paths never wait), so put can wake it with a single
+// Signal instead of a Broadcast.
 type mailbox struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	pending map[msgKey][]message
+	mu   sync.Mutex
+	cond *sync.Cond
+	// pending holds directed application traffic (tag >= 0). Queues stay
+	// resident when drained — the same (src,tag) pairs recur every
+	// iteration.
+	pending map[msgKey]*msgQueue
+	// coll holds collective traffic (tag < 0), one FIFO per source rank,
+	// allocated on first use. Collective tags are unique per collective;
+	// keying them into the pending map would churn its buckets with
+	// insert/delete on every operation, so they are matched by a scan of
+	// the (nearly always length-≤1) per-source FIFO instead.
+	coll []msgQueue
+	// anyQ holds any-source traffic for tags registered by takeAny, in
+	// arrival order. A tag is registered on its first takeAny and stays
+	// registered; any-source tags must never be used with directed take
+	// on the same rank (enforced in take).
+	anyQ  map[int]*msgQueue
+	freeQ []*msgQueue
+	// qArena block-allocates queue structs: setup traffic touches one
+	// queue per (src,tag) pair, and carving them 32 at a time keeps that
+	// from dominating the allocation count.
+	qArena []msgQueue
 	// w is the owning world; a blocked take consults its per-rank dead
 	// flags so a wait on a message that can never arrive (its sender has
 	// terminally exited without sending it) unwinds instead of deadlocking
@@ -126,43 +205,119 @@ type mailbox struct {
 }
 
 func newMailbox(w *World) *mailbox {
-	mb := &mailbox{pending: make(map[msgKey][]message), w: w}
+	mb := &mailbox{
+		pending: make(map[msgKey]*msgQueue),
+		anyQ:    make(map[int]*msgQueue),
+		w:       w,
+	}
 	mb.cond = sync.NewCond(&mb.mu)
 	return mb
 }
 
+// getQueue and putQueue recycle queue structs (and their backing arrays)
+// drained by collective receives. Both run under mb.mu.
+func (mb *mailbox) getQueue() *msgQueue {
+	if k := len(mb.freeQ); k > 0 {
+		q := mb.freeQ[k-1]
+		mb.freeQ[k-1] = nil
+		mb.freeQ = mb.freeQ[:k-1]
+		return q
+	}
+	if len(mb.qArena) == 0 {
+		mb.qArena = make([]msgQueue, 32)
+	}
+	q := &mb.qArena[0]
+	mb.qArena = mb.qArena[1:]
+	return q
+}
+
+func (mb *mailbox) putQueue(q *msgQueue) {
+	if len(mb.freeQ) < 64 {
+		mb.freeQ = append(mb.freeQ, q)
+	}
+}
+
 func (mb *mailbox) put(m message) {
-	k := msgKey{m.src, m.tag}
 	mb.mu.Lock()
-	mb.pending[k] = append(mb.pending[k], m)
+	if m.tag < 0 {
+		if mb.coll == nil {
+			mb.coll = make([]msgQueue, len(mb.w.boxes))
+		}
+		mb.coll[m.src].push(m)
+		mb.mu.Unlock()
+		mb.cond.Signal()
+		return
+	}
+	if q, ok := mb.anyQ[m.tag]; ok {
+		q.push(m)
+		mb.mu.Unlock()
+		mb.cond.Signal()
+		return
+	}
+	k := msgKey{m.src, m.tag}
+	q := mb.pending[k]
+	if q == nil {
+		q = mb.getQueue()
+		mb.pending[k] = q
+	}
+	q.push(m)
 	mb.mu.Unlock()
-	mb.cond.Broadcast()
+	mb.cond.Signal()
+}
+
+// registerAny routes tag to a dedicated arrival FIFO, migrating messages
+// that arrived before the first takeAny. The pre-registration backlog is
+// drained in ascending source order — a deterministic serialisation of
+// arrivals the directed queues cannot order between sources. Runs under
+// mb.mu.
+func (mb *mailbox) registerAny(tag int) *msgQueue {
+	q := mb.getQueue()
+	mb.anyQ[tag] = q
+	var keys []msgKey
+	for k := range mb.pending {
+		if k.tag == tag {
+			keys = append(keys, k)
+		}
+	}
+	// Insertion sort by source: the backlog spans at most a rank's
+	// neighbour set, and sort.Slice's reflection closures would charge
+	// two allocations per registration.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j].src < keys[j-1].src; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	for _, k := range keys {
+		pq := mb.pending[k]
+		for !pq.empty() {
+			q.push(pq.pop())
+		}
+		delete(mb.pending, k)
+		mb.putQueue(pq)
+	}
+	return q
 }
 
 // takeAny blocks until a message with the given tag is available from any
-// source and removes it. Used only for sparse communication-plan setup,
-// where receivers know how many peers will contact them but not which.
-// Because the sender set is unknown, starvation cannot be pinned on one
-// rank; a takeAny therefore unwinds as soon as the world is poisoned. This
-// is coarser than take's per-sender rule, but setup runs at virtual t≈0,
-// before any plausible fault time.
+// source and removes the oldest arrival. Used only for sparse
+// communication-plan setup, where receivers know how many peers will
+// contact them but not which. Because the sender set is unknown, starvation
+// cannot be pinned on one rank; a takeAny therefore unwinds as soon as the
+// world is poisoned. This is coarser than take's per-sender rule, but setup
+// runs at virtual t≈0, before any plausible fault time.
 func (mb *mailbox) takeAny(tag int) message {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
+	q := mb.anyQ[tag]
+	if q == nil {
+		q = mb.registerAny(tag)
+	}
 	for {
 		if mb.w.down.Load() {
 			panic(killedPanic{})
 		}
-		for k, q := range mb.pending {
-			if k.tag == tag && len(q) > 0 {
-				m := q[0]
-				if len(q) == 1 {
-					delete(mb.pending, k)
-				} else {
-					mb.pending[k] = q[1:]
-				}
-				return m
-			}
+		if !q.empty() {
+			return q.pop()
 		}
 		mb.cond.Wait()
 	}
@@ -179,21 +334,33 @@ func (mb *mailbox) takeAny(tag int) message {
 // exited — it can never send again — does the wait unwind with
 // killedPanic.
 func (mb *mailbox) take(src, tag int) message {
-	k := msgKey{src, tag}
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	for {
-		if q := mb.pending[k]; len(q) > 0 {
-			m := q[0]
-			if len(q) == 1 {
-				delete(mb.pending, k)
-			} else {
-				mb.pending[k] = q[1:]
+	if tag < 0 {
+		for {
+			if mb.coll != nil {
+				if m, ok := mb.coll[src].popTag(tag); ok {
+					return m
+				}
 			}
-			return m
+			if mb.w.rankDead[src].Load() {
+				panic(killedPanic{})
+			}
+			mb.cond.Wait()
+		}
+	}
+	k := msgKey{src, tag}
+	for {
+		if q := mb.pending[k]; q != nil && !q.empty() {
+			return q.pop()
 		}
 		if mb.w.rankDead[src].Load() {
 			panic(killedPanic{})
+		}
+		// About to block: a tag registered for any-source receives will
+		// never surface here — fail loudly instead of deadlocking.
+		if _, bad := mb.anyQ[tag]; bad {
+			panic(fmt.Sprintf("mp: directed receive on any-source tag %d", tag))
 		}
 		mb.cond.Wait()
 	}
@@ -206,6 +373,9 @@ type World struct {
 	rater  vclock.ComputeRater
 	clocks []*vclock.Clock
 	boxes  []*mailbox
+	// pool recycles f64 message payloads (see pool.go); its zero value is
+	// ready to use.
+	pool f64Pool
 
 	// shrunk marks a world consumed by Shrink; its mailboxes are revoked
 	// and it must not Run again.
@@ -377,21 +547,96 @@ func (r *Rank) sendF64(dst, tag int, data []float64) {
 		panic(fmt.Sprintf("mp: send to invalid rank %d", dst))
 	}
 	r.checkFault()
-	cp := make([]float64, len(data))
-	copy(cp, data)
+	var cp []float64
+	if len(data) > 0 {
+		cp = r.world.pool.get(len(data))
+		copy(cp, data)
+	}
 	at := r.chargeSend(dst, 8*len(data))
+	r.world.boxes[dst].put(message{src: r.id, tag: tag, f64: cp, arriveAt: at})
+}
+
+// SendF64Gather packs x[idx[0]], x[idx[1]], … into a pooled buffer and
+// sends it to rank dst — the importer's pack-and-send step without the
+// per-call staging allocation. The wire size and virtual charges are
+// identical to packing into a scratch slice and calling SendF64.
+func (r *Rank) SendF64Gather(dst, tag int, x []float64, idx []int) {
+	if dst < 0 || dst >= r.Size() {
+		panic(fmt.Sprintf("mp: send to invalid rank %d", dst))
+	}
+	r.checkFault()
+	var cp []float64
+	if len(idx) > 0 {
+		cp = r.world.pool.get(len(idx))
+		for j, l := range idx {
+			cp[j] = x[l]
+		}
+	}
+	at := r.chargeSend(dst, 8*len(idx))
 	r.world.boxes[dst].put(message{src: r.id, tag: tag, f64: cp, arriveAt: at})
 }
 
 // RecvF64 blocks until a float64 message with the given source and tag
 // arrives, advances this rank's clock to the arrival time, and returns the
-// payload.
+// payload. Ownership of the returned slice transfers to the caller; use
+// RecvF64Into or the scatter variants on hot paths so the buffer returns
+// to the world's pool instead.
 func (r *Rank) RecvF64(src, tag int) []float64 {
 	r.checkFault()
 	m := r.world.boxes[r.id].take(src, tag)
 	r.clk.AdvanceTo(m.arriveAt)
 	r.checkFault()
 	return m.f64
+}
+
+// RecvF64Into receives like RecvF64 but copies the payload into dst and
+// recycles the transport buffer, keeping the steady state allocation-free.
+// dst must have room for the payload; the payload length is returned.
+func (r *Rank) RecvF64Into(src, tag int, dst []float64) int {
+	r.checkFault()
+	m := r.world.boxes[r.id].take(src, tag)
+	r.clk.AdvanceTo(m.arriveAt)
+	r.checkFault()
+	if len(dst) < len(m.f64) {
+		panic(fmt.Sprintf("mp: RecvF64Into buffer len %d < payload %d", len(dst), len(m.f64)))
+	}
+	n := copy(dst, m.f64)
+	r.world.pool.put(m.f64)
+	return n
+}
+
+// RecvF64Scatter receives like RecvF64 but scatters payload element j into
+// x[pos[j]] and recycles the transport buffer — the importer's
+// receive-and-unpack step without surfacing the wire buffer. The payload
+// must have exactly len(pos) elements.
+func (r *Rank) RecvF64Scatter(src, tag int, x []float64, pos []int) {
+	r.checkFault()
+	m := r.world.boxes[r.id].take(src, tag)
+	r.clk.AdvanceTo(m.arriveAt)
+	r.checkFault()
+	if len(m.f64) != len(pos) {
+		panic(fmt.Sprintf("mp: RecvF64Scatter payload %d != positions %d", len(m.f64), len(pos)))
+	}
+	for j, l := range pos {
+		x[l] = m.f64[j]
+	}
+	r.world.pool.put(m.f64)
+}
+
+// RecvF64AddScatter is RecvF64Scatter with accumulation: x[pos[j]] +=
+// payload[j], the exporter's sum-into-owner step.
+func (r *Rank) RecvF64AddScatter(src, tag int, x []float64, pos []int) {
+	r.checkFault()
+	m := r.world.boxes[r.id].take(src, tag)
+	r.clk.AdvanceTo(m.arriveAt)
+	r.checkFault()
+	if len(m.f64) != len(pos) {
+		panic(fmt.Sprintf("mp: RecvF64AddScatter payload %d != positions %d", len(m.f64), len(pos)))
+	}
+	for j, l := range pos {
+		x[l] += m.f64[j]
+	}
+	r.world.pool.put(m.f64)
 }
 
 // SendInts sends a copy of an int slice to rank dst.

@@ -1,0 +1,95 @@
+package mp
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// f64Pool recycles float64 message payloads within one World. Buffers are
+// binned by power-of-two capacity; each class is a mutex-guarded LIFO stack.
+//
+// An explicit free list (rather than sync.Pool) keeps the steady state
+// allocation-free: sync.Pool is emptied on every GC cycle, which would
+// reintroduce allocation spikes into the hot iteration path the benchmarks
+// pin at 0 allocs/op. Boundedness comes from capping the per-class stack
+// depth and the largest recyclable buffer instead.
+//
+// Ownership protocol: every in-flight f64 payload is pool-owned. A send
+// variant obtains a buffer with get, fills it completely and hands it to the
+// destination mailbox; the matching receive either transfers ownership to
+// the application (RecvF64, collectives) — in which case the buffer simply
+// leaves the pool for good — or copies/scatters the payload out and returns
+// the buffer with put (RecvF64Into, RecvF64Scatter, RecvF64AddScatter,
+// scalar collectives). A buffer must never be put twice or retained after
+// put.
+type f64Pool struct {
+	classes [poolClasses]poolClass
+}
+
+type poolClass struct {
+	mu   sync.Mutex
+	free [][]float64
+}
+
+const (
+	// poolClasses bounds recyclable capacities to 1<<(poolClasses-1)
+	// elements (4 Mi float64 = 32 MiB); larger buffers are allocated
+	// directly and dropped on put.
+	poolClasses = 23
+	// poolClassDepth caps each class's stack so a burst cannot pin
+	// unbounded memory in the free list.
+	poolClassDepth = 256
+)
+
+// class returns the size-class index for n elements: the smallest c with
+// 1<<c >= n.
+func poolClassOf(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// get returns a buffer of length n (capacity 1<<class). The contents are
+// unspecified; the caller must overwrite all n elements. n == 0 returns nil
+// without touching the pool.
+func (p *f64Pool) get(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	c := poolClassOf(n)
+	if c >= poolClasses {
+		return make([]float64, n)
+	}
+	cl := &p.classes[c]
+	cl.mu.Lock()
+	if k := len(cl.free); k > 0 {
+		buf := cl.free[k-1]
+		cl.free[k-1] = nil
+		cl.free = cl.free[:k-1]
+		cl.mu.Unlock()
+		return buf[:n]
+	}
+	cl.mu.Unlock()
+	return make([]float64, n, 1<<c)
+}
+
+// put returns a buffer obtained from get. Buffers whose capacity is not an
+// exact class size (or that exceed the largest class) are dropped for the
+// GC; a full class drops the buffer too.
+func (p *f64Pool) put(buf []float64) {
+	c := cap(buf)
+	if c == 0 || c&(c-1) != 0 {
+		return
+	}
+	ci := poolClassOf(c)
+	if ci >= poolClasses {
+		return
+	}
+	cl := &p.classes[ci]
+	cl.mu.Lock()
+	if len(cl.free) < poolClassDepth {
+		cl.free = append(cl.free, buf[:0])
+	}
+	cl.mu.Unlock()
+}

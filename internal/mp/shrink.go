@@ -97,15 +97,42 @@ func (w *World) Shrink() (*Shrink, error) {
 	for owner, mb := range w.boxes {
 		mb.mu.Lock()
 		for k, q := range mb.pending {
-			if dead[owner] {
-				sr.Revoked += len(q)
+			if dead[owner] || dead[k.src] {
+				sr.Revoked += q.len()
 				delete(mb.pending, k)
+			}
+		}
+		for src := range mb.coll {
+			q := &mb.coll[src]
+			if dead[owner] || dead[src] {
+				sr.Revoked += q.len()
+				for i := range q.buf {
+					q.buf[i] = message{}
+				}
+				q.buf, q.head = q.buf[:0], 0
+			}
+		}
+		// Any-source FIFOs interleave sources, so they are filtered
+		// in place (preserving survivor arrival order) rather than
+		// dropped whole.
+		for tag, q := range mb.anyQ {
+			if dead[owner] {
+				sr.Revoked += q.len()
+				delete(mb.anyQ, tag)
 				continue
 			}
-			if dead[k.src] {
-				sr.Revoked += len(q)
-				delete(mb.pending, k)
+			kept := q.buf[:0]
+			for _, m := range q.buf[q.head:] {
+				if dead[m.src] {
+					sr.Revoked++
+				} else {
+					kept = append(kept, m)
+				}
 			}
+			for i := len(kept); i < len(q.buf); i++ {
+				q.buf[i] = message{}
+			}
+			q.buf, q.head = kept, 0
 		}
 		mb.mu.Unlock()
 	}

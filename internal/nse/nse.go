@@ -37,6 +37,12 @@ type Config struct {
 	// with a snapshot of the solver state (mirrors rd.Config.Checkpoint so
 	// Navier–Stokes runs participate in checkpoint-restart). The callback
 	// runs outside the measured phases.
+	//
+	// Retention contract: the State's U1/U2/P slices are owned by the time
+	// loop and recycled — a snapshot is valid only until the NEXT
+	// Checkpoint invocation (double-buffered, so exactly one previous
+	// generation stays intact). A supervisor must serialise or copy what
+	// it needs before returning; it must not retain the slices.
 	Checkpoint func(State) error
 	// Resume, if non-nil, restarts the time loop from a saved state instead
 	// of the exact-solution initialisation. The state must come from a run
@@ -44,7 +50,10 @@ type Config struct {
 	Resume *State
 }
 
-// State is a restartable snapshot of the projection time loop.
+// State is a restartable snapshot of the projection time loop. When
+// delivered through Config.Checkpoint the slices are loop-owned reusable
+// buffers — see the retention contract there. A State passed to
+// Config.Resume is only read during startup and never retained.
 type State struct {
 	// StepsDone counts completed BDF2 steps.
 	StepsDone int
@@ -186,37 +195,38 @@ func Run(r *mp.Rank, cfg Config) (*Result, error) {
 	for d := 0; d < 3; d++ {
 		patchW[d] = make([]float64, s.NPatch())
 	}
+	// The element callback reads the convecting field from patchW, which is
+	// refreshed in place each step, so one hoisted closure serves every
+	// reassembly without per-step allocation.
 	var velCOO sparse.COO
-	velElem := func() func(e int, out *[8][8]float64) {
-		return func(e int, out *[8][8]float64) {
-			vs := s.M.ElemVerts(e)
-			var w [3]float64
-			for _, gv := range vs {
-				lv := s.L.G2L[gv]
-				for d := 0; d < 3; d++ {
-					w[d] += patchW[d][lv]
-				}
-			}
+	velElem := func(e int, out *[8][8]float64) {
+		vs := s.M.ElemVerts(e)
+		var w [3]float64
+		for _, gv := range vs {
+			lv := s.L.G2L[gv]
 			for d := 0; d < 3; d++ {
-				w[d] /= 8
+				w[d] += patchW[d][lv]
 			}
-			var tmp [8][8]float64
-			s.El.Mass(bdf, out, r)
-			s.El.Stiffness(nu, &tmp, r)
-			for a := 0; a < 8; a++ {
-				for b := 0; b < 8; b++ {
-					out[a][b] += tmp[a][b]
-				}
+		}
+		for d := 0; d < 3; d++ {
+			w[d] /= 8
+		}
+		var tmp [8][8]float64
+		s.El.Mass(bdf, out, r)
+		s.El.Stiffness(nu, &tmp, r)
+		for a := 0; a < 8; a++ {
+			for b := 0; b < 8; b++ {
+				out[a][b] += tmp[a][b]
 			}
-			s.El.Convection(w, &tmp, r)
-			for a := 0; a < 8; a++ {
-				for b := 0; b < 8; b++ {
-					out[a][b] += tmp[a][b]
-				}
+		}
+		s.El.Convection(w, &tmp, r)
+		for a := 0; a < 8; a++ {
+			for b := 0; b < 8; b++ {
+				out[a][b] += tmp[a][b]
 			}
 		}
 	}
-	s.AssembleMatrix(&velCOO, velElem())
+	s.AssembleMatrix(&velCOO, velElem)
 	velDM, err := sparse.NewDistMatrix(r, s.RowMap, &velCOO, s.Owner, 2600)
 	if err != nil {
 		return nil, err
@@ -224,7 +234,7 @@ func Run(r *mp.Rank, cfg Config) (*Result, error) {
 	// Fixed structure: per-step reassembly recomputes values only.
 	velCOO.Rows, velCOO.Cols = nil, nil
 	assembleVelocity := func() {
-		s.AssembleMatrixValues(&velCOO, velElem())
+		s.AssembleMatrixValues(&velCOO, velElem)
 	}
 	velPC, err := newPrecond(cfg.Precond, velDM, r)
 	if err != nil {
@@ -275,7 +285,46 @@ func Run(r *mp.Rank, cfg Config) (*Result, error) {
 	gp := make([]float64, n)
 	phi := make([]float64, n)
 	div := make([]float64, n)
-	res := &Result{NOwned: n}
+	var rhss [3][]float64
+	for d := 0; d < 3; d++ {
+		rhss[d] = make([]float64, n)
+	}
+	work := &krylov.Workspace{}
+	velSolve := krylov.BiCGStab
+	if cfg.VelocitySolver == "gmres" {
+		velSolve = krylov.GMRES
+	}
+
+	// Boundary-value closures are hoisted out of the loop: the captured
+	// component/time variables are retargeted per step instead of closing
+	// over fresh ones, keeping the steady state allocation-free.
+	comps := [3]func(x, y, z, t float64) float64{Component(0), Component(1), Component(2)}
+	var bcComp func(x, y, z, t float64) float64
+	var bcT float64
+	velBoundary := func(v int) float64 {
+		x, y, z := s.M.VertexCoord(v)
+		return bcComp(x, y, z, bcT)
+	}
+	var presT, presTPrev float64
+	presBoundary := func(v int) float64 {
+		x, y, z := s.M.VertexCoord(v)
+		return ExactPressure(x, y, z, presT) - ExactPressure(x, y, z, presTPrev)
+	}
+	// The velocity eliminator is persistent; built lazily inside the first
+	// step so its scan charge lands in that step's assembly phase exactly
+	// as the old per-step construction did, then Recompute refreshes it.
+	var velBC *sparse.Dirichlet
+
+	res := &Result{
+		NOwned:    n,
+		StepTimes: make([]vclock.PhaseTimes, 0, cfg.Steps-startStep),
+		VelIters:  make([]int, 0, cfg.Steps-startStep),
+		PresIters: make([]int, 0, cfg.Steps-startStep),
+	}
+	// Checkpoint snapshots alternate between two reusable buffer sets; see
+	// the State retention contract on Config.Checkpoint.
+	var ckptBuf [2]State
+	ckptGen := 0
 	tPrev := cfg.T0 + cfg.Dt
 	if cfg.Resume != nil {
 		tPrev = cfg.Resume.Time
@@ -297,11 +346,14 @@ func Run(r *mp.Rank, cfg Config) (*Result, error) {
 		}
 		assembleVelocity()
 		velDM.SetValues(&velCOO)
-		velBC := velDM.NewDirichlet(s.IsBoundary)
+		if velBC == nil {
+			velBC = velDM.NewDirichlet(s.IsBoundary)
+		} else {
+			velBC.Recompute(s.IsBoundary)
+		}
 
-		rhss := make([][]float64, 3)
+		bcT = t
 		for d := 0; d < 3; d++ {
-			rhss[d] = make([]float64, n)
 			for i := 0; i < n; i++ {
 				hist[i] = bdf * (4*uPrev1[d][i] - uPrev2[d][i]) / 3
 			}
@@ -309,11 +361,8 @@ func Run(r *mp.Rank, cfg Config) (*Result, error) {
 			massDM.Apply(hist, rhss[d])
 			grad[d].Apply(p, gp)
 			sparse.Axpy(n, -1, gp, rhss[d], r)
-			comp := Component(d)
-			velBC.EliminateRHS(func(v int) float64 {
-				x, y, z := s.M.VertexCoord(v)
-				return comp(x, y, z, t)
-			}, rhss[d])
+			bcComp = comps[d]
+			velBC.EliminateRHS(velBoundary, rhss[d])
 		}
 
 		// Phase (iiia): preconditioner for the velocity operator.
@@ -325,15 +374,11 @@ func Run(r *mp.Rank, cfg Config) (*Result, error) {
 		// Phase (iiib): three BiCGStab velocity solves, one CG pressure
 		// solve, projection update.
 		clk.SetPhase(vclock.PhaseSolve)
-		velSolve := krylov.BiCGStab
-		if cfg.VelocitySolver == "gmres" {
-			velSolve = krylov.GMRES
-		}
 		velIters := 0
 		for d := 0; d < 3; d++ {
 			sparse.CopyN(n, uStar[d], uPrev1[d], r)
 			sol, err := velSolve(velDM, velPC, rhss[d], uStar[d], krylov.Options{
-				Tol: cfg.Tol, MaxIter: cfg.MaxIter,
+				Tol: cfg.Tol, MaxIter: cfg.MaxIter, Work: work,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("nse: step %d velocity %d: %w", step, d, err)
@@ -354,16 +399,13 @@ func Run(r *mp.Rank, cfg Config) (*Result, error) {
 			grad[d].Apply(uStar[d], div)
 			sparse.Axpy(n, -bdf, div, rhs, r)
 		}
-		tP := tPrev
-		presBC.EliminateRHS(func(v int) float64 {
-			x, y, z := s.M.VertexCoord(v)
-			return ExactPressure(x, y, z, t) - ExactPressure(x, y, z, tP)
-		}, rhs)
+		presT, presTPrev = t, tPrev
+		presBC.EliminateRHS(presBoundary, rhs)
 		for i := 0; i < n; i++ {
 			phi[i] = 0
 		}
 		sol, err := krylov.CG(presDM, presPC, rhs, phi, krylov.Options{
-			Tol: cfg.Tol, MaxIter: cfg.MaxIter,
+			Tol: cfg.Tol, MaxIter: cfg.MaxIter, Work: work,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("nse: step %d pressure: %w", step, err)
@@ -381,11 +423,8 @@ func Run(r *mp.Rank, cfg Config) (*Result, error) {
 				uStar[d][i] -= gp[i] / (bdf * mL[i])
 			}
 			r.ChargeCompute(2*float64(n), 24*float64(n))
-			comp := Component(d)
-			velBC.SetSolution(func(v int) float64 {
-				x, y, z := s.M.VertexCoord(v)
-				return comp(x, y, z, t)
-			}, uStar[d])
+			bcComp = comps[d]
+			velBC.SetSolution(velBoundary, uStar[d])
 		}
 		sparse.Axpy(n, 1, phi, p, r)
 		clk.SetPhase(vclock.PhaseOther)
@@ -400,12 +439,23 @@ func Run(r *mp.Rank, cfg Config) (*Result, error) {
 		res.FinalTime = t
 
 		if cfg.Checkpoint != nil {
-			st := State{StepsDone: step + 1, Time: t, P: append([]float64(nil), p[:n]...)}
-			for d := 0; d < 3; d++ {
-				st.U1[d] = append([]float64(nil), uPrev1[d][:n]...)
-				st.U2[d] = append([]float64(nil), uPrev2[d][:n]...)
+			st := &ckptBuf[ckptGen]
+			ckptGen = 1 - ckptGen
+			st.StepsDone = step + 1
+			st.Time = t
+			if st.P == nil {
+				st.P = make([]float64, n)
+				for d := 0; d < 3; d++ {
+					st.U1[d] = make([]float64, n)
+					st.U2[d] = make([]float64, n)
+				}
 			}
-			if err := cfg.Checkpoint(st); err != nil {
+			copy(st.P, p[:n])
+			for d := 0; d < 3; d++ {
+				copy(st.U1[d], uPrev1[d][:n])
+				copy(st.U2[d], uPrev2[d][:n])
+			}
+			if err := cfg.Checkpoint(*st); err != nil {
 				return nil, fmt.Errorf("nse: checkpoint after step %d: %w", step, err)
 			}
 		}

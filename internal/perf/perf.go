@@ -1,0 +1,134 @@
+// Package perf is the tracked host-performance harness: a fixed set of
+// named benchmark cases over the simulator's hot paths, measured with
+// testing.Benchmark and serialised to BENCH.json so regressions in host
+// ns/op and allocs/op are caught in review (the virtual clock measures the
+// modelled platforms; this package measures the simulator itself).
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Result records one case's measurements, one line of BENCH.json.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is the BENCH.json schema.
+type Report struct {
+	// GoVersion and GOARCH qualify the numbers: ns/op is only comparable
+	// within one toolchain/architecture pair.
+	GoVersion string `json:"go_version"`
+	GoArch    string `json:"go_arch"`
+	// Date is the measurement time (RFC 3339).
+	Date    string   `json:"date"`
+	Results []Result `json:"results"`
+	// Baseline carries reference numbers a reviewer compares Results
+	// against (e.g. the measurements before a performance PR). Run never
+	// fills it; it is preserved from the checked-in file by rebaselines
+	// that want to keep history.
+	Baseline []Result `json:"baseline,omitempty"`
+}
+
+// Run measures every registered case whose name contains filter (all when
+// filter is empty), logging progress to log.
+func Run(filter string, log io.Writer) Report {
+	rep := Report{
+		GoVersion: runtime.Version(),
+		GoArch:    runtime.GOARCH,
+		Date:      time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, c := range Cases() {
+		if filter != "" && !strings.Contains(c.Name, filter) {
+			continue
+		}
+		res := Measure(c)
+		rep.Results = append(rep.Results, res)
+		if log != nil {
+			fmt.Fprintf(log, "%-24s %12.0f ns/op %12d B/op %8d allocs/op\n",
+				res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+		}
+	}
+	return rep
+}
+
+// Measure runs one case under testing.Benchmark with allocation reporting.
+func Measure(c Case) Result {
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		c.Bench(b)
+	})
+	ns := math.NaN()
+	if br.N > 0 {
+		ns = float64(br.T.Nanoseconds()) / float64(br.N)
+	}
+	return Result{
+		Name:        c.Name,
+		Iterations:  br.N,
+		NsPerOp:     ns,
+		AllocsPerOp: br.AllocsPerOp(),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+	}
+}
+
+// WriteJSON writes the report to path, indented for diff-friendly commits.
+func WriteJSON(rep Report, path string) error {
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// ReadJSON loads a previously written BENCH.json.
+func ReadJSON(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	err = json.Unmarshal(data, &rep)
+	return rep, err
+}
+
+// Profile wraps fn with optional CPU and heap profiling: cpuPath/memPath
+// empty means no profile of that kind.
+func Profile(cpuPath, memPath string, fn func() error) error {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if err := fn(); err != nil {
+		return err
+	}
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC()
+		return pprof.WriteHeapProfile(f)
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package perf
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// rdIterationAllocCeiling is the CI perf-smoke ceiling for the rd-iteration
+// case. The pre-pooling tree measured 15,540 allocs/op; the zero-allocation
+// steady-state work brought it to ~2,830, and the ceiling holds the ≥80%
+// reduction (15,540 → 3,108) with ~9% headroom for toolchain drift. If this
+// trips, an allocation crept back into the hot path — find it with
+// `heterobench perf -memprofile`, do not raise the ceiling.
+const rdIterationAllocCeiling = 3108
+
+// TestRDIterationAllocCeiling is the CI perf-smoke step: it measures the
+// tracked rd-iteration case (equivalent to BenchmarkRDIteration) and fails
+// when allocs/op exceeds the checked-in ceiling. ns/op is hardware-dependent
+// and only reported; allocs/op is deterministic enough to gate on.
+func TestRDIterationAllocCeiling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not representative under -race")
+	}
+	if testing.Short() {
+		t.Skip("perf smoke skipped in -short mode")
+	}
+	var c Case
+	for _, cand := range Cases() {
+		if cand.Name == "rd-iteration" {
+			c = cand
+		}
+	}
+	if c.Bench == nil {
+		t.Fatal("rd-iteration case missing from tracked set")
+	}
+	res := Measure(c)
+	t.Logf("rd-iteration: %.0f ns/op, %d B/op, %d allocs/op (%d iterations)",
+		res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.Iterations)
+	if res.AllocsPerOp > rdIterationAllocCeiling {
+		t.Errorf("rd-iteration allocates %d allocs/op, ceiling is %d",
+			res.AllocsPerOp, rdIterationAllocCeiling)
+	}
+}
+
+// TestReportRoundTrip checks the BENCH.json schema survives write+read and
+// that the Baseline section is preserved.
+func TestReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	want := Report{
+		GoVersion: "go1.24.0",
+		GoArch:    "amd64",
+		Date:      "2026-08-05T00:00:00Z",
+		Results: []Result{
+			{Name: "rd-iteration", Iterations: 20, NsPerOp: 5.7e7, AllocsPerOp: 2832, BytesPerOp: 25238609},
+		},
+		Baseline: []Result{
+			{Name: "rd-iteration", NsPerOp: 8.675e7, AllocsPerOp: 15540, BytesPerOp: 69565427},
+		},
+	}
+	if err := WriteJSON(want, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != 1 || got.Results[0] != want.Results[0] {
+		t.Errorf("results round-trip: got %+v", got.Results)
+	}
+	if len(got.Baseline) != 1 || got.Baseline[0] != want.Baseline[0] {
+		t.Errorf("baseline round-trip: got %+v", got.Baseline)
+	}
+	if got.GoVersion != want.GoVersion || got.Date != want.Date {
+		t.Errorf("header round-trip: got %+v", got)
+	}
+}
+
+// TestCasesRegistered pins the tracked case set: BENCH.json diffs pair
+// results by name, so removals or renames must be deliberate.
+func TestCasesRegistered(t *testing.T) {
+	want := []string{"rd-iteration", "ns-iteration", "cg-steady-serial", "gmres-arnoldi"}
+	cs := Cases()
+	if len(cs) != len(want) {
+		t.Fatalf("%d tracked cases, want %d", len(cs), len(want))
+	}
+	for i, c := range cs {
+		if c.Name != want[i] {
+			t.Errorf("case %d named %q, want %q", i, c.Name, want[i])
+		}
+		if c.Bench == nil {
+			t.Errorf("case %q has no benchmark body", c.Name)
+		}
+	}
+}

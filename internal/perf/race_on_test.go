@@ -1,0 +1,8 @@
+//go:build race
+
+package perf
+
+// raceEnabled mirrors the race detector state: alloc-count and timing
+// assertions are skipped under -race, where runtime instrumentation changes
+// both.
+const raceEnabled = true

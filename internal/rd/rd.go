@@ -54,6 +54,12 @@ type Config struct {
 	// with a snapshot of the solver state (the "automatic checkpointing"
 	// service the paper names as further EC2 conditioning, §VI-D). The
 	// callback runs outside the measured phases.
+	//
+	// Retention contract: the State's U1/U2 slices are owned by the time
+	// loop and recycled — a snapshot is valid only until the NEXT
+	// Checkpoint invocation (double-buffered, so exactly one previous
+	// generation stays intact). A supervisor must serialise or copy what
+	// it needs before returning; it must not retain the slices.
 	Checkpoint func(State) error
 	// Resume, if non-nil, restarts the time loop from a saved state instead
 	// of the exact-solution initialisation. The state must come from a run
@@ -61,7 +67,10 @@ type Config struct {
 	Resume *State
 }
 
-// State is a restartable snapshot of the BDF2 time loop.
+// State is a restartable snapshot of the BDF2 time loop. When delivered
+// through Config.Checkpoint the slices are loop-owned reusable buffers —
+// see the retention contract there. A State passed to Config.Resume is
+// only read during startup and never retained.
 type State struct {
 	// StepsDone counts completed BDF2 steps.
 	StepsDone int
@@ -182,22 +191,27 @@ func Run(r *mp.Rank, cfg Config) (*Result, error) {
 
 	// System matrix structure (same sparsity as mass; values refilled each
 	// step because the diffusion and reaction coefficients depend on t).
+	// The element callback is hoisted out of the time loop: it captures the
+	// mutable coefficients instead of closing over t per step, so steady-
+	// state reassembly allocates no closures.
 	var sysCOO sparse.COO
-	sysElem := func(t float64) func(e int, out *[8][8]float64) {
-		alpha := 3/(2*cfg.Dt) - 2/t // mass coefficient
-		kappa := 1 / (t * t)        // diffusion coefficient
-		return func(e int, out *[8][8]float64) {
-			var ke [8][8]float64
-			s.El.Mass(alpha, out, r)
-			s.El.Stiffness(kappa, &ke, r)
-			for a := 0; a < 8; a++ {
-				for b := 0; b < 8; b++ {
-					out[a][b] += ke[a][b]
-				}
+	var sysAlpha, sysKappa float64
+	sysElem := func(e int, out *[8][8]float64) {
+		var ke [8][8]float64
+		s.El.Mass(sysAlpha, out, r)
+		s.El.Stiffness(sysKappa, &ke, r)
+		for a := 0; a < 8; a++ {
+			for b := 0; b < 8; b++ {
+				out[a][b] += ke[a][b]
 			}
 		}
 	}
-	s.AssembleMatrix(&sysCOO, sysElem(cfg.T0+2*cfg.Dt))
+	setSysTime := func(t float64) {
+		sysAlpha = 3/(2*cfg.Dt) - 2/t // mass coefficient
+		sysKappa = 1 / (t * t)        // diffusion coefficient
+	}
+	setSysTime(cfg.T0 + 2*cfg.Dt)
+	s.AssembleMatrix(&sysCOO, sysElem)
 	sysDM, err := sparse.NewDistMatrix(r, s.RowMap, &sysCOO, s.Owner, 1200)
 	if err != nil {
 		return nil, err
@@ -205,7 +219,20 @@ func Run(r *mp.Rank, cfg Config) (*Result, error) {
 	// The structure is fixed; per-step reassembly only recomputes values.
 	sysCOO.Rows, sysCOO.Cols = nil, nil
 	assembleSystem := func(t float64) {
-		s.AssembleMatrixValues(&sysCOO, sysElem(t))
+		setSysTime(t)
+		s.AssembleMatrixValues(&sysCOO, sysElem)
+	}
+	// The boundary eliminator and boundary-value closure are likewise
+	// persistent. The eliminator is built inside the first step (its scan
+	// charges virtual compute, which must land in that step's assembly
+	// phase exactly as the old per-step construction did); Recompute then
+	// refreshes the eliminated couplings after each SetValues refill, and
+	// bcTime retargets the closure per step.
+	var dirichlet *sparse.Dirichlet
+	var bcTime float64
+	boundary := func(v int) float64 {
+		x, y, z := s.M.VertexCoord(v)
+		return Exact(x, y, z, bcTime)
 	}
 	precond, err := NewPrecond(cfg.Precond, sysDM, r)
 	if err != nil {
@@ -242,7 +269,20 @@ func Run(r *mp.Rank, cfg Config) (*Result, error) {
 	u := make([]float64, n)
 	hist := make([]float64, n)
 	rhs := make([]float64, n)
-	res := &Result{NOwned: n}
+	work := &krylov.Workspace{}
+	res := &Result{
+		NOwned:     n,
+		StepTimes:  make([]vclock.PhaseTimes, 0, cfg.Steps-startStep),
+		SolveIters: make([]int, 0, cfg.Steps-startStep),
+	}
+
+	// Checkpoint snapshots alternate between two reusable buffer pairs, so
+	// the State handed to the previous Checkpoint call stays intact while
+	// the next one is filled (one generation of slack for callbacks that
+	// hold the last snapshot for buddy exchange). See the State retention
+	// contract on Config.Checkpoint.
+	var ckptBuf [2]State
+	ckptGen := 0
 
 	// --- time loop (paper steps ii–iii per iteration) ---
 	for step := startStep; step < cfg.Steps; step++ {
@@ -260,7 +300,13 @@ func Run(r *mp.Rank, cfg Config) (*Result, error) {
 		r.ChargeCompute(3*float64(n), 24*float64(n))
 		massDM.Apply(hist, rhs)
 		sparse.Axpy(n, 1, load, rhs, r)
-		sysDM.ApplyDirichlet(s.IsBoundary, s.BoundaryFunc(Exact, t), rhs)
+		bcTime = t
+		if dirichlet == nil {
+			dirichlet = sysDM.NewDirichlet(s.IsBoundary)
+		} else {
+			dirichlet.Recompute(s.IsBoundary)
+		}
+		dirichlet.EliminateRHS(boundary, rhs)
 
 		// Phase (iiia): preconditioner computation.
 		clk.SetPhase(vclock.PhasePrecond)
@@ -272,7 +318,7 @@ func Run(r *mp.Rank, cfg Config) (*Result, error) {
 		clk.SetPhase(vclock.PhaseSolve)
 		sparse.CopyN(n, u, uPrev1, r)
 		sol, err := krylov.CG(sysDM, precond, rhs, u, krylov.Options{
-			Tol: cfg.Tol, MaxIter: cfg.MaxIter,
+			Tol: cfg.Tol, MaxIter: cfg.MaxIter, Work: work,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("rd: step %d: %w", step, err)
@@ -289,13 +335,17 @@ func Run(r *mp.Rank, cfg Config) (*Result, error) {
 		res.FinalTime = t
 
 		if cfg.Checkpoint != nil {
-			st := State{
-				StepsDone: step + 1,
-				Time:      t,
-				U1:        append([]float64(nil), uPrev1[:n]...),
-				U2:        append([]float64(nil), uPrev2[:n]...),
+			st := &ckptBuf[ckptGen]
+			ckptGen = 1 - ckptGen
+			st.StepsDone = step + 1
+			st.Time = t
+			if st.U1 == nil {
+				st.U1 = make([]float64, n)
+				st.U2 = make([]float64, n)
 			}
-			if err := cfg.Checkpoint(st); err != nil {
+			copy(st.U1, uPrev1[:n])
+			copy(st.U2, uPrev2[:n])
+			if err := cfg.Checkpoint(*st); err != nil {
 				return nil, fmt.Errorf("rd: checkpoint after step %d: %w", step, err)
 			}
 		}

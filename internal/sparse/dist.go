@@ -12,13 +12,31 @@ import (
 type RowMap struct {
 	Owned []int
 	g2l   map[int]int
+	// dense[g] = local index + 1 (0 = unowned), used instead of the map
+	// when the global id space is small enough: LocalOf is the hottest
+	// lookup of matrix construction, and an array probe beats a map probe
+	// severalfold. Nil for large id spaces, where the map keeps memory
+	// proportional to the owned count.
+	dense []int32
 }
+
+// denseRowMapLimit bounds the global id space for which NewRowMap builds
+// the dense lookup table (4 MiB of int32 per rank at the limit).
+const denseRowMapLimit = 1 << 20
 
 // NewRowMap builds a row map from the (copied, sorted) owned global ids.
 func NewRowMap(owned []int) *RowMap {
 	cp := append([]int(nil), owned...)
 	sort.Ints(cp)
-	m := &RowMap{Owned: cp, g2l: make(map[int]int, len(cp))}
+	m := &RowMap{Owned: cp}
+	if n := len(cp); n > 0 && cp[0] >= 0 && cp[n-1] < denseRowMapLimit {
+		m.dense = make([]int32, cp[n-1]+1)
+		for l, g := range cp {
+			m.dense[g] = int32(l + 1)
+		}
+		return m
+	}
+	m.g2l = make(map[int]int, len(cp))
 	for l, g := range cp {
 		m.g2l[g] = l
 	}
@@ -30,6 +48,15 @@ func (m *RowMap) N() int { return len(m.Owned) }
 
 // LocalOf returns the local index of global row g, if owned.
 func (m *RowMap) LocalOf(g int) (int, bool) {
+	if m.dense != nil {
+		if g < 0 || g >= len(m.dense) {
+			return 0, false
+		}
+		if l := m.dense[g]; l > 0 {
+			return int(l - 1), true
+		}
+		return 0, false
+	}
 	l, ok := m.g2l[g]
 	return l, ok
 }
@@ -60,10 +87,11 @@ type Importer struct {
 func NewImporter(r *mp.Rank, rowMap *RowMap, ghostGlobal []int, owner func(int) int, tag int) (*Importer, error) {
 	im := &Importer{r: r, nOwned: rowMap.N(), nGhost: len(ghostGlobal), tag: tag}
 
-	// Group ghost positions by owning rank.
-	byOwner := map[int][]int{} // owner -> ghost local positions
-	reqIDs := map[int][]int{}  // owner -> requested global ids
-	for i, g := range ghostGlobal {
+	// Group ghost positions by owning rank: one counting pass sizes the
+	// per-peer groups exactly, so the second pass fills two flat backing
+	// arrays without append growth.
+	counts := map[int]int{} // owner -> ghost count
+	for _, g := range ghostGlobal {
 		o := owner(g)
 		if o == r.ID() {
 			return nil, fmt.Errorf("sparse: ghost %d owned by requester %d", g, o)
@@ -71,20 +99,33 @@ func NewImporter(r *mp.Rank, rowMap *RowMap, ghostGlobal []int, owner func(int) 
 		if o < 0 || o >= r.Size() {
 			return nil, fmt.Errorf("sparse: ghost %d has invalid owner %d", g, o)
 		}
-		byOwner[o] = append(byOwner[o], im.nOwned+i)
-		reqIDs[o] = append(reqIDs[o], g)
+		counts[o]++
 	}
-	im.recvPeers = sortedKeys(byOwner)
-	for _, p := range im.recvPeers {
-		im.recvs = append(im.recvs, byOwner[p])
+	im.recvPeers = sortedIntKeys(counts)
+	peerIdx := make(map[int]int, len(im.recvPeers))
+	im.recvs = make([][]int, len(im.recvPeers))
+	reqIDs := make([][]int, len(im.recvPeers))
+	flatPos := make([]int, len(ghostGlobal))
+	flatIDs := make([]int, len(ghostGlobal))
+	off := 0
+	for i, p := range im.recvPeers {
+		peerIdx[p] = i
+		im.recvs[i] = flatPos[off : off : off+counts[p]]
+		reqIDs[i] = flatIDs[off : off : off+counts[p]]
+		off += counts[p]
+	}
+	for i, g := range ghostGlobal {
+		pi := peerIdx[owner(g)]
+		im.recvs[pi] = append(im.recvs[pi], im.nOwned+i)
+		reqIDs[pi] = append(reqIDs[pi], g)
 	}
 
 	// Census: each owner learns how many requesters will contact it.
 	numRequesters := census(r, im.recvPeers)
 
 	// Send requests; serve them.
-	for _, p := range im.recvPeers {
-		r.SendInts(p, tag, reqIDs[p])
+	for i, p := range im.recvPeers {
+		r.SendInts(p, tag, reqIDs[i])
 	}
 	type srcReq struct {
 		src  int
@@ -104,7 +145,13 @@ func NewImporter(r *mp.Rank, rowMap *RowMap, ghostGlobal []int, owner func(int) 
 		}
 		reqs = append(reqs, srcReq{src, locs})
 	}
-	sort.Slice(reqs, func(a, b int) bool { return reqs[a].src < reqs[b].src })
+	// Insertion sort by source rank (at most a neighbour set; avoids
+	// sort.Slice's reflection allocations).
+	for i := 1; i < len(reqs); i++ {
+		for j := i; j > 0 && reqs[j].src < reqs[j-1].src; j-- {
+			reqs[j], reqs[j-1] = reqs[j-1], reqs[j]
+		}
+	}
 	for _, q := range reqs {
 		im.sendPeers = append(im.sendPeers, q.src)
 		im.sends = append(im.sends, q.locs)
@@ -138,18 +185,10 @@ func (im *Importer) Exchange(x []float64) {
 		panic(fmt.Sprintf("sparse: Exchange vector len %d < %d", len(x), im.nOwned+im.nGhost))
 	}
 	for i, p := range im.sendPeers {
-		idx := im.sends[i]
-		buf := make([]float64, len(idx))
-		for j, l := range idx {
-			buf[j] = x[l]
-		}
-		im.r.SendF64(p, im.tag+1, buf)
+		im.r.SendF64Gather(p, im.tag+1, x, im.sends[i])
 	}
 	for i, p := range im.recvPeers {
-		vals := im.r.RecvF64(p, im.tag+1)
-		for j, pos := range im.recvs[i] {
-			x[pos] = vals[j]
-		}
+		im.r.RecvF64Scatter(p, im.tag+1, x, im.recvs[i])
 	}
 }
 
@@ -163,22 +202,26 @@ func (im *Importer) ExportAdd(x []float64) {
 	}
 	for i, p := range im.recvPeers {
 		pos := im.recvs[i]
-		buf := make([]float64, len(pos))
-		for j, l := range pos {
-			buf[j] = x[l]
+		im.r.SendF64Gather(p, im.tag+1, x, pos)
+		for _, l := range pos {
 			x[l] = 0
 		}
-		im.r.SendF64(p, im.tag+1, buf)
 	}
 	for i, p := range im.sendPeers {
-		vals := im.r.RecvF64(p, im.tag+1)
-		for j, l := range im.sends[i] {
-			x[l] += vals[j]
-		}
+		im.r.RecvF64AddScatter(p, im.tag+1, x, im.sends[i])
 	}
 }
 
 func sortedKeys(m map[int][]int) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
+
+func sortedIntKeys(m map[int]int) []int {
 	ks := make([]int, 0, len(m))
 	for k := range m {
 		ks = append(ks, k)

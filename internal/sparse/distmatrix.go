@@ -48,22 +48,41 @@ type DistMatrix struct {
 func NewDistMatrix(r *mp.Rank, rowMap *RowMap, coo *COO, owner func(int) int, tag int) (*DistMatrix, error) {
 	dm := &DistMatrix{r: r, rowMap: rowMap, tag: tag, colG2L: map[int]int{}}
 
-	// Split triplets into locally-owned rows and export groups.
-	exportByPeer := map[int][]int{} // peer -> structure-COO indices
-	for i, g := range coo.Rows {
+	// Split triplets into locally-owned rows and export groups: a counting
+	// pass sizes everything, then a fill pass writes into exactly-sized
+	// flat storage (assembly COOs run to millions of triplets, so append
+	// growth here dominated construction allocations).
+	nLocal := 0
+	exportCounts := map[int]int{} // peer -> triplet count
+	for _, g := range coo.Rows {
 		if _, ok := rowMap.LocalOf(g); ok {
-			dm.localTrip = append(dm.localTrip, i)
+			nLocal++
 		} else {
 			o := owner(g)
 			if o == r.ID() || o < 0 || o >= r.Size() {
 				return nil, fmt.Errorf("sparse: row %d has bad owner %d", g, o)
 			}
-			exportByPeer[o] = append(exportByPeer[o], i)
+			exportCounts[o]++
 		}
 	}
-	dm.exportPeers = sortedKeys(exportByPeer)
-	for _, p := range dm.exportPeers {
-		dm.exportIdx = append(dm.exportIdx, exportByPeer[p])
+	dm.localTrip = make([]int, 0, nLocal)
+	dm.exportPeers = sortedIntKeys(exportCounts)
+	dm.exportIdx = make([][]int, len(dm.exportPeers))
+	exportPeerIdx := make(map[int]int, len(dm.exportPeers))
+	flatExport := make([]int, coo.Len()-nLocal)
+	off := 0
+	for i, p := range dm.exportPeers {
+		exportPeerIdx[p] = i
+		dm.exportIdx[i] = flatExport[off : off : off+exportCounts[p]]
+		off += exportCounts[p]
+	}
+	for i, g := range coo.Rows {
+		if _, ok := rowMap.LocalOf(g); ok {
+			dm.localTrip = append(dm.localTrip, i)
+		} else {
+			pi := exportPeerIdx[owner(g)]
+			dm.exportIdx[pi] = append(dm.exportIdx[pi], i)
+		}
 	}
 
 	// Ship off-rank structure (row,col pairs) to owners; receive ours.
@@ -85,7 +104,11 @@ func NewDistMatrix(r *mp.Rank, rowMap *RowMap, coo *COO, owner func(int) int, ta
 		src, pairs := r.RecvAnyInts(tag)
 		ins = append(ins, incoming{src, pairs})
 	}
-	sort.Slice(ins, func(a, b int) bool { return ins[a].src < ins[b].src })
+	for i := 1; i < len(ins); i++ {
+		for j := i; j > 0 && ins[j].src < ins[j-1].src; j-- {
+			ins[j], ins[j-1] = ins[j-1], ins[j]
+		}
+	}
 
 	// Column map: owned columns first (aligned with the row map so the same
 	// vector serves as both domain and range), then sorted ghost columns.
@@ -121,6 +144,11 @@ func NewDistMatrix(r *mp.Rank, rowMap *RowMap, coo *COO, owner func(int) int, ta
 
 	// Build the CSR pattern from local + imported triplets.
 	var pat COO
+	nImported := 0
+	for _, in := range ins {
+		nImported += len(in.pairs) / 2
+	}
+	pat.Grow(len(dm.localTrip) + nImported)
 	for _, t := range dm.localTrip {
 		lr, _ := rowMap.LocalOf(coo.Rows[t])
 		pat.Add(lr, colOf(coo.Cols[t]), 0)
@@ -195,18 +223,10 @@ func (dm *DistMatrix) SetValues(coo *COO) {
 		dm.A.Val[dm.localSlots[i]] += coo.Vals[t]
 	}
 	for i, p := range dm.exportPeers {
-		idx := dm.exportIdx[i]
-		buf := make([]float64, len(idx))
-		for j, t := range idx {
-			buf[j] = coo.Vals[t]
-		}
-		dm.r.SendF64(p, dm.tag+1, buf)
+		dm.r.SendF64Gather(p, dm.tag+1, coo.Vals, dm.exportIdx[i])
 	}
 	for i, p := range dm.importPeers {
-		vals := dm.r.RecvF64(p, dm.tag+1)
-		for j, s := range dm.importSlots[i] {
-			dm.A.Val[s] += vals[j]
-		}
+		dm.r.RecvF64AddScatter(p, dm.tag+1, dm.A.Val, dm.importSlots[i])
 	}
 	// Accumulation cost of the numeric refill.
 	dm.r.ChargeCompute(float64(len(dm.localTrip)), 16*float64(len(dm.localTrip)))
@@ -276,22 +296,63 @@ type Dirichlet struct {
 	elimRow []int
 	elimCol []int
 	elimVal []float64
+	// bcCol is the cached boundary-column indicator, reused by Recompute.
+	bcCol []bool
 }
 
 // NewDirichlet modifies the matrix in place (identity boundary rows, zeroed
 // boundary columns — symmetry preserving) and returns the eliminator for
 // the right-hand sides. isBC is evaluated on global vertex ids, so every
-// rank handles its ghost columns without communication. It must be called
-// again after any SetValues refill.
+// rank handles its ghost columns without communication. After a SetValues
+// refill call Recompute on the returned eliminator (or NewDirichlet again).
 func (dm *DistMatrix) NewDirichlet(isBC func(global int) bool) *Dirichlet {
 	d := &Dirichlet{dm: dm}
+	d.Recompute(isBC)
+	return d
+}
+
+// Recompute re-applies the boundary elimination after a SetValues refill,
+// reusing the eliminator's storage so steady-state time loops stay
+// allocation-free. The scan is value-faithful to NewDirichlet — elim
+// entries are recorded only for nonzero coefficients, so the recorded
+// count (and with it the EliminateRHS compute charge) tracks the refilled
+// values exactly as a fresh NewDirichlet would.
+func (d *Dirichlet) Recompute(isBC func(global int) bool) {
+	dm := d.dm
 	A := dm.A
 	n := dm.NOwned()
 	nc := dm.NCols()
-	bcCol := make([]bool, nc)
+	if cap(d.bcCol) < nc {
+		d.bcCol = make([]bool, nc)
+	}
+	bcCol := d.bcCol[:nc]
 	for lc := 0; lc < nc; lc++ {
 		bcCol[lc] = isBC(dm.ColGlobal(lc))
 	}
+	if cap(d.elimRow) == 0 {
+		// First build: a counting pass sizes the arrays exactly, replacing
+		// a dozen append-growth reallocations with four.
+		nbc, nelim := 0, 0
+		for lr := 0; lr < n; lr++ {
+			if bcCol[lr] {
+				nbc++
+				continue
+			}
+			for s := A.RowPtr[lr]; s < A.RowPtr[lr+1]; s++ {
+				if bcCol[A.Col[s]] && A.Val[s] != 0 {
+					nelim++
+				}
+			}
+		}
+		d.bcRows = make([]int, 0, nbc)
+		d.elimRow = make([]int, 0, nelim)
+		d.elimCol = make([]int, 0, nelim)
+		d.elimVal = make([]float64, 0, nelim)
+	}
+	d.bcRows = d.bcRows[:0]
+	d.elimRow = d.elimRow[:0]
+	d.elimCol = d.elimCol[:0]
+	d.elimVal = d.elimVal[:0]
 	for lr := 0; lr < n; lr++ {
 		rowIsBC := bcCol[lr] // local row lr ↔ local col lr (aligned maps)
 		if rowIsBC {
@@ -317,7 +378,6 @@ func (dm *DistMatrix) NewDirichlet(isBC func(global int) bool) *Dirichlet {
 		}
 	}
 	dm.r.ChargeCompute(float64(A.NNZ()), 12*float64(A.NNZ()))
-	return d
 }
 
 // EliminateRHS folds boundary values into one right-hand side: boundary
