@@ -1,0 +1,86 @@
+// Package analysis is a self-contained static-analysis framework for the
+// repository's own invariant checkers (heterolint). It mirrors the core API
+// of golang.org/x/tools/go/analysis — Analyzer, Pass, Diagnostic — so the
+// four heterolint analyzers read like any other go/analysis checker and can
+// migrate to the upstream framework verbatim once the module is vendored.
+// The subset implemented here is deliberately fact-free: every heterolint
+// invariant is checkable from a single type-checked package, which is what
+// keeps the whole suite runnable offline with nothing but the standard
+// library (go/ast, go/types, go/importer).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI output.
+	Name string
+	// Doc is the one-paragraph help text: first line is a summary.
+	Doc string
+	// AllowKeyword is the //heterolint:allow keyword that suppresses this
+	// analyzer's diagnostics ("wallclock" for detclock, etc.). Empty means
+	// the analyzer cannot be suppressed.
+	AllowKeyword string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (interface{}, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass provides one analyzer run with a single type-checked package and a
+// sink for its diagnostics, mirroring go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a Sprintf-formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding, attributed to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Validate checks the analyzer list for driver use: non-empty distinct
+// names and a Run function each.
+func Validate(analyzers []*Analyzer) error {
+	seen := map[string]bool{}
+	for _, a := range analyzers {
+		if a.Name == "" {
+			return fmt.Errorf("analysis: analyzer with empty name")
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("analysis: duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Run == nil {
+			return fmt.Errorf("analysis: analyzer %q has no Run", a.Name)
+		}
+	}
+	return nil
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+// The heterolint invariants govern simulation code; tests may legitimately
+// read the wall clock or iterate maps into t.Log output.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	f := fset.File(pos)
+	if f == nil {
+		return false
+	}
+	name := f.Name()
+	return len(name) >= len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go"
+}

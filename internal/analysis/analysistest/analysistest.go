@@ -1,0 +1,188 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture packages
+// under a testdata directory and checks its diagnostics against // want
+// expectations, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture line carries its expectation in a trailing comment:
+//
+//	t := time.Now() // want `wall-clock read`
+//
+// Each backquoted or double-quoted token after "want" is a regular
+// expression that must match exactly one diagnostic reported on that line;
+// diagnostics without a matching expectation (and expectations without a
+// matching diagnostic) fail the test. Fixture packages are type-checked
+// from source with GOPATH pointed at testdata, so fixtures may import both
+// sibling fixture packages and the standard library.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"heterohpc/internal/analysis"
+)
+
+// Run applies the analyzer to each fixture package (an import path under
+// testdata/src) and reports expectation mismatches through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	abs, err := filepath.Abs(testdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The source importer resolves through go/build's default context;
+	// point it at the fixture tree for the duration of the run.
+	oldGOPATH := build.Default.GOPATH
+	build.Default.GOPATH = abs
+	defer func() { build.Default.GOPATH = oldGOPATH }()
+	// Fixture imports resolve GOPATH-style; without this, go/build defers
+	// to the module-aware `go list`, which cannot see testdata/src.
+	for k, v := range map[string]string{"GOPATH": abs, "GO111MODULE": "off"} {
+		old, had := os.LookupEnv(k)
+		os.Setenv(k, v)
+		k, old, had := k, old, had
+		defer func() {
+			if had {
+				os.Setenv(k, old)
+			} else {
+				os.Unsetenv(k)
+			}
+		}()
+	}
+
+	for _, pkgPath := range pkgPaths {
+		runOne(t, abs, a, pkgPath)
+	}
+}
+
+func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("%s: no fixture files in %s", a.Name, dir)
+	}
+
+	tc := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	pkg, err := tc.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("%s: typecheck %s: %v", a.Name, pkgPath, err)
+	}
+
+	diags, err := analysis.RunAnalyzer(a, fset, files, pkg, info)
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	checkExpectations(t, a, fset, files, diags, pkgPath)
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// wantRx extracts the expectation tokens from a "// want …" comment tail.
+var wantRx = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+func checkExpectations(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic, pkgPath string) {
+	t.Helper()
+	wants := map[lineKey][]*want{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want")
+				if idx < 0 {
+					// A comment group's opening comment may itself be the
+					// marker ("// want …" on its own line refers to itself).
+					continue
+				}
+				tail := c.Text[idx+len("// want"):]
+				posn := fset.Position(c.Pos())
+				for _, m := range wantRx.FindAllStringSubmatch(tail, -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: %s: bad want pattern %q: %v", a.Name, posn, pat, err)
+					}
+					k := lineKey{posn.Filename, posn.Line}
+					wants[k] = append(wants[k], &want{rx: rx})
+				}
+			}
+		}
+	}
+
+	var surplus []string
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		k := lineKey{posn.Filename, posn.Line}
+		found := false
+		for _, w := range wants[k] {
+			if !w.matched && w.rx.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			surplus = append(surplus, fmt.Sprintf("%s: unexpected diagnostic: %s", posn, d.Message))
+		}
+	}
+	var missing []string
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				missing = append(missing, fmt.Sprintf("%s:%d: no diagnostic matching %q", k.file, k.line, w.rx))
+			}
+		}
+	}
+	sort.Strings(surplus)
+	sort.Strings(missing)
+	for _, s := range surplus {
+		t.Errorf("%s [%s]: %s", pkgPath, a.Name, s)
+	}
+	for _, s := range missing {
+		t.Errorf("%s [%s]: %s", pkgPath, a.Name, s)
+	}
+}

@@ -1,0 +1,123 @@
+// Package detclock forbids wall-clock reads and process-seeded randomness
+// in the packages whose behaviour must be a pure function of their inputs.
+//
+// The reproduction's crash/shrink recovery and checkpoint bytes are pinned
+// to SHA-256 goldens under -race; a single time.Now or global rand.Intn in
+// a simulated path turns those goldens flaky with no pointer to the
+// offending line. This analyzer moves the rule from convention to the type
+// checker: in simulation-deterministic packages, time must come from
+// vclock.Clock and randomness from an explicitly seeded *rand.Rand.
+package detclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"heterohpc/internal/analysis"
+)
+
+// Analyzer is the detclock checker.
+var Analyzer = &analysis.Analyzer{
+	Name:         "detclock",
+	AllowKeyword: "wallclock",
+	Doc: `forbid wall-clock and global math/rand use in simulation-deterministic packages
+
+Packages ` + strings.Join(deterministicPkgs, ", ") + ` must derive all time
+from the virtual clock and all randomness from a seeded *rand.Rand.
+Suppress a deliberate exception with //heterolint:allow wallclock <why>.`,
+	Run: run,
+}
+
+// deterministicPkgs are the final import-path segments of the packages
+// whose outputs are golden-pinned: everything they compute must replay
+// bit-identically from the same seed and fault plan.
+var deterministicPkgs = []string{
+	"mp", "vclock", "checkpoint", "bench", "fault", "spot", "rd", "nse",
+}
+
+// forbiddenTime are the "time" package functions that read or schedule
+// against the machine clock. Pure-value helpers (time.Duration arithmetic,
+// time.Unix construction) stay legal.
+var forbiddenTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// allowedRand are the math/rand package-level functions that construct an
+// explicitly seeded generator rather than drawing from the process-global
+// source — rand.New(rand.NewSource(seed)) is the sanctioned idiom.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewChaCha8": true, "NewPCG": true, // math/rand/v2 constructors
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !appliesTo(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgName, ok := importedPkg(pass, sel.X)
+			if !ok {
+				return true
+			}
+			switch pkgName.Imported().Path() {
+			case "time":
+				if forbiddenTime[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"wall-clock read time.%s in simulation-deterministic package %q; use the virtual clock (vclock.Clock)",
+						sel.Sel.Name, pass.Pkg.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				// Package-level rand functions draw from the process-global
+				// source; methods on an explicitly seeded *rand.Rand do not
+				// go through a SelectorExpr whose X is the package name, so
+				// they pass untouched, as do the generator constructors.
+				if _, isFunc := pass.TypesInfo.Uses[sel.Sel].(*types.Func); isFunc && !allowedRand[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"global %s.%s in simulation-deterministic package %q is seeded from process state; use an explicitly seeded *rand.Rand",
+						pkgName.Imported().Name(), sel.Sel.Name, pass.Pkg.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// appliesTo reports whether the import path's final segment is one of the
+// deterministic packages. Matching on the segment (not the full path) lets
+// the analysistest fixtures live under short paths while still pinning the
+// real internal/<pkg> tree.
+func appliesTo(path string) bool {
+	seg := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		seg = path[i+1:]
+	}
+	for _, p := range deterministicPkgs {
+		if seg == p {
+			return true
+		}
+	}
+	return false
+}
+
+// importedPkg resolves expr to the *types.PkgName it names, if it is a
+// plain package qualifier.
+func importedPkg(pass *analysis.Pass, expr ast.Expr) (*types.PkgName, bool) {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return pn, ok
+}

@@ -1,0 +1,12 @@
+package detclock_test
+
+import (
+	"testing"
+
+	"heterohpc/internal/analysis/analysistest"
+	"heterohpc/internal/analysis/detclock"
+)
+
+func TestDetclock(t *testing.T) {
+	analysistest.Run(t, "../testdata", detclock.Analyzer, "rd", "webui")
+}

@@ -1,0 +1,379 @@
+// Package maporder flags range-over-map loops whose iteration order can
+// leak into deterministic output — the classic source of golden-file
+// nondeterminism. Go randomizes map iteration on purpose; any loop that
+// writes to an ordered sink (an io.Writer, an encoder, a collected slice
+// that is never sorted) or returns the first match it happens to visit
+// produces output that differs run to run.
+//
+// Recognized benign shapes are not flagged:
+//
+//   - collect-then-launder: keys appended to a slice that is afterwards
+//     passed to any call (sort.Strings, sort.Slice, a helper that sorts) —
+//     the standard deterministic-iteration idiom;
+//   - unique-match lookup: a return guarded by an equality test against the
+//     loop key, where at most one iteration can fire;
+//   - order-independent writes: stores into another map or per-key indexed
+//     slots.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"heterohpc/internal/analysis"
+)
+
+// Analyzer is the maporder checker.
+var Analyzer = &analysis.Analyzer{
+	Name:         "maporder",
+	AllowKeyword: "maporder",
+	Doc: `flag map iteration whose order leaks into ordered output
+
+A range over a map that writes to an io.Writer/encoder, appends to a slice
+that is never handed to a sorting (or any other) call, or returns a
+loop-dependent value on the first match, produces run-to-run nondeterminism.
+Sort the keys first, or suppress with //heterolint:allow maporder <why>.`,
+	Run: run,
+}
+
+// serializeMethods are method names whose calls emit bytes in call order.
+var serializeMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true,
+}
+
+// fprintFuncs are fmt functions whose first argument is the stream.
+var fprintFuncs = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+// printFuncs are fmt functions that write to process stdout, which always
+// lives outside the loop.
+var printFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		// Function bodies, innermost-last, so a range statement can be
+		// matched to the tightest enclosing function for post-loop analysis.
+		var bodies []*ast.BlockStmt
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					bodies = append(bodies, fn.Body)
+				}
+			case *ast.FuncLit:
+				bodies = append(bodies, fn.Body)
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if !isMapRange(pass, rs) {
+				return true
+			}
+			checkMapRange(pass, rs, enclosingBody(bodies, rs))
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isMapRange(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// enclosingBody returns the smallest collected function body containing n.
+func enclosingBody(bodies []*ast.BlockStmt, n ast.Node) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	for _, b := range bodies {
+		if b.Pos() <= n.Pos() && n.End() <= b.End() {
+			if best == nil || (best.Pos() <= b.Pos() && b.End() <= best.End()) {
+				best = b
+			}
+		}
+	}
+	return best
+}
+
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, encl *ast.BlockStmt) {
+	checkSerializeSinks(pass, rs)
+	checkFirstMatchReturns(pass, rs)
+	checkUnsortedAppends(pass, rs, encl)
+}
+
+// checkSerializeSinks flags calls inside the loop body that emit bytes to a
+// stream living outside the loop.
+func checkSerializeSinks(pass *analysis.Pass, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			// fmt.Fprintf(w, ...) / fmt.Printf(...)
+			if pn, ok := pass.TypesInfo.Uses[rootIdent(sel.X)].(*types.PkgName); ok {
+				if pn.Imported().Path() == "fmt" {
+					switch {
+					case fprintFuncs[sel.Sel.Name]:
+						// Fprint* with a stream declared inside the loop
+						// body is per-iteration scratch, not an ordered sink.
+						if len(call.Args) > 0 && declaredWithin(pass, rootIdent(call.Args[0]), rs) {
+							return true
+						}
+						pass.Reportf(call.Pos(),
+							"map iteration order leaks into fmt.%s output; iterate sorted keys instead",
+							sel.Sel.Name)
+					case printFuncs[sel.Sel.Name]:
+						pass.Reportf(call.Pos(),
+							"map iteration order leaks into fmt.%s output; iterate sorted keys instead",
+							sel.Sel.Name)
+					}
+				}
+				return true
+			}
+			// w.Write(...), b.WriteString(...), enc.Encode(...)
+			if serializeMethods[sel.Sel.Name] {
+				if declaredWithin(pass, rootIdent(sel.X), rs) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"map iteration order leaks into %s call on a stream declared outside the loop; iterate sorted keys instead",
+					sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkFirstMatchReturns flags returns inside the loop whose value depends
+// on which iteration the runtime happened to visit first.
+func checkFirstMatchReturns(pass *analysis.Pass, rs *ast.RangeStmt) {
+	keyObj := rangeVarObj(pass, rs.Key)
+	var walk func(n ast.Stmt, guarded bool)
+	walkAll := func(list []ast.Stmt, guarded bool) {
+		for _, s := range list {
+			walk(s, guarded)
+		}
+	}
+	walk = func(n ast.Stmt, guarded bool) {
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			if guarded {
+				return
+			}
+			for _, res := range s.Results {
+				if dependsOnLoop(pass, res, rs) {
+					pass.Reportf(s.Pos(),
+						"return inside map iteration picks whichever entry the runtime visits first; iterate sorted keys for a deterministic result")
+					return
+				}
+			}
+		case *ast.IfStmt:
+			g := guarded || isUniqueKeyGuard(pass, s.Cond, keyObj, rs)
+			walk(s.Body, g)
+			if s.Else != nil {
+				walk(s.Else, guarded)
+			}
+		case *ast.BlockStmt:
+			walkAll(s.List, guarded)
+		case *ast.ForStmt:
+			walk(s.Body, guarded)
+		case *ast.RangeStmt:
+			// A nested map range gets its own top-level check.
+			if !isMapRange(pass, s) {
+				walk(s.Body, guarded)
+			}
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkAll(cc.Body, guarded)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					walkAll(cc.Body, guarded)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					walkAll(cc.Body, guarded)
+				}
+			}
+		case *ast.LabeledStmt:
+			walk(s.Stmt, guarded)
+		}
+	}
+	walk(rs.Body, false)
+}
+
+// isUniqueKeyGuard reports whether cond contains an equality test between
+// the loop key and a value from outside the loop — the "find this one
+// entry" shape, where at most one iteration can match.
+func isUniqueKeyGuard(pass *analysis.Pass, cond ast.Expr, keyObj types.Object, rs *ast.RangeStmt) bool {
+	if keyObj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != token.EQL {
+			return true
+		}
+		l, r := pass.TypesInfo.ObjectOf(rootIdent(be.X)), pass.TypesInfo.ObjectOf(rootIdent(be.Y))
+		if (l == keyObj && !objWithin(r, rs)) || (r == keyObj && !objWithin(l, rs)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkUnsortedAppends flags appends to an outer slice whose contents are
+// never laundered through a later call (sorting or otherwise).
+func checkUnsortedAppends(pass *analysis.Pass, rs *ast.RangeStmt, encl *ast.BlockStmt) {
+	collected := map[types.Object]token.Pos{}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		lhs := rootIdent(as.Lhs[0])
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+			return true
+		}
+		obj := pass.TypesInfo.ObjectOf(lhs)
+		if obj == nil || objWithin(obj, rs) {
+			return true
+		}
+		// Appending order-independent content (e.g. the same constant per
+		// iteration) is still nondeterministic in general; keep it simple
+		// and record every outer-slice append.
+		if _, seen := collected[obj]; !seen {
+			collected[obj] = as.Pos()
+		}
+		return true
+	})
+	if len(collected) == 0 || encl == nil {
+		return
+	}
+	for obj, pos := range collected {
+		if laundered(pass, obj, rs, encl) {
+			continue
+		}
+		pass.Reportf(pos,
+			"%s collects map entries in iteration order and is never passed to a sorting call; sort it (or the keys) before use",
+			obj.Name())
+	}
+}
+
+// laundered reports whether obj is passed as an argument to any call after
+// the range statement within the enclosing function — the collect-then-sort
+// idiom (the callee is assumed to impose an order; sort.Strings, sort.Slice
+// and package-local helpers like (*Local).finish all take this shape).
+func laundered(pass *analysis.Pass, obj types.Object, rs *ast.RangeStmt, encl *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(encl, func(n ast.Node) bool {
+		if found || n == nil || n.End() <= rs.End() {
+			return !found
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			if pass.TypesInfo.ObjectOf(rootIdent(arg)) == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// dependsOnLoop reports whether expr references anything declared inside
+// the range statement (the loop variables or body-local values).
+func dependsOnLoop(pass *analysis.Pass, expr ast.Expr, rs *ast.RangeStmt) bool {
+	dep := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.TypesInfo.ObjectOf(id); objWithin(obj, rs) {
+			dep = true
+			return false
+		}
+		return true
+	})
+	return dep
+}
+
+// rangeVarObj resolves a range key/value expression to its object, or nil
+// for `_`, nil, or non-identifier forms.
+func rangeVarObj(pass *analysis.Pass, expr ast.Expr) types.Object {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.TypesInfo.ObjectOf(id)
+}
+
+// objWithin reports whether obj is declared inside the range statement.
+func objWithin(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj != nil && rs.Pos() <= obj.Pos() && obj.Pos() < rs.End()
+}
+
+// declaredWithin reports whether id resolves to an object declared inside
+// the range statement. A nil id counts as outside (conservative: flag).
+func declaredWithin(pass *analysis.Pass, id *ast.Ident, rs *ast.RangeStmt) bool {
+	if id == nil {
+		return false
+	}
+	return objWithin(pass.TypesInfo.ObjectOf(id), rs)
+}
+
+// rootIdent unwraps selectors, indexing, unary ops and parens down to the
+// leftmost identifier: cw in cw.n, &b in fmt.Fprintf(&b, …), s in s[i].
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.UnaryExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"heterohpc/internal/analysis/analysistest"
+	"heterohpc/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, "../testdata", maporder.Analyzer, "collect")
+}

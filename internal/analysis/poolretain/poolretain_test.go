@@ -1,0 +1,12 @@
+package poolretain_test
+
+import (
+	"testing"
+
+	"heterohpc/internal/analysis/analysistest"
+	"heterohpc/internal/analysis/poolretain"
+)
+
+func TestPoolretain(t *testing.T) {
+	analysistest.Run(t, "../testdata", poolretain.Analyzer, "mp")
+}

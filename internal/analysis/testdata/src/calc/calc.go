@@ -1,0 +1,12 @@
+// Package calc is the vcharge negative fixture: not a metered package, so
+// uncharged float loops are legal here.
+package calc
+
+// Mean is unmetered numeric code outside sparse/krylov/fem.
+func Mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

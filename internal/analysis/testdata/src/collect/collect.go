@@ -1,0 +1,150 @@
+// Package collect is the maporder fixture: map iterations feeding ordered
+// sinks, in both flagged and laundered shapes.
+package collect
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report writes entries in map order: the classic golden-file flake.
+func Report(w *strings.Builder, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `map iteration order leaks into fmt\.Fprintf output`
+	}
+}
+
+// ReportMethod hits the method-call sink on an outside stream.
+func ReportMethod(b *strings.Builder, m map[string]int) {
+	for k := range m {
+		b.WriteString(k) // want `map iteration order leaks into WriteString call`
+	}
+}
+
+// ReportStdout leaks map order into process output.
+func ReportStdout(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want `map iteration order leaks into fmt\.Println output`
+	}
+}
+
+// encoder is a local stand-in for json.Encoder-style sinks.
+type encoder struct{ out []string }
+
+func (e *encoder) Encode(v interface{}) error {
+	e.out = append(e.out, fmt.Sprint(v))
+	return nil
+}
+
+// Stream encodes values in map order.
+func Stream(enc *encoder, m map[string]int) {
+	for _, v := range m {
+		enc.Encode(v) // want `map iteration order leaks into Encode call`
+	}
+}
+
+// PerIterationScratch builds a fresh buffer per entry and stores it by key:
+// nothing ordered escapes, so nothing is flagged.
+func PerIterationScratch(m map[string]int) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s=%d", k, v)
+		out[k] = b.String()
+	}
+	return out
+}
+
+// SortedKeys is the sanctioned idiom: collect, sort, then emit.
+func SortedKeys(w *strings.Builder, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// FirstMatch returns whichever entry the runtime visits first.
+func FirstMatch(m map[string]int, lim int) string {
+	for k, v := range m {
+		if v > lim {
+			return k // want `return inside map iteration picks whichever entry the runtime visits first`
+		}
+	}
+	return ""
+}
+
+// FirstError returns a loop-dependent error nondeterministically.
+func FirstError(m map[string]int) error {
+	for k, v := range m {
+		if v < 0 {
+			return fmt.Errorf("negative entry %s=%d", k, v) // want `return inside map iteration`
+		}
+	}
+	return nil
+}
+
+// UniqueLookup is the find-this-one-entry shape: at most one iteration can
+// match the key equality, so the result is deterministic.
+func UniqueLookup(m map[string]int, want string) int {
+	for k, v := range m {
+		if k == want {
+			return v
+		}
+	}
+	return -1
+}
+
+// ConstantReturn yields the same value whichever entry fires first.
+func ConstantReturn(m map[string]int) bool {
+	for _, v := range m {
+		if v > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Unsorted collects in iteration order and hands the slice straight back.
+func Unsorted(m map[string]int) []string {
+	var names []string
+	for k := range m {
+		names = append(names, k) // want `names collects map entries in iteration order`
+	}
+	return names
+}
+
+// Sorted launders the collection through sort.Strings.
+func Sorted(m map[string]int) []string {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// helperSorted launders through a callee, the (*Local).finish shape: the
+// analyzer assumes a later call imposes an order.
+func helperSorted(m map[string]int) []string {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	finish(names)
+	return names
+}
+
+func finish(names []string) { sort.Strings(names) }
+
+// Allowed demonstrates the escape hatch on an ordered sink.
+func Allowed(w *strings.Builder, m map[string]int) {
+	for k := range m {
+		//heterolint:allow maporder debug dump, order is irrelevant to goldens
+		fmt.Fprintf(w, "%s\n", k)
+	}
+}

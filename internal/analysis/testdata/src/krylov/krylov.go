@@ -1,0 +1,33 @@
+// Package krylov is the vcharge cross-package fixture: the Charger
+// interface lives in the imported sparse package, and charging happens by
+// handing the charger to a callee.
+package krylov
+
+import "sparse"
+
+// Smooth passes its charger to sparse kernels: charged via the callee.
+func Smooth(n int, x, y []float64, ch sparse.Charger) {
+	for i := 0; i < n; i++ {
+		y[i] = 0
+	}
+	sparse.Axpy(n, 0.5, x, y, ch)
+}
+
+// FusedResidual loops itself but forwards the charger to a helper call, so
+// the work is accounted.
+func FusedResidual(n int, r, x []float64, ch sparse.Charger) float64 {
+	var s float64
+	for i := 0; i < n; i++ {
+		s += r[i] * r[i]
+	}
+	return s + sparse.DotLocal(n, x, x, ch)
+}
+
+// RawNorm burns flops with no charger in sight.
+func RawNorm(x []float64) float64 { // want `exported RawNorm loops over float64 data with no reachable compute charge`
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}

@@ -1,0 +1,125 @@
+// Package mp is the poolretain fixture: a miniature of the real transport
+// with the same type names the analyzer keys on (f64Pool, message) and a
+// mailbox whose put method must NOT be confused with the pool's.
+package mp
+
+type f64Pool struct{ free [][]float64 }
+
+func (p *f64Pool) get(n int) []float64 { return make([]float64, n) }
+func (p *f64Pool) put(buf []float64)   {}
+
+type message struct {
+	src, tag int
+	f64      []float64
+}
+
+type mailbox struct{ q []message }
+
+// put here is the mailbox handoff, not the pool recycle.
+func (b *mailbox) put(m message) { b.q = append(b.q, m) }
+func (b *mailbox) take() message { m := b.q[0]; b.q = b.q[1:]; return m }
+
+type World struct {
+	pool  f64Pool
+	boxes []*mailbox
+}
+
+type Rank struct {
+	world *World
+	id    int
+	stash []float64
+}
+
+var debugLast []float64
+
+// SendOK is the sanctioned shape: get, fill, hand off inside a message.
+func (r *Rank) SendOK(dst int, data []float64) {
+	cp := r.world.pool.get(len(data))
+	copy(cp, data)
+	r.world.boxes[dst].put(message{src: r.id, tag: 1, f64: cp})
+}
+
+// RecvOK is the documented transfer point: returning the payload moves
+// ownership to the application.
+func (r *Rank) RecvOK() []float64 {
+	m := r.world.boxes[r.id].take()
+	return m.f64
+}
+
+// RecvIntoOK copies out and recycles: the last payload touch precedes put.
+func (r *Rank) RecvIntoOK(dst []float64) int {
+	m := r.world.boxes[r.id].take()
+	n := copy(dst, m.f64)
+	r.world.pool.put(m.f64)
+	return n
+}
+
+// StashField retains a pooled buffer in a struct field.
+func (r *Rank) StashField(n int) {
+	cp := r.world.pool.get(n)
+	r.stash = cp // want `pooled buffer cp stored into field stash`
+}
+
+// StashGlobal retains a pooled buffer in a package-level variable.
+func (r *Rank) StashGlobal(n int) {
+	cp := r.world.pool.get(n)
+	debugLast = cp // want `pooled buffer cp stored into package-level variable debugLast`
+}
+
+type wrapper struct{ buf []float64 }
+
+// WrapLiteral retains a pooled buffer inside a non-message composite.
+func (r *Rank) WrapLiteral(n int) wrapper {
+	cp := r.world.pool.get(n)
+	return wrapper{buf: cp} // want `pooled buffer cp retained inside a composite literal`
+}
+
+// LeakGoroutine captures a pooled buffer in a goroutine.
+func (r *Rank) LeakGoroutine(n int) {
+	cp := r.world.pool.get(n)
+	go func() {
+		_ = cp[0] // want `pooled buffer cp captured by a goroutine`
+	}()
+	r.world.pool.put(cp)
+}
+
+// UseAfterPut touches the buffer after recycling it.
+func (r *Rank) UseAfterPut(n int) float64 {
+	cp := r.world.pool.get(n)
+	cp[0] = 1
+	r.world.pool.put(cp)
+	return cp[0] // want `use of pooled buffer after put`
+}
+
+// DoublePut recycles twice.
+func (r *Rank) DoublePut(n int) {
+	cp := r.world.pool.get(n)
+	r.world.pool.put(cp)
+	r.world.pool.put(cp) // want `use of pooled buffer after put`
+}
+
+// PayloadAfterPut touches message.f64 after recycling it.
+func (r *Rank) PayloadAfterPut() float64 {
+	m := r.world.boxes[r.id].take()
+	v := m.f64[0]
+	r.world.pool.put(m.f64)
+	return v + m.f64[0] // want `use of pooled buffer after put`
+}
+
+// ConditionalPut puts on an early-exit path only; the later use is on the
+// no-put path and is correct — sibling-statement analysis stays quiet.
+func (r *Rank) ConditionalPut(n int, early bool) float64 {
+	cp := r.world.pool.get(n)
+	if early {
+		r.world.pool.put(cp)
+		return 0
+	}
+	return cp[0]
+}
+
+// AllowedStash documents a deliberate retention.
+func (r *Rank) AllowedStash(n int) {
+	cp := r.world.pool.get(n)
+	//heterolint:allow poolretain world-reset diagnostics buffer, pool is discarded right after
+	r.stash = cp
+}

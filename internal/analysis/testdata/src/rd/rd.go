@@ -1,0 +1,64 @@
+// Package rd is a detclock fixture: its import-path segment "rd" puts it
+// in the simulation-deterministic set.
+package rd
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Clock stands in for the virtual clock in negative cases.
+type Clock struct{ now float64 }
+
+// Step exercises the forbidden wall-clock reads.
+func Step() time.Duration {
+	t0 := time.Now()                       // want `wall-clock read time\.Now in simulation-deterministic package "rd"`
+	time.Sleep(time.Millisecond)           // want `wall-clock read time\.Sleep`
+	if time.Until(t0.Add(time.Hour)) > 0 { // want `wall-clock read time\.Until`
+		_ = time.Since(t0) // want `wall-clock read time\.Since`
+	}
+	return time.Since(t0) // want `wall-clock read time\.Since`
+}
+
+// PureTimeValues shows that value-only helpers from "time" stay legal.
+func PureTimeValues() time.Time {
+	d := 3 * time.Second
+	_ = d.Seconds()
+	return time.Unix(0, 0)
+}
+
+// Draw exercises the global math/rand source.
+func Draw() float64 {
+	n := rand.Intn(10) // want `global rand\.Intn in simulation-deterministic package "rd"`
+	_ = n
+	rand.Shuffle(4, func(i, j int) {}) // want `global rand\.Shuffle`
+	return rand.Float64()              // want `global rand\.Float64`
+}
+
+// SeededDraw is the sanctioned idiom: an explicitly seeded generator.
+func SeededDraw(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// Annotated shows the escape hatch with a justification.
+func Annotated() time.Time {
+	//heterolint:allow wallclock perf harness timestamps the report header only
+	return time.Now()
+}
+
+// AnnotatedSameLine suppresses on the offending line itself.
+func AnnotatedSameLine() time.Time {
+	return time.Now() //heterolint:allow wallclock report header timestamp, never enters simulated state
+}
+
+// MissingReason shows that a bare annotation is itself a finding.
+func MissingReason() time.Time {
+	//heterolint:allow wallclock // want `needs a justification`
+	return time.Now()
+}
+
+// stale annotation with nothing beneath it:
+//
+//heterolint:allow wallclock nothing here reads the clock // want `unused //heterolint:allow wallclock`
+func Stale() int { return 1 }

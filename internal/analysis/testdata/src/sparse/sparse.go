@@ -1,0 +1,96 @@
+// Package sparse is the vcharge fixture: metered kernels in the shapes the
+// real package uses — direct charges, charge-through-helper, and the
+// uncharged loop the analyzer exists to catch.
+package sparse
+
+// Charger receives operation counts from compute kernels.
+type Charger interface {
+	ChargeCompute(flops, bytes float64)
+}
+
+// NopCharger discards charges.
+type NopCharger struct{}
+
+// ChargeCompute implements Charger.
+func (NopCharger) ChargeCompute(flops, bytes float64) {}
+
+// Axpy charges directly after its loop.
+func Axpy(n int, a float64, x, y []float64, ch Charger) {
+	for i := 0; i < n; i++ {
+		y[i] += a * x[i]
+	}
+	ch.ChargeCompute(2*float64(n), 24*float64(n))
+}
+
+// DotLocal charges directly.
+func DotLocal(n int, x, y []float64, ch Charger) float64 {
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += x[i] * y[i]
+	}
+	ch.ChargeCompute(2*float64(n), 16*float64(n))
+	return sum
+}
+
+// chargeTail is an unexported helper that performs the charge.
+func chargeTail(n int, ch Charger) {
+	ch.ChargeCompute(float64(n), 8*float64(n))
+}
+
+// Scale charges through a package-local helper (fixpoint case).
+func Scale(n int, a float64, x []float64, ch Charger) {
+	for i := 0; i < n; i++ {
+		x[i] *= a
+	}
+	chargeTail(n, ch)
+}
+
+// SumAbs loops over float data and never charges anything.
+func SumAbs(n int, x []float64) float64 { // want `exported SumAbs loops over float64 data with no reachable compute charge`
+	var s float64
+	for i := 0; i < n; i++ {
+		if x[i] < 0 {
+			s -= x[i]
+		} else {
+			s += x[i]
+		}
+	}
+	return s
+}
+
+// CopyN moves bytes without arithmetic: not compute, not flagged.
+func CopyN(n int, dst, src []float64) {
+	for i := 0; i < n; i++ {
+		dst[i] = src[i]
+	}
+}
+
+// BuildIndex does integer bookkeeping only: not flagged.
+func BuildIndex(rows []int) []int {
+	out := make([]int, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, r*2+1)
+	}
+	return out
+}
+
+// ExactReference is deliberately uncharged: it models the analytic
+// solution used for error norms, which costs nothing in virtual time.
+//
+//heterolint:allow vcharge analytic reference solution, outside the metered iteration
+func ExactReference(n int, x []float64) float64 {
+	var s float64
+	for i := 0; i < n; i++ {
+		s += x[i] * x[i]
+	}
+	return s
+}
+
+// private helpers with uncharged loops are not exported API: not flagged.
+func sumsq(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v * v
+	}
+	return s
+}

@@ -1,0 +1,18 @@
+// Package webui is a detclock negative fixture: it is not in the
+// simulation-deterministic set, so wall-clock reads are legal.
+package webui
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Uptime may read the machine clock: webui is not a simulated package.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// Jitter may use the global source outside the deterministic set.
+func Jitter() int {
+	return rand.Intn(100)
+}

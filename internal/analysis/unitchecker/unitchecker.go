@@ -1,0 +1,266 @@
+// Package unitchecker implements the cmd/go vet-tool protocol with nothing
+// but the standard library, mirroring golang.org/x/tools/go/analysis/
+// unitchecker. `go vet -vettool=heterolint` invokes the tool once per
+// package with a JSON config file describing the unit: source files, the
+// import map, and the export-data file for every dependency (already built
+// by cmd/go). The tool parses and type-checks the unit with go/importer
+// reading that export data, runs the analyzers, prints diagnostics, and
+// writes the (empty — heterolint is fact-free) .vetx output cmd/go caches.
+//
+// The protocol surface:
+//
+//	heterolint -V=full        print a content-derived version (build cache key)
+//	heterolint -flags         print the supported analyzer flags as JSON
+//	heterolint file.cfg       analyze one unit (what cmd/go invokes)
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"heterohpc/internal/analysis"
+)
+
+// Config is the JSON unit description cmd/go writes to <objdir>/vet.cfg.
+// Field names and meanings follow cmd/go/internal/work; unknown fields are
+// ignored so the tool tolerates newer toolchains.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for a vet-tool binary wrapping the analyzers. It
+// terminates the process.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+	if err := analysis.Validate(analyzers); err != nil {
+		log.Fatal(err)
+	}
+
+	jsonOut := false
+	var cfgFile string
+	for _, arg := range os.Args[1:] {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			printVersion(progname)
+			os.Exit(0)
+		case arg == "-V" || arg == "--V":
+			fmt.Printf("%s version devel\n", progname)
+			os.Exit(0)
+		case arg == "-flags" || arg == "--flags":
+			// No analyzer flags: cmd/go uses this to validate user-passed
+			// vet flags before running the tool.
+			fmt.Println("[]")
+			os.Exit(0)
+		case arg == "-json" || arg == "--json":
+			jsonOut = true
+		case arg == "help" || arg == "-h" || arg == "--help":
+			usage(progname, analyzers)
+			os.Exit(0)
+		case strings.HasSuffix(arg, ".cfg"):
+			cfgFile = arg
+		default:
+			log.Fatalf("unrecognized argument %q; invoke via go vet -vettool=%s", arg, progname)
+		}
+	}
+	if cfgFile == "" {
+		usage(progname, analyzers)
+		os.Exit(1)
+	}
+	diags, err := Run(cfgFile, analyzers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if jsonOut {
+		printJSON(os.Stdout, diags)
+		os.Exit(0)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.Posn, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+// printVersion emits the version line cmd/go's build-ID probe expects. The
+// ID is derived from the binary's own content, so rebuilding heterolint
+// with new analyzers invalidates cmd/go's cached vet results.
+func printVersion(progname string) {
+	data, err := os.ReadFile(os.Args[0])
+	if err != nil {
+		if exe, eerr := os.Executable(); eerr == nil {
+			data, err = os.ReadFile(exe)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	h := sha256.Sum256(data)
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, string(h[:12]))
+}
+
+func usage(progname string, analyzers []*analysis.Analyzer) {
+	fmt.Fprintf(os.Stderr, "%s: machine-checks heterohpc's determinism, pooling and clock-charging invariants\n\n", progname)
+	fmt.Fprintf(os.Stderr, "usage: go vet -vettool=$(command -v %s) ./...\n\nanalyzers:\n", progname)
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, doc)
+	}
+}
+
+// JSONDiagnostic is one finding in -json output.
+type JSONDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	Posn     string `json:"posn"`
+	Message  string `json:"message"`
+}
+
+func printJSON(w io.Writer, diags []JSONDiagnostic) {
+	tree := map[string][]JSONDiagnostic{}
+	for _, d := range diags {
+		tree[d.Analyzer] = append(tree[d.Analyzer], d)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	enc.Encode(tree)
+}
+
+// Run analyzes the unit described by cfgFile and returns its diagnostics.
+func Run(cfgFile string, analyzers []*analysis.Analyzer) ([]JSONDiagnostic, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode vet config %s: %v", cfgFile, err)
+	}
+
+	// cmd/go expects the facts output to exist even for units it only needs
+	// facts from. Heterolint analyzers are fact-free, so it is empty — but
+	// it must be written before any early return.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("heterolint\n"), 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path is a resolved package path, not the import string.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	arch := os.Getenv("GOARCH")
+	if arch == "" {
+		arch = runtime.GOARCH
+	}
+	tc := &types.Config{
+		Importer:    imp,
+		Sizes:       types.SizesFor(cfg.Compiler, arch),
+		FakeImportC: true,
+	}
+	if tc.Sizes == nil {
+		tc.Sizes = types.SizesFor("gc", runtime.GOARCH)
+	}
+	if cfg.GoVersion != "" {
+		tc.GoVersion = cfg.GoVersion
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+
+	var out []JSONDiagnostic
+	for _, a := range analyzers {
+		diags, err := analysis.RunAnalyzer(a, fset, files, pkg, info)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+		for _, d := range diags {
+			out = append(out, JSONDiagnostic{
+				Analyzer: a.Name,
+				Posn:     fset.Position(d.Pos).String(),
+				Message:  d.Message,
+			})
+		}
+	}
+	return out, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

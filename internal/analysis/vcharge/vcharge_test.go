@@ -1,0 +1,12 @@
+package vcharge_test
+
+import (
+	"testing"
+
+	"heterohpc/internal/analysis/analysistest"
+	"heterohpc/internal/analysis/vcharge"
+)
+
+func TestVcharge(t *testing.T) {
+	analysistest.Run(t, "../testdata", vcharge.Analyzer, "sparse", "krylov", "calc")
+}

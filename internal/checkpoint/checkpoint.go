@@ -8,6 +8,7 @@ package checkpoint
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 
 	"heterohpc/internal/h5lite"
@@ -18,6 +19,23 @@ import (
 // FormatVersion guards against restoring state written by an incompatible
 // layout.
 const FormatVersion = "1"
+
+// setMetaAttrs applies checkpoint metadata in sorted key order, so a
+// failing SetAttr always surfaces the same error first regardless of map
+// iteration (heterolint:maporder).
+func setMetaAttrs(f *h5lite.File, path string, meta map[string]string) error {
+	keys := make([]string, 0, len(meta))
+	for k := range meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := f.SetAttr(path, k, meta[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // App tags identify which solver wrote a container, so a restart cannot
 // feed Navier–Stokes state to the RD solver or vice versa. The tag is an
@@ -60,10 +78,8 @@ func WriteRD(w io.Writer, st rd.State, rank, nranks int, ownedIDs []int) error {
 		"rank":    strconv.Itoa(rank),
 		"nranks":  strconv.Itoa(nranks),
 	}
-	for k, v := range meta {
-		if err := f.SetAttr("rd/u1", k, v); err != nil {
-			return err
-		}
+	if err := setMetaAttrs(f, "rd/u1", meta); err != nil {
+		return err
 	}
 	_, err := f.WriteTo(w)
 	return err
@@ -163,10 +179,8 @@ func WriteNSE(w io.Writer, st nse.State, rank, nranks int, ownedIDs []int) error
 		"rank":    strconv.Itoa(rank),
 		"nranks":  strconv.Itoa(nranks),
 	}
-	for k, v := range meta {
-		if err := f.SetAttr("ns/u1_0", k, v); err != nil {
-			return err
-		}
+	if err := setMetaAttrs(f, "ns/u1_0", meta); err != nil {
+		return err
 	}
 	_, err := f.WriteTo(w)
 	return err

@@ -8,13 +8,13 @@ import (
 
 // LedgerEntry records one executed job for accounting.
 type LedgerEntry struct {
-	Platform   string
-	App        string
-	Ranks      int
-	Nodes      int
-	RunSeconds float64
+	Platform    string
+	App         string
+	Ranks       int
+	Nodes       int
+	RunSeconds  float64
 	WaitSeconds float64
-	Dollars    float64
+	Dollars     float64
 }
 
 // Ledger accumulates job records and produces the "overall expense factor"

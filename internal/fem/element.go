@@ -37,6 +37,8 @@ func Gauss222() []QuadPoint {
 // ShapeQ1 evaluates the 8 trilinear shape functions and their reference
 // gradients at ξ. Local node ordering matches mesh.ElemVerts: x fastest,
 // then y, then z.
+//
+//heterolint:allow vcharge reference-element evaluation; callers charge at operator granularity (MassMatrix etc.), and NewElement precomputes this once per space outside the metered iteration
 func ShapeQ1(xi [3]float64) (n [8]float64, dn [8][3]float64) {
 	signs := [2]float64{-1, 1}
 	a := 0
@@ -84,6 +86,8 @@ type Element struct {
 }
 
 // NewElement precomputes quadrature data for an hx×hy×hz element.
+//
+//heterolint:allow vcharge one-time quadrature setup per world construction; the per-step assembly loops it feeds are charged by AssembleMatrix
 func NewElement(hx, hy, hz float64) (*Element, error) {
 	if hx <= 0 || hy <= 0 || hz <= 0 {
 		return nil, fmt.Errorf("fem: non-positive element size %v×%v×%v", hx, hy, hz)

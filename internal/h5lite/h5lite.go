@@ -282,7 +282,11 @@ func ReadFrom(r io.Reader) (*File, error) {
 		if nattrs > 1<<16 {
 			return nil, fmt.Errorf("%w: %q has %d attributes", ErrCorrupt, name, nattrs)
 		}
-		attrs := map[string]string{}
+		// Attributes stay in wire order in a pair slice: replaying them
+		// into SetAttr through a map would apply them (and surface any
+		// error) in random iteration order (heterolint:maporder).
+		type kv struct{ k, v string }
+		attrs := make([]kv, 0, min(int(nattrs), 64))
 		for j := uint32(0); j < nattrs; j++ {
 			k, err := readString(r)
 			if err != nil {
@@ -292,7 +296,7 @@ func ReadFrom(r io.Reader) (*File, error) {
 			if err != nil {
 				return nil, err
 			}
-			attrs[k] = v
+			attrs = append(attrs, kv{k, v})
 		}
 		// The data buffer grows with the bytes actually read (bounded
 		// initial capacity), so a header claiming a huge shape over a tiny
@@ -331,8 +335,8 @@ func ReadFrom(r io.Reader) (*File, error) {
 		default:
 			return nil, fmt.Errorf("%w: %q has unknown dtype %d", ErrCorrupt, name, dtype)
 		}
-		for k, v := range attrs {
-			if err := f.SetAttr(name, k, v); err != nil {
+		for _, a := range attrs {
+			if err := f.SetAttr(name, a.k, a.v); err != nil {
 				return nil, err
 			}
 		}

@@ -173,4 +173,3 @@ func (r *Rank) commFactor() float64 {
 	}
 	return f
 }
-

@@ -94,9 +94,18 @@ func DefaultRegistry() Registry {
 	return r
 }
 
-// Validate checks the registry for dangling or cyclic dependencies.
+// Validate checks the registry for dangling or cyclic dependencies. It
+// walks the registry in sorted order so a registry with several problems
+// always reports the same one first (map iteration would pick an arbitrary
+// error each run — heterolint:maporder).
 func (r Registry) Validate() error {
-	for name, p := range r {
+	names := make([]string, 0, len(r))
+	for name := range r {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := r[name]
 		if p.Name != name {
 			return fmt.Errorf("provision: key %q holds package %q", name, p.Name)
 		}
@@ -107,7 +116,7 @@ func (r Registry) Validate() error {
 		}
 	}
 	// Cycle check via the resolver's DFS on every node.
-	for name := range r {
+	for _, name := range names {
 		if _, err := r.order([]string{name}); err != nil {
 			return err
 		}

@@ -82,6 +82,8 @@ type CSR struct {
 
 // NewCSRFromCOO builds a CSR from triplets, summing duplicates. Column
 // indices within each row come out sorted.
+//
+//heterolint:allow vcharge symbolic construction runs once per space setup; per-step numeric refills go through charged paths (fem.AssembleMatrix, MulVec)
 func NewCSRFromCOO(nrows, ncols int, c *COO) (*CSR, error) {
 	if nrows > 1<<31 || ncols > 1<<31 {
 		return nil, fmt.Errorf("sparse: %dx%d exceeds the 2^31 packed-key index range", nrows, ncols)
@@ -217,6 +219,8 @@ func (m *CSR) Clone() *CSR {
 }
 
 // Dense expands the matrix to a dense row-major [][]float64 (tests only).
+//
+//heterolint:allow vcharge test-support expansion, never on a simulated compute path
 func (m *CSR) Dense() [][]float64 {
 	d := make([][]float64, m.NRows)
 	for r := range d {
