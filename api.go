@@ -5,6 +5,7 @@ import (
 	"heterohpc/internal/core"
 	"heterohpc/internal/fault"
 	"heterohpc/internal/mp"
+	"heterohpc/internal/obs"
 	"heterohpc/internal/platform"
 )
 
@@ -39,6 +40,13 @@ type (
 	ShrinkStats = bench.ShrinkStats
 	// RecoveryComparison holds both policies' reports for one fault plan.
 	RecoveryComparison = bench.RecoveryComparison
+	// ObsRun is an observability sink: a deterministic JSONL journal of
+	// typed run events plus a metrics registry, both stamped with virtual
+	// time (byte-identical across runs from the same seed). Attach one via
+	// BenchOptions.Obs, FaultOptions.Obs or Target.RunObserved, then write
+	// it out with WriteJournal/WriteMetrics. A nil *ObsRun is a valid no-op
+	// sink — the disabled hot paths stay allocation-free.
+	ObsRun = obs.Run
 )
 
 // Recovery policies for FaultOptions.Policy.
@@ -55,6 +63,9 @@ const (
 // ErrRankDead is the typed error every surviving rank observes when a node
 // of the job is killed or preempted mid-run.
 var ErrRankDead = mp.ErrRankDead
+
+// NewObsRun returns an empty observability sink.
+func NewObsRun() *ObsRun { return obs.NewRun() }
 
 // NewTarget builds the named platform's execution target; seed drives its
 // deterministic availability (queue wait) stream.

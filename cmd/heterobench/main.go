@@ -16,28 +16,41 @@
 //
 // Common flags: -n (elements per rank per dimension; the paper uses 20,
 // default 10 for tractable local runs), -steps, -max (largest process
-// count), -platforms (comma list), -seed.
+// count), -platforms (comma list), -seed. Every job-running command also
+// accepts -journal <path> and -metrics <path>, which write the run's
+// deterministic event journal (JSONL) and metric registry (JSON); equal
+// seeds give byte-identical files.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"heterohpc/internal/bench"
 	"heterohpc/internal/core"
+	"heterohpc/internal/obs"
 	"heterohpc/internal/perf"
 	"heterohpc/internal/trace"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole CLI: parse, dispatch, write observability files. It
+// exists apart from main so tests can drive commands end to end against
+// in-memory writers.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
 	}
-	cmd := os.Args[1]
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	cmd := args[0]
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	n := fs.Int("n", 10, "elements per rank per dimension (paper: 20)")
 	steps := fs.Int("steps", 3, "BDF2 steps per run")
 	skip := fs.Int("skip", 1, "initial iterations to discard from averages")
@@ -62,13 +75,19 @@ func main() {
 	benchFilter := fs.String("filter", "", "perf command: only run cases whose name contains this substring")
 	cpuProfile := fs.String("cpuprofile", "", "perf command: write a CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "perf command: write a heap profile to this file")
-	if err := fs.Parse(os.Args[2:]); err != nil {
-		os.Exit(2)
+	journalPath := fs.String("journal", "", "write the run's deterministic event journal (JSONL) to this file")
+	metricsPath := fs.String("metrics", "", "write the run's metric registry (JSON) to this file")
+	if err := fs.Parse(args[1:]); err != nil {
+		return 2
 	}
 	if *seed < 0 {
-		fmt.Fprintf(os.Stderr, "heterobench: -seed %d is negative; the availability and spot-market models need a seed >= 0\n\n", *seed)
-		usage()
-		os.Exit(2)
+		fmt.Fprintf(stderr, "heterobench: -seed %d is negative; the availability and spot-market models need a seed >= 0\n\n", *seed)
+		usage(stderr)
+		return 2
+	}
+	var obsRun *obs.Run
+	if *journalPath != "" || *metricsPath != "" {
+		obsRun = obs.NewRun()
 	}
 	opts := bench.Options{
 		PerRankN:  *n,
@@ -77,60 +96,97 @@ func main() {
 		MaxRanks:  *maxRanks,
 		Seed:      uint64(*seed),
 		Platforms: strings.Split(*platforms, ","),
+		Obs:       obsRun,
 	}
 
 	var err error
 	switch cmd {
 	case "capabilities":
-		fmt.Print(bench.FormatCapabilities())
+		fmt.Fprint(stdout, bench.FormatCapabilities())
 	case "provision":
-		err = runProvision()
+		err = runProvision(stdout)
 	case "rd-weak":
-		err = runWeak("rd", opts, *csvPath)
+		err = runWeak(stdout, stderr, "rd", opts, *csvPath)
 	case "ns-weak":
-		err = runWeak("ns", opts, *csvPath)
+		err = runWeak(stdout, stderr, "ns", opts, *csvPath)
 	case "placement":
-		err = runPlacement(opts, *csvPath)
+		err = runPlacement(stdout, stderr, opts, *csvPath)
 	case "cost":
-		err = runCost(*app, opts)
+		err = runCost(stdout, *app, opts)
 	case "availability":
-		err = runAvailability(opts, *nodes)
+		err = runAvailability(stdout, opts, *nodes)
 	case "strong":
-		err = runStrong(*app, *globalN, opts)
+		err = runStrong(stdout, *app, *globalN, opts)
 	case "bidding":
 		var out string
 		out, err = bench.FormatBidSweep(opts, *nodes, 50)
-		fmt.Print(out)
+		fmt.Fprint(stdout, out)
 	case "ablate":
-		err = runAblate(*what, opts, *ranks)
+		err = runAblate(stdout, *what, opts, *ranks)
 	case "trace":
-		err = runTrace(*app, opts, *ranks, *csvPath)
+		err = runTrace(stdout, stderr, *app, opts, *ranks, *csvPath)
 	case "faults":
-		err = runFaults(faultsConfig{
+		err = runFaults(stdout, stderr, faultsConfig{
 			App: *app, Platform: *platform, Policy: *policy,
 			Ranks: *ranks, RanksPerNode: *rpn, Seed: *seed,
 			Crashes: *crashes, Preemptions: *preempts, Degradations: *degrades,
 			TracePath: *tracePath,
 		}, opts)
 	case "perf":
-		err = runPerf(*benchOut, *benchFilter, *cpuProfile, *memProfile)
+		err = runPerf(stderr, *benchOut, *benchFilter, *cpuProfile, *memProfile)
 	case "all":
-		err = runAll(opts, *nodes)
+		err = runAll(stdout, stderr, opts, *nodes)
 	case "help", "-h", "--help":
-		usage()
+		usage(stderr)
 	default:
-		fmt.Fprintf(os.Stderr, "heterobench: unknown command %q\n\n", cmd)
-		usage()
-		os.Exit(2)
+		fmt.Fprintf(stderr, "heterobench: unknown command %q\n\n", cmd)
+		usage(stderr)
+		return 2
+	}
+	if err == nil {
+		err = writeObs(stderr, obsRun, *journalPath, *metricsPath)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "heterobench: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "heterobench: %v\n", err)
+		return 1
 	}
+	return 0
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `heterobench — regenerate the paper's evaluation
+// writeObs renders the collected journal and metrics once the command has
+// finished (and only then: the merge order is settled when no more workers
+// record).
+func writeObs(stderr io.Writer, run *obs.Run, journalPath, metricsPath string) error {
+	write := func(path string, render func(io.Writer) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrote %s\n", path)
+		return nil
+	}
+	if journalPath != "" {
+		if err := write(journalPath, run.WriteJournal); err != nil {
+			return err
+		}
+	}
+	if metricsPath != "" {
+		if err := write(metricsPath, run.WriteMetrics); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func usage(stderr io.Writer) {
+	fmt.Fprintln(stderr, `heterobench — regenerate the paper's evaluation
 
 commands:
   capabilities            Table I: platform capability matrix
@@ -150,71 +206,79 @@ commands:
                           -filter substr, -cpuprofile out.pb.gz, -memprofile out.pb.gz
   all                     run everything
 
-flags: -n 10 -steps 3 -skip 1 -max 1000 -platforms puma,ellipse,lagrange,ec2 -seed 2012`)
+flags: -n 10 -steps 3 -skip 1 -max 1000 -platforms puma,ellipse,lagrange,ec2 -seed 2012
+       -journal run.jsonl -metrics metrics.json (deterministic run observability)`)
 }
 
-func runPerf(outPath, filter, cpuProfile, memProfile string) error {
+func runPerf(stderr io.Writer, outPath, filter, cpuProfile, memProfile string) error {
 	return perf.Profile(cpuProfile, memProfile, func() error {
-		rep := perf.Run(filter, os.Stderr)
+		rep := perf.Run(filter, stderr)
+		// Carry the reference numbers forward from the previous report and
+		// show each case against them; a missing file just means there is no
+		// baseline yet.
+		if old, err := perf.ReadJSON(outPath); err == nil {
+			rep.Baseline = old.Baseline
+		}
+		fmt.Fprint(stderr, perf.FormatComparison(rep))
 		if err := perf.WriteJSON(rep, outPath); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", outPath)
+		fmt.Fprintf(stderr, "wrote %s\n", outPath)
 		return nil
 	})
 }
 
-func runWeak(app string, opts bench.Options, csvPath string) error {
+func runWeak(stdout, stderr io.Writer, app string, opts bench.Options, csvPath string) error {
 	series, err := bench.RunWeakAll(app, opts)
 	if err != nil {
 		return err
 	}
-	fmt.Print(bench.FormatWeak(series))
-	fmt.Println()
-	fmt.Print(bench.FormatCost(series))
+	fmt.Fprint(stdout, bench.FormatWeak(series))
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, bench.FormatCost(series))
 	if csvPath != "" {
 		if err := os.WriteFile(csvPath, []byte(bench.CSVWeak(series)), 0o644); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", csvPath)
+		fmt.Fprintf(stderr, "wrote %s\n", csvPath)
 	}
 	return nil
 }
 
-func runPlacement(opts bench.Options, csvPath string) error {
+func runPlacement(stdout, stderr io.Writer, opts bench.Options, csvPath string) error {
 	res, err := bench.RunPlacement(opts)
 	if err != nil {
 		return err
 	}
-	fmt.Print(bench.FormatPlacement(res))
+	fmt.Fprint(stdout, bench.FormatPlacement(res))
 	if csvPath != "" {
 		if err := os.WriteFile(csvPath, []byte(bench.CSVPlacement(res)), 0o644); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", csvPath)
+		fmt.Fprintf(stderr, "wrote %s\n", csvPath)
 	}
 	return nil
 }
 
-func runCost(app string, opts bench.Options) error {
+func runCost(stdout io.Writer, app string, opts bench.Options) error {
 	series, err := bench.RunWeakAll(app, opts)
 	if err != nil {
 		return err
 	}
-	fmt.Print(bench.FormatCost(series))
+	fmt.Fprint(stdout, bench.FormatCost(series))
 	return nil
 }
 
-func runProvision() error {
+func runProvision(stdout io.Writer) error {
 	out, err := bench.FormatProvisioning()
 	if err != nil {
 		return err
 	}
-	fmt.Print(out)
+	fmt.Fprint(stdout, out)
 	return nil
 }
 
-func runStrong(app string, globalN int, opts bench.Options) error {
+func runStrong(stdout io.Writer, app string, globalN int, opts bench.Options) error {
 	var series []*bench.StrongSeries
 	for _, p := range opts.Platforms {
 		s, err := bench.RunStrong(app, p, globalN, opts)
@@ -223,11 +287,11 @@ func runStrong(app string, globalN int, opts bench.Options) error {
 		}
 		series = append(series, s)
 	}
-	fmt.Print(bench.FormatStrong(series))
+	fmt.Fprint(stdout, bench.FormatStrong(series))
 	return nil
 }
 
-func runAblate(what string, opts bench.Options, ranks int) error {
+func runAblate(stdout io.Writer, what string, opts bench.Options, ranks int) error {
 	var out string
 	var err error
 	switch what {
@@ -245,23 +309,23 @@ func runAblate(what string, opts bench.Options, ranks int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(out)
+	fmt.Fprint(stdout, out)
 	return nil
 }
 
-func runAvailability(opts bench.Options, nodes int) error {
+func runAvailability(stdout io.Writer, opts bench.Options, nodes int) error {
 	out, err := bench.FormatAvailability(opts, nodes)
 	if err != nil {
 		return err
 	}
-	fmt.Print(out)
+	fmt.Fprint(stdout, out)
 	return nil
 }
 
 // runTrace executes one job per configured platform and writes Chrome-trace
 // timelines ("<platform>_<app>_trace.json", or the -csv path when exactly
 // one platform is configured).
-func runTrace(app string, opts bench.Options, ranks int, outPath string) error {
+func runTrace(stdout, stderr io.Writer, app string, opts bench.Options, ranks int, outPath string) error {
 	for _, platform := range opts.Platforms {
 		tg, err := core.NewTarget(platform, opts.Seed)
 		if err != nil {
@@ -279,9 +343,9 @@ func runTrace(app string, opts bench.Options, ranks int, outPath string) error {
 		if err != nil {
 			return err
 		}
-		rep, err := tg.Run(core.JobSpec{Ranks: ranks, App: a})
+		rep, err := tg.Run(core.JobSpec{Ranks: ranks, App: a, Obs: opts.Obs})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v (skipped)\n", platform, err)
+			fmt.Fprintf(stderr, "%s: %v (skipped)\n", platform, err)
 			continue
 		}
 		path := fmt.Sprintf("%s_%s_trace.json", platform, app)
@@ -299,7 +363,7 @@ func runTrace(app string, opts bench.Options, ranks int, outPath string) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s (%d ranks × %d steps; open in chrome://tracing or Perfetto)\n",
+		fmt.Fprintf(stdout, "wrote %s (%d ranks × %d steps; open in chrome://tracing or Perfetto)\n",
 			path, rep.Ranks, rep.Iter.Steps)
 	}
 	return nil
@@ -356,7 +420,7 @@ func validateFaults(c faultsConfig) error {
 // compare it runs the same plan under both policies and prints them side by
 // side; with -trace it also writes the recovered run's Chrome trace with
 // the supervisor's decisions overlaid as instant markers.
-func runFaults(c faultsConfig, opts bench.Options) error {
+func runFaults(stdout, stderr io.Writer, c faultsConfig, opts bench.Options) error {
 	if err := validateFaults(c); err != nil {
 		return err
 	}
@@ -365,6 +429,7 @@ func runFaults(c faultsConfig, opts bench.Options) error {
 		PerRankN: opts.PerRankN, Steps: opts.Steps, SkipSteps: opts.SkipSteps,
 		Seed:    uint64(c.Seed),
 		Crashes: c.Crashes, Preemptions: c.Preemptions, Degradations: c.Degradations,
+		Obs: opts.Obs,
 	}
 	var traced *bench.RecoveryReport
 	switch c.Policy {
@@ -373,7 +438,7 @@ func runFaults(c faultsConfig, opts bench.Options) error {
 		if err != nil {
 			return err
 		}
-		fmt.Print(bench.FormatRecoveryComparison(cmp))
+		fmt.Fprint(stdout, bench.FormatRecoveryComparison(cmp))
 		traced = cmp.Shrink
 	default:
 		fo.Policy = c.Policy
@@ -381,7 +446,7 @@ func runFaults(c faultsConfig, opts bench.Options) error {
 		if err != nil {
 			return err
 		}
-		fmt.Print(bench.FormatRecovery(rep))
+		fmt.Fprint(stdout, bench.FormatRecovery(rep))
 		traced = rep
 	}
 	if c.TracePath == "" {
@@ -402,29 +467,29 @@ func runFaults(c faultsConfig, opts bench.Options) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s (decision markers overlay the rank timelines)\n", c.TracePath)
+	fmt.Fprintf(stderr, "wrote %s (decision markers overlay the rank timelines)\n", c.TracePath)
 	return nil
 }
 
-func runAll(opts bench.Options, nodes int) error {
-	fmt.Println("==== Table I: capabilities ====")
-	fmt.Print(bench.FormatCapabilities())
-	fmt.Println("\n==== §VI: provisioning ====")
-	if err := runProvision(); err != nil {
+func runAll(stdout, stderr io.Writer, opts bench.Options, nodes int) error {
+	fmt.Fprintln(stdout, "==== Table I: capabilities ====")
+	fmt.Fprint(stdout, bench.FormatCapabilities())
+	fmt.Fprintln(stdout, "\n==== §VI: provisioning ====")
+	if err := runProvision(stdout); err != nil {
 		return err
 	}
-	fmt.Println("\n==== Figure 4: RD weak scaling (+ Figure 6 costs) ====")
-	if err := runWeak("rd", opts, ""); err != nil {
+	fmt.Fprintln(stdout, "\n==== Figure 4: RD weak scaling (+ Figure 6 costs) ====")
+	if err := runWeak(stdout, stderr, "rd", opts, ""); err != nil {
 		return err
 	}
-	fmt.Println("\n==== Figure 5: NS weak scaling (+ Figure 7 costs) ====")
-	if err := runWeak("ns", opts, ""); err != nil {
+	fmt.Fprintln(stdout, "\n==== Figure 5: NS weak scaling (+ Figure 7 costs) ====")
+	if err := runWeak(stdout, stderr, "ns", opts, ""); err != nil {
 		return err
 	}
-	fmt.Println("\n==== Table II: placement groups ====")
-	if err := runPlacement(opts, ""); err != nil {
+	fmt.Fprintln(stdout, "\n==== Table II: placement groups ====")
+	if err := runPlacement(stdout, stderr, opts, ""); err != nil {
 		return err
 	}
-	fmt.Println("\n==== §VIII: availability ====")
-	return runAvailability(opts, nodes)
+	fmt.Fprintln(stdout, "\n==== §VIII: availability ====")
+	return runAvailability(stdout, opts, nodes)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -17,7 +18,7 @@ func tinyOpts() bench.Options {
 }
 
 func TestRunProvision(t *testing.T) {
-	if err := runProvision(); err != nil {
+	if err := runProvision(io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -25,7 +26,7 @@ func TestRunProvision(t *testing.T) {
 func TestRunWeakWritesCSV(t *testing.T) {
 	dir := t.TempDir()
 	csv := filepath.Join(dir, "weak.csv")
-	if err := runWeak("rd", tinyOpts(), csv); err != nil {
+	if err := runWeak(io.Discard, io.Discard, "rd", tinyOpts(), csv); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(csv)
@@ -40,7 +41,7 @@ func TestRunWeakWritesCSV(t *testing.T) {
 func TestRunPlacementWritesCSV(t *testing.T) {
 	dir := t.TempDir()
 	csv := filepath.Join(dir, "placement.csv")
-	if err := runPlacement(tinyOpts(), csv); err != nil {
+	if err := runPlacement(io.Discard, io.Discard, tinyOpts(), csv); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(csv); err != nil {
@@ -49,13 +50,13 @@ func TestRunPlacementWritesCSV(t *testing.T) {
 }
 
 func TestRunCostAndAvailability(t *testing.T) {
-	if err := runCost("rd", tinyOpts()); err != nil {
+	if err := runCost(io.Discard, "rd", tinyOpts()); err != nil {
 		t.Fatal(err)
 	}
-	if err := runCost("bogus", tinyOpts()); err == nil {
+	if err := runCost(io.Discard, "bogus", tinyOpts()); err == nil {
 		t.Fatal("bogus app accepted")
 	}
-	if err := runAvailability(tinyOpts(), 4); err != nil {
+	if err := runAvailability(io.Discard, tinyOpts(), 4); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -63,17 +64,17 @@ func TestRunCostAndAvailability(t *testing.T) {
 func TestRunStrong(t *testing.T) {
 	o := tinyOpts()
 	o.Platforms = []string{"ec2"}
-	if err := runStrong("rd", 4, o); err != nil {
+	if err := runStrong(io.Discard, "rd", 4, o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAblate(t *testing.T) {
 	o := tinyOpts()
-	if err := runAblate("partition", o, 8); err != nil {
+	if err := runAblate(io.Discard, "partition", o, 8); err != nil {
 		t.Fatal(err)
 	}
-	if err := runAblate("bogus", o, 8); err == nil {
+	if err := runAblate(io.Discard, "bogus", o, 8); err == nil {
 		t.Fatal("unknown ablation accepted")
 	}
 }
@@ -124,7 +125,7 @@ func TestRunFaultsCompareWritesDecisionTrace(t *testing.T) {
 	out := filepath.Join(dir, "faults_trace.json")
 	o := tinyOpts()
 	o.Steps = 3
-	err := runFaults(faultsConfig{
+	err := runFaults(io.Discard, io.Discard, faultsConfig{
 		App: "rd", Platform: "puma", Policy: policyCompare,
 		Ranks: 8, RanksPerNode: 2, Seed: 7, Crashes: 1, TracePath: out,
 	}, o)
@@ -140,7 +141,7 @@ func TestRunFaultsCompareWritesDecisionTrace(t *testing.T) {
 			t.Fatalf("decision trace missing %q", want)
 		}
 	}
-	if err := runFaults(faultsConfig{App: "rd", Policy: "bogus", Ranks: 8, Seed: 1}, o); err == nil {
+	if err := runFaults(io.Discard, io.Discard, faultsConfig{App: "rd", Policy: "bogus", Ranks: 8, Seed: 1}, o); err == nil {
 		t.Fatal("invalid config reached the supervisor")
 	}
 }
@@ -155,7 +156,7 @@ func TestRunTrace(t *testing.T) {
 	o := tinyOpts()
 	o.Platforms = []string{"ec2"}
 	out := filepath.Join(dir, "trace.json")
-	if err := runTrace("rd", o, 8, out); err != nil {
+	if err := runTrace(io.Discard, io.Discard, "rd", o, 8, out); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -165,7 +166,7 @@ func TestRunTrace(t *testing.T) {
 	if !strings.Contains(string(data), "traceEvents") {
 		t.Fatal("trace file malformed")
 	}
-	if err := runTrace("bogus", o, 8, ""); err == nil {
+	if err := runTrace(io.Discard, io.Discard, "bogus", o, 8, ""); err == nil {
 		t.Fatal("unknown app accepted")
 	}
 }

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// driveObserved runs one CLI invocation writing journal+metrics files and
+// returns their contents.
+func driveObserved(t *testing.T, dir, tag string, args []string) (journal, metrics []byte) {
+	t.Helper()
+	jp := filepath.Join(dir, tag+".jsonl")
+	mp := filepath.Join(dir, tag+".json")
+	full := append(append([]string{}, args...), "-journal", jp, "-metrics", mp)
+	var stdout, stderr bytes.Buffer
+	if code := run(full, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(%v) exited %d: %s", full, code, stderr.String())
+	}
+	j, err := os.ReadFile(jp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := os.ReadFile(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, m
+}
+
+// TestJournalBitDeterminism is the acceptance check of the observability
+// layer: two runs of the identical seeded command must produce byte-identical
+// journal and metrics files, even though ranks record concurrently.
+func TestJournalBitDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"rd-weak", "-n", "2", "-steps", "2", "-max", "8",
+		"-platforms", "puma,ec2", "-seed", "7"}
+	j1, m1 := driveObserved(t, dir, "a", args)
+	j2, m2 := driveObserved(t, dir, "b", args)
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("journals differ across identical seeded runs:\n--- a ---\n%s\n--- b ---\n%s", j1, j2)
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Fatalf("metrics differ across identical seeded runs:\n--- a ---\n%s\n--- b ---\n%s", m1, m2)
+	}
+	if len(j1) == 0 {
+		t.Fatal("journal is empty")
+	}
+
+	// Every journal line is standalone JSON, and the event kinds of the core
+	// instrumentation all show up in a weak-scaling sweep.
+	kinds := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(string(j1), "\n"), "\n") {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("journal line is not valid JSON: %q: %v", line, err)
+		}
+		k, _ := ev["kind"].(string)
+		kinds[k] = true
+	}
+	for _, want := range []string{"phase", "solve", "step", "halo", "pool"} {
+		if !kinds[want] {
+			t.Errorf("journal has no %q events (kinds seen: %v)", want, kinds)
+		}
+	}
+
+	var reg map[string]any
+	if err := json.Unmarshal(m1, &reg); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v", err)
+	}
+	for _, want := range []string{"counters", "gauges", "histograms"} {
+		if _, ok := reg[want]; !ok {
+			t.Errorf("metrics file missing %q section", want)
+		}
+	}
+}
+
+// TestFaultsJournalDeterminism repeats the determinism check on the
+// supervised-recovery path, which adds spot-market ticks, preemption
+// notices, supervisor decisions and checkpoint restores to the journal.
+func TestFaultsJournalDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"faults", "-app", "rd", "-platform", "ec2", "-ranks", "8",
+		"-n", "2", "-steps", "3", "-crashes", "1", "-preempts", "1", "-seed", "11"}
+	j1, m1 := driveObserved(t, dir, "a", args)
+	j2, m2 := driveObserved(t, dir, "b", args)
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("fault-run journals differ across identical seeded runs")
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Fatal("fault-run metrics differ across identical seeded runs")
+	}
+	for _, want := range []string{`"kind":"spot-tick"`, `"kind":"failure"`,
+		`"kind":"ckpt-write"`, `"kind":"ckpt-restore"`} {
+		if !strings.Contains(string(j1), want) {
+			t.Errorf("fault-run journal missing %s events", want)
+		}
+	}
+}

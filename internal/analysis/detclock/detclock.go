@@ -33,7 +33,7 @@ Suppress a deliberate exception with //heterolint:allow wallclock <why>.`,
 // whose outputs are golden-pinned: everything they compute must replay
 // bit-identically from the same seed and fault plan.
 var deterministicPkgs = []string{
-	"mp", "vclock", "checkpoint", "bench", "fault", "spot", "rd", "nse",
+	"mp", "vclock", "checkpoint", "bench", "fault", "spot", "rd", "nse", "obs",
 }
 
 // forbiddenTime are the "time" package functions that read or schedule

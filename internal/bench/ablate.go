@@ -41,7 +41,7 @@ func FormatPrecondAblation(platformName string, ranks int, o Options) (string, e
 			Precond: pc,
 			MaxIter: 4000,
 		}}
-		rep, err := tg.Run(core.JobSpec{Ranks: ranks, App: app, SkipSteps: o.SkipSteps})
+		rep, err := tg.Run(core.JobSpec{Ranks: ranks, App: app, SkipSteps: o.SkipSteps, Obs: o.Obs})
 		if err != nil {
 			return "", fmt.Errorf("bench: %s ablation: %w", pc, err)
 		}
@@ -75,7 +75,7 @@ func FormatPackingAblation(platformName string, ranks int, o Options) (string, e
 			return "", err
 		}
 		rep, err := tg.Run(core.JobSpec{
-			Ranks: ranks, App: app, SkipSteps: o.SkipSteps, RanksPerNode: rpn,
+			Ranks: ranks, App: app, SkipSteps: o.SkipSteps, RanksPerNode: rpn, Obs: o.Obs,
 		})
 		if err != nil {
 			fmt.Fprintf(&b, "%12d %6s -- %v\n", rpn, "-", err)
@@ -112,7 +112,7 @@ func FormatInterconnectAblation(platformName string, ranks int, o Options) (stri
 		if err != nil {
 			return "", err
 		}
-		rep, err := tg.Run(core.JobSpec{Ranks: ranks, App: app, SkipSteps: o.SkipSteps})
+		rep, err := tg.Run(core.JobSpec{Ranks: ranks, App: app, SkipSteps: o.SkipSteps, Obs: o.Obs})
 		if err != nil {
 			return "", err
 		}

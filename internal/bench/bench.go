@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"heterohpc/internal/core"
+	"heterohpc/internal/obs"
 )
 
 // WeakSeries is the paper's weak-scaling process series: cubic counts from
@@ -38,6 +39,9 @@ type Options struct {
 	Seed uint64
 	// Platforms lists the targets (defaults to the paper's four).
 	Platforms []string
+	// Obs, when non-nil, collects every run's journal events and metrics.
+	// Nil (the default) keeps the hot paths allocation-free.
+	Obs *obs.Run
 }
 
 func (o Options) withDefaults() Options {
@@ -110,7 +114,7 @@ func RunWeak(app, platformName string, o Options) (*Series, error) {
 			return nil, err
 		}
 		rep, err := tg.Run(core.JobSpec{
-			Ranks: ranks, App: a, SkipSteps: o.SkipSteps, MemPerRankGB: mem,
+			Ranks: ranks, App: a, SkipSteps: o.SkipSteps, MemPerRankGB: mem, Obs: o.Obs,
 		})
 		s.Points = append(s.Points, Point{Ranks: ranks, Report: rep, Err: err})
 		if err != nil {

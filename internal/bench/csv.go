@@ -5,6 +5,17 @@ import (
 	"strings"
 )
 
+// csvEscape quotes one CSV field per RFC 4180: inner double quotes are
+// doubled, and the field is wrapped in quotes when it contains a comma,
+// quote, or line break. (fmt's %q is Go syntax — backslash escapes — which
+// CSV readers do not undo.)
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\r\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
 // CSVWeak renders a weak-scaling series set as CSV (one row per platform ×
 // rank count), the machine-readable companion to FormatWeak for re-plotting
 // Figures 4–7 with external tools.
@@ -14,7 +25,7 @@ func CSVWeak(series []*Series) string {
 	for _, s := range series {
 		for _, pt := range s.Points {
 			if pt.Err != nil {
-				fmt.Fprintf(&b, "%s,%s,%d,,,,,,,,,%q\n", s.App, s.Platform, pt.Ranks, pt.Err.Error())
+				fmt.Fprintf(&b, "%s,%s,%d,,,,,,,,,%s\n", s.App, s.Platform, pt.Ranks, csvEscape(pt.Err.Error()))
 				continue
 			}
 			r := pt.Report
@@ -33,7 +44,7 @@ func CSVPlacement(res *PlacementResult) string {
 	b.WriteString("ranks,instances,full_time_s,full_cost_usd,mix_time_s,mix_est_cost_usd,spot_share,error\n")
 	for _, row := range res.Rows {
 		if row.Err != nil {
-			fmt.Fprintf(&b, "%d,%d,,,,,,%q\n", row.Ranks, row.Instances, row.Err.Error())
+			fmt.Fprintf(&b, "%d,%d,,,,,,%s\n", row.Ranks, row.Instances, csvEscape(row.Err.Error()))
 			continue
 		}
 		fmt.Fprintf(&b, "%d,%d,%g,%g,%g,%g,%g,\n",

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"encoding/csv"
+	"errors"
+	"strings"
+	"testing"
+
+	"heterohpc/internal/core"
+)
+
+// TestCSVEscape pins the RFC 4180 quoting rules the exporters rely on.
+func TestCSVEscape(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{"has,comma", `"has,comma"`},
+		{`say "hi"`, `"say ""hi"""`},
+		{"line\nbreak", "\"line\nbreak\""},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := csvEscape(c.in); got != c.want {
+			t.Errorf("csvEscape(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestCSVWeakRoundTrip feeds error cells containing every CSV-hostile
+// character through CSVWeak and back through encoding/csv: the reader must
+// recover the exact error strings and a rectangular table. The previous
+// exporter used %q (Go escaping), which standard CSV readers do not undo.
+func TestCSVWeakRoundTrip(t *testing.T) {
+	hostile := `scheduler said "no", retry later` + "\nsecond line"
+	series := []*Series{{
+		App: "rd", Platform: "puma",
+		Points: []Point{
+			{Ranks: 8, Report: &core.Report{Ranks: 8, Nodes: 2}},
+			{Ranks: 27, Err: errors.New(hostile)},
+		},
+	}}
+	out := CSVWeak(series)
+
+	rd := csv.NewReader(strings.NewReader(out))
+	rows, err := rd.ReadAll()
+	if err != nil {
+		t.Fatalf("encoding/csv cannot parse CSVWeak output: %v\n%s", err, out)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want header + 2 data rows", len(rows))
+	}
+	ncols := len(rows[0])
+	for i, row := range rows {
+		if len(row) != ncols {
+			t.Errorf("row %d has %d fields, header has %d", i, len(row), ncols)
+		}
+	}
+	if got := rows[2][ncols-1]; got != hostile {
+		t.Errorf("error cell round-trip: got %q, want %q", got, hostile)
+	}
+}
+
+// TestCSVPlacementRoundTrip does the same for the Table II exporter.
+func TestCSVPlacementRoundTrip(t *testing.T) {
+	hostile := `capacity, exhausted: "mixed" fleet`
+	res := &PlacementResult{Rows: []PlacementRow{
+		{Ranks: 8, Instances: 1, FullTime: 1.5, MixTime: 2.5},
+		{Ranks: 27, Instances: 2, Err: errors.New(hostile)},
+	}}
+	out := CSVPlacement(res)
+
+	rows, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("encoding/csv cannot parse CSVPlacement output: %v\n%s", err, out)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want header + 2 data rows", len(rows))
+	}
+	if got := rows[2][len(rows[2])-1]; got != hostile {
+		t.Errorf("error cell round-trip: got %q, want %q", got, hostile)
+	}
+}

@@ -50,6 +50,7 @@ func RunPlacement(o Options) (*PlacementResult, error) {
 		// assembled each fleet separately), so every row sees fresh market
 		// supply.
 		market := spot.NewMarket(o.Seed+uint64(ranks), tg.Platform.CostPerNodeHour)
+		market.Observe(o.Obs)
 		app, mem, err := newApp("rd", ranks, o)
 		if err != nil {
 			return nil, err
@@ -59,7 +60,7 @@ func RunPlacement(o Options) (*PlacementResult, error) {
 
 		// Full: single placement group, on-demand.
 		fullRep, err := tg.Run(core.JobSpec{
-			Ranks: ranks, App: app, SkipSteps: o.SkipSteps, MemPerRankGB: mem,
+			Ranks: ranks, App: app, SkipSteps: o.SkipSteps, MemPerRankGB: mem, Obs: o.Obs,
 		})
 		if err != nil {
 			row.Err = err
@@ -81,7 +82,7 @@ func RunPlacement(o Options) (*PlacementResult, error) {
 		}
 		mixRep, err := tg.Run(core.JobSpec{
 			Ranks: ranks, App: appMix, SkipSteps: o.SkipSteps, MemPerRankGB: mem,
-			GroupOfNode: asm.GroupOfNode(),
+			GroupOfNode: asm.GroupOfNode(), Obs: o.Obs,
 		})
 		if err != nil {
 			row.Err = err

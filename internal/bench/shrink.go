@@ -282,6 +282,7 @@ func (a *shrinkApp) Run(r *mp.Rank) ([]vclock.PhaseTimes, map[string]float64, er
 			a.mu.Unlock()
 			owned = ow
 			cfg.Resume = &st
+			r.Obs().Checkpoint("ckpt-restore", st.StepsDone, 0)
 		} else {
 			l, err := mesh.NewLocalFromBlock(a.m, a.grid[0], a.grid[1], a.grid[2], rank)
 			if err != nil {
@@ -326,6 +327,7 @@ func (a *shrinkApp) Run(r *mp.Rank) ([]vclock.PhaseTimes, map[string]float64, er
 		a.mu.Unlock()
 		owned = ow
 		cfg.Resume = &st
+		r.Obs().Checkpoint("ckpt-restore", st.StepsDone, 0)
 	} else {
 		l, err := mesh.NewLocalFromBlock(a.m, a.grid[0], a.grid[1], a.grid[2], rank)
 		if err != nil {
@@ -405,6 +407,7 @@ func runShrinkContinue(s *superSetup) (*RecoveryReport, *shrinkRunState, error) 
 		Shrink: &ShrinkStats{},
 	}
 	var rec trace.Recorder
+	rec.Observe(o.Obs)
 
 	m, grid, mem, err := weakSetup(o.App, o.Ranks, o.PerRankN)
 	if err != nil {
@@ -470,7 +473,7 @@ func runShrinkContinue(s *superSetup) (*RecoveryReport, *shrinkRunState, error) 
 		if world == nil {
 			result, af, err = tg.Attempt(core.JobSpec{
 				Ranks: curRanks, RanksPerNode: o.RanksPerNode, App: app,
-				SkipSteps: o.SkipSteps, MemPerRankGB: mem, Faults: events,
+				SkipSteps: o.SkipSteps, MemPerRankGB: mem, Faults: events, Obs: o.Obs,
 			})
 		} else {
 			result, af, err = tg.ResumeAttempt(world, app, o.SkipSteps, events)
@@ -654,6 +657,9 @@ func runShrinkContinue(s *superSetup) (*RecoveryReport, *shrinkRunState, error) 
 				nodeMap[on] = sr.OldToNewNode[nodeMap[on]]
 			}
 		}
+		// The shrunk world is a fresh mp.World: re-attach the observer so
+		// the continuation's traffic lands in the same journal.
+		sr.World.Observe(o.Obs)
 		world = sr.World
 		app = nextApp
 		curRanks = survivors

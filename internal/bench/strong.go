@@ -43,7 +43,7 @@ func RunStrong(app, platformName string, globalN int, o Options) (*StrongSeries,
 			// Mesh cannot be split that finely; the series ends here.
 			break
 		}
-		rep, runErr := tg.Run(core.JobSpec{Ranks: ranks, App: a, SkipSteps: o.SkipSteps})
+		rep, runErr := tg.Run(core.JobSpec{Ranks: ranks, App: a, SkipSteps: o.SkipSteps, Obs: o.Obs})
 		s.Points = append(s.Points, Point{Ranks: ranks, Report: rep, Err: runErr})
 		if runErr != nil {
 			break

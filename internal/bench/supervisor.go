@@ -12,6 +12,7 @@ import (
 	"heterohpc/internal/mesh"
 	"heterohpc/internal/mp"
 	"heterohpc/internal/nse"
+	"heterohpc/internal/obs"
 	"heterohpc/internal/rd"
 	"heterohpc/internal/spot"
 	"heterohpc/internal/trace"
@@ -75,6 +76,11 @@ type FaultOptions struct {
 	// SpotBidFraction is the replacement bid as a fraction of the
 	// on-demand price on spot platforms (default 0.25).
 	SpotBidFraction float64
+	// Obs, when non-nil, journals every supervised attempt, the replacement
+	// market's ticks and notices, and the supervisor's decisions. The clean
+	// baseline run stays unobserved so the journal covers only the faulted
+	// job.
+	Obs *obs.Run
 }
 
 func (o FaultOptions) withDefaults() FaultOptions {
@@ -330,6 +336,7 @@ func (a *supervisedApp) Run(r *mp.Rank) ([]vclock.PhaseTimes, map[string]float64
 			if st, ckRank, ckN, _, err := checkpoint.ReadRD(bytes.NewReader(b)); err == nil &&
 				ckRank == rank && ckN == size && st.StepsDone < cfg.Steps {
 				cfg.Resume = &st
+				r.Obs().Checkpoint("ckpt-restore", st.StepsDone, int64(len(b)))
 			}
 		}
 		cfg.Checkpoint = func(st rd.State) error {
@@ -347,6 +354,7 @@ func (a *supervisedApp) Run(r *mp.Rank) ([]vclock.PhaseTimes, map[string]float64
 		if st, ckRank, ckN, _, err := checkpoint.ReadNSE(bytes.NewReader(b)); err == nil &&
 			ckRank == rank && ckN == size && st.StepsDone < cfg.Steps {
 			cfg.Resume = &st
+			r.Obs().Checkpoint("ckpt-restore", st.StepsDone, int64(len(b)))
 		}
 	}
 	cfg.Checkpoint = func(st nse.State) error {
@@ -502,10 +510,12 @@ func runRestart(s *superSetup) (*RecoveryReport, error) {
 		Plan: plan, Clean: clean, CleanVirtualS: cleanS,
 	}
 	var rec trace.Recorder
+	rec.Observe(o.Obs)
 	bo := fault.NewBackoff(o.BackoffBaseS, o.BackoffCapS, o.Seed+1)
 	var market *spot.Market
 	if p.SpotPerNodeHour > 0 {
 		market = spot.NewMarket(o.Seed+2, p.CostPerNodeHour)
+		market.Observe(o.Obs)
 	}
 	spares := o.SpareNodes
 
@@ -565,7 +575,7 @@ func runRestart(s *superSetup) (*RecoveryReport, error) {
 
 		result, af, err := tg.Attempt(core.JobSpec{
 			Ranks: ranks, RanksPerNode: o.RanksPerNode, App: app,
-			SkipSteps: o.SkipSteps, MemPerRankGB: appMem, Faults: events,
+			SkipSteps: o.SkipSteps, MemPerRankGB: appMem, Faults: events, Obs: o.Obs,
 		})
 		if err != nil {
 			switch fault.Classify(err) {

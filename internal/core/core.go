@@ -17,6 +17,7 @@ import (
 	"heterohpc/internal/fault"
 	"heterohpc/internal/mp"
 	"heterohpc/internal/netmodel"
+	"heterohpc/internal/obs"
 	"heterohpc/internal/platform"
 	"heterohpc/internal/sched"
 	"heterohpc/internal/vclock"
@@ -87,6 +88,11 @@ type JobSpec struct {
 	// application starts (see internal/fault). Events targeting nodes
 	// beyond the job's topology are ignored.
 	Faults []fault.Event
+	// Obs, when non-nil, attaches an observability sink to the run's world:
+	// per-rank journals of phase transitions, solves, halo traffic and
+	// checkpoints, plus the metrics registry. Nil (the default) records
+	// nothing and adds nothing to the hot paths.
+	Obs *obs.Run
 }
 
 // IterStats are the paper's per-iteration statistics, averaged over the
@@ -169,6 +175,16 @@ func (t *Target) Run(spec JobSpec) (*Report, error) {
 	return rep, nil
 }
 
+// RunObserved is Run with an observability sink attached: every rank's
+// phase transitions, solver convergence, halo traffic and checkpoints are
+// journalled into run, and the world's traffic counters land in its metric
+// registry. Equivalent to setting spec.Obs; provided as the explicit entry
+// point for callers that hold a spec they do not want to mutate.
+func (t *Target) RunObserved(spec JobSpec, run *obs.Run) (*Report, error) {
+	spec.Obs = run
+	return t.Run(spec)
+}
+
 // Attempt submits the job once, distinguishing infrastructure verdicts:
 // (rep, nil, nil) on success; (nil, af, nil) when the execution itself died
 // (injected fault or application error) and retrying/recovering may make
@@ -227,6 +243,7 @@ func (t *Target) Attempt(spec JobSpec) (*Report, *AttemptFailure, error) {
 	if err := fault.Arm(world, spec.Faults); err != nil {
 		return nil, nil, err
 	}
+	world.Observe(spec.Obs)
 
 	perRank := make([][]vclock.PhaseTimes, spec.Ranks)
 	var metrics map[string]float64
@@ -241,6 +258,7 @@ func (t *Target) Attempt(spec JobSpec) (*Report, *AttemptFailure, error) {
 		}
 		return nil
 	})
+	world.FlushObs()
 	if runErr != nil {
 		af := &AttemptFailure{
 			Err: fmt.Errorf("core: %s on %s with %d ranks: %w",
@@ -308,6 +326,7 @@ func (t *Target) ResumeAttempt(world *mp.World, app App, skipSteps int, faults [
 		}
 		return nil
 	})
+	world.FlushObs()
 	if runErr != nil {
 		af := &AttemptFailure{
 			Err: fmt.Errorf("core: %s resumed on %s with %d ranks: %w",

@@ -11,6 +11,12 @@ import (
 // modified Gram–Schmidt Arnoldi and Givens rotations. Result.Iterations
 // counts total inner iterations across restarts.
 func GMRES(sys System, M Preconditioner, b, x []float64, opt Options) (Result, error) {
+	res, err := gmres(sys, M, b, x, opt)
+	opt.Obs.Solve("gmres", res.Iterations, res.Residual, res.Converged)
+	return res, err
+}
+
+func gmres(sys System, M Preconditioner, b, x []float64, opt Options) (Result, error) {
 	opt = opt.withDefaults()
 	n := sys.NOwned()
 	if len(b) < n || len(x) < n {

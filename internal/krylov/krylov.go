@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 
+	"heterohpc/internal/obs"
 	"heterohpc/internal/sparse"
 )
 
@@ -80,6 +81,10 @@ type Options struct {
 	// time step) allocate nothing in steady state. Nil means the solver
 	// allocates a private workspace for the call.
 	Work *Workspace
+	// Obs receives one solve event (solver, iterations, final residual,
+	// convergence) per call. Nil — the default — records nothing and costs
+	// nothing.
+	Obs *obs.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -123,6 +128,12 @@ func norm2(sys System, x []float64) float64 {
 // symmetric positive definite and M symmetric. x holds the initial guess on
 // entry and the solution on return.
 func CG(sys System, M Preconditioner, b, x []float64, opt Options) (Result, error) {
+	res, err := cg(sys, M, b, x, opt)
+	opt.Obs.Solve("cg", res.Iterations, res.Residual, res.Converged)
+	return res, err
+}
+
+func cg(sys System, M Preconditioner, b, x []float64, opt Options) (Result, error) {
 	opt = opt.withDefaults()
 	n := sys.NOwned()
 	if len(b) < n || len(x) < n {
@@ -187,6 +198,12 @@ func CG(sys System, M Preconditioner, b, x []float64, opt Options) (Result, erro
 // BiCGStab solves the (possibly nonsymmetric) system A·x = b with the
 // preconditioned stabilised bi-conjugate-gradient method.
 func BiCGStab(sys System, M Preconditioner, b, x []float64, opt Options) (Result, error) {
+	res, err := bicgstab(sys, M, b, x, opt)
+	opt.Obs.Solve("bicgstab", res.Iterations, res.Residual, res.Converged)
+	return res, err
+}
+
+func bicgstab(sys System, M Preconditioner, b, x []float64, opt Options) (Result, error) {
 	opt = opt.withDefaults()
 	n := sys.NOwned()
 	if len(b) < n || len(x) < n {

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 
 	"heterohpc/internal/netmodel"
+	"heterohpc/internal/obs"
 	"heterohpc/internal/vclock"
 )
 
@@ -377,6 +378,11 @@ type World struct {
 	// ready to use.
 	pool f64Pool
 
+	// obsRun/recs are the attached observability sink and its per-rank
+	// recorders (nil when the world is unobserved; see Observe).
+	obsRun *obs.Run
+	recs   []*obs.Recorder
+
 	// shrunk marks a world consumed by Shrink; its mailboxes are revoked
 	// and it must not Run again.
 	shrunk bool
@@ -432,6 +438,41 @@ func (w *World) Topology() Topology { return w.topo }
 // Clocks returns the per-rank virtual clocks (valid after Run for reports).
 func (w *World) Clocks() []*vclock.Clock { return w.clocks }
 
+// Observe attaches an observability sink to the world: every rank gets an
+// event recorder bound to its virtual clock, phase transitions are mirrored
+// into the journal, and the payload pool starts counting its traffic. Must
+// be called before Run; a nil run leaves the world unobserved (the default,
+// which costs nothing on the message hot paths).
+func (w *World) Observe(run *obs.Run) {
+	if run == nil {
+		return
+	}
+	w.obsRun = run
+	w.pool.counting = true
+	w.recs = make([]*obs.Recorder, len(w.clocks))
+	for i, clk := range w.clocks {
+		rec := run.NewRecorder(i, clk)
+		w.recs[i] = rec
+		clk.SetPhaseListener(func(t float64, _, to vclock.Phase) {
+			rec.Phase(t, to.String())
+		})
+	}
+}
+
+// FlushObs emits the world-level end-of-run observations (payload-pool
+// traffic) to the run's global recorder, stamped at the world's final
+// virtual time. Call once after Run has returned; a no-op when the world is
+// unobserved.
+func (w *World) FlushObs() {
+	if w.obsRun == nil {
+		return
+	}
+	gets, puts := w.pool.gets.Load(), w.pool.puts.Load()
+	if gets+puts > 0 {
+		w.obsRun.Global().PoolStats(w.MaxVirtualTime(), gets, puts)
+	}
+}
+
 // RankError wraps an error raised by one rank of an SPMD body.
 type RankError struct {
 	Rank int
@@ -456,6 +497,9 @@ func (w *World) Run(body func(r *Rank) error) error {
 	wg.Add(p)
 	for i := 0; i < p; i++ {
 		rank := &Rank{world: w, id: i, clk: w.clocks[i]}
+		if w.recs != nil {
+			rank.rec = w.recs[i]
+		}
 		go func(rk *Rank) {
 			defer wg.Done()
 			// Runs after the recover below: whatever way the rank exits,
@@ -494,6 +538,9 @@ type Rank struct {
 	world *World
 	id    int
 	clk   *vclock.Clock
+	// rec is the rank's event recorder (nil unless the world is observed;
+	// all its methods are nil-safe no-ops).
+	rec *obs.Recorder
 	// collSeq disambiguates successive collectives; all ranks execute the
 	// same collective sequence, so equal sequence numbers match up.
 	collSeq int
@@ -514,6 +561,21 @@ func (r *Rank) Topology() Topology { return r.world.topo }
 // Wtime returns the rank's current virtual time (the MPI_Wtime analogue).
 func (r *Rank) Wtime() float64 { return r.clk.Now() }
 
+// Obs returns the rank's event recorder, nil when the world is unobserved.
+// Application code passes it to instrumented kernels; every method on the
+// nil recorder is a free no-op.
+func (r *Rank) Obs() *obs.Recorder { return r.rec }
+
+// noteRecv advances the receiver's clock to the message's arrival time and,
+// when observed, records the message's virtual mailbox-residency interval
+// (from its arrival to the moment this rank consumed it).
+func (r *Rank) noteRecv(m *message) {
+	r.clk.AdvanceTo(m.arriveAt)
+	if r.rec != nil {
+		r.rec.QueueInterval(m.arriveAt, r.clk.Now())
+	}
+}
+
 // ChargeCompute records local floating-point work on this rank.
 func (r *Rank) ChargeCompute(flops, bytes float64) { r.clk.ChargeCompute(flops, bytes) }
 
@@ -533,6 +595,7 @@ func (r *Rank) chargeSend(dst, payloadBytes int) float64 {
 	t *= r.commFactor()
 	start := r.clk.Now()
 	r.clk.ChargeComm(t, payloadBytes)
+	r.rec.CountMsg(payloadBytes)
 	return start + t
 }
 
@@ -584,7 +647,7 @@ func (r *Rank) SendF64Gather(dst, tag int, x []float64, idx []int) {
 func (r *Rank) RecvF64(src, tag int) []float64 {
 	r.checkFault()
 	m := r.world.boxes[r.id].take(src, tag)
-	r.clk.AdvanceTo(m.arriveAt)
+	r.noteRecv(&m)
 	r.checkFault()
 	return m.f64
 }
@@ -595,7 +658,7 @@ func (r *Rank) RecvF64(src, tag int) []float64 {
 func (r *Rank) RecvF64Into(src, tag int, dst []float64) int {
 	r.checkFault()
 	m := r.world.boxes[r.id].take(src, tag)
-	r.clk.AdvanceTo(m.arriveAt)
+	r.noteRecv(&m)
 	r.checkFault()
 	if len(dst) < len(m.f64) {
 		panic(fmt.Sprintf("mp: RecvF64Into buffer len %d < payload %d", len(dst), len(m.f64)))
@@ -612,7 +675,7 @@ func (r *Rank) RecvF64Into(src, tag int, dst []float64) int {
 func (r *Rank) RecvF64Scatter(src, tag int, x []float64, pos []int) {
 	r.checkFault()
 	m := r.world.boxes[r.id].take(src, tag)
-	r.clk.AdvanceTo(m.arriveAt)
+	r.noteRecv(&m)
 	r.checkFault()
 	if len(m.f64) != len(pos) {
 		panic(fmt.Sprintf("mp: RecvF64Scatter payload %d != positions %d", len(m.f64), len(pos)))
@@ -628,7 +691,7 @@ func (r *Rank) RecvF64Scatter(src, tag int, x []float64, pos []int) {
 func (r *Rank) RecvF64AddScatter(src, tag int, x []float64, pos []int) {
 	r.checkFault()
 	m := r.world.boxes[r.id].take(src, tag)
-	r.clk.AdvanceTo(m.arriveAt)
+	r.noteRecv(&m)
 	r.checkFault()
 	if len(m.f64) != len(pos) {
 		panic(fmt.Sprintf("mp: RecvF64AddScatter payload %d != positions %d", len(m.f64), len(pos)))
@@ -655,7 +718,7 @@ func (r *Rank) SendInts(dst, tag int, data []int) {
 func (r *Rank) RecvInts(src, tag int) []int {
 	r.checkFault()
 	m := r.world.boxes[r.id].take(src, tag)
-	r.clk.AdvanceTo(m.arriveAt)
+	r.noteRecv(&m)
 	r.checkFault()
 	return m.ints
 }
@@ -679,7 +742,7 @@ func (r *Rank) SendBytes(dst, tag int, data []byte) {
 func (r *Rank) RecvBytes(src, tag int) []byte {
 	r.checkFault()
 	m := r.world.boxes[r.id].take(src, tag)
-	r.clk.AdvanceTo(m.arriveAt)
+	r.noteRecv(&m)
 	r.checkFault()
 	return m.bytes
 }
@@ -696,7 +759,7 @@ func (r *Rank) SendRecvF64(peer, tag int, send []float64) []float64 {
 func (r *Rank) RecvAnyInts(tag int) (src int, data []int) {
 	r.checkFault()
 	m := r.world.boxes[r.id].takeAny(tag)
-	r.clk.AdvanceTo(m.arriveAt)
+	r.noteRecv(&m)
 	r.checkFault()
 	return m.src, m.ints
 }
@@ -706,7 +769,7 @@ func (r *Rank) RecvAnyInts(tag int) (src int, data []int) {
 func (r *Rank) RecvAnyF64(tag int) (src int, data []float64) {
 	r.checkFault()
 	m := r.world.boxes[r.id].takeAny(tag)
-	r.clk.AdvanceTo(m.arriveAt)
+	r.noteRecv(&m)
 	r.checkFault()
 	return m.src, m.f64
 }

@@ -3,6 +3,7 @@ package mp
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // f64Pool recycles float64 message payloads within one World. Buffers are
@@ -24,6 +25,13 @@ import (
 // put.
 type f64Pool struct {
 	classes [poolClasses]poolClass
+
+	// counting enables the gets/puts traffic counters for observed worlds.
+	// It is set before Run spawns the rank goroutines and never written
+	// afterwards, so the unsynchronised read in get/put is race-free and the
+	// unobserved hot path pays only a predicted-false branch.
+	counting   bool
+	gets, puts atomic.Int64
 }
 
 type poolClass struct {
@@ -57,6 +65,9 @@ func (p *f64Pool) get(n int) []float64 {
 	if n == 0 {
 		return nil
 	}
+	if p.counting {
+		p.gets.Add(1)
+	}
 	c := poolClassOf(n)
 	if c >= poolClasses {
 		return make([]float64, n)
@@ -78,6 +89,9 @@ func (p *f64Pool) get(n int) []float64 {
 // exact class size (or that exceed the largest class) are dropped for the
 // GC; a full class drops the buffer too.
 func (p *f64Pool) put(buf []float64) {
+	if p.counting {
+		p.puts.Add(1)
+	}
 	c := cap(buf)
 	if c == 0 || c&(c-1) != 0 {
 		return

@@ -135,6 +135,7 @@ func Run(r *mp.Rank, cfg Config) (*Result, error) {
 	}
 	clk := r.Clock()
 	clk.SetPhase(vclock.PhaseOther)
+	rec := r.Obs()
 
 	s, err := fem.NewSpaceBlock(r, cfg.Mesh, cfg.Grid[0], cfg.Grid[1], cfg.Grid[2], 2000)
 	if err != nil {
@@ -153,9 +154,14 @@ func Run(r *mp.Rank, cfg Config) (*Result, error) {
 	massDM.Compact() // values never change; drop refill plans
 	massCOO = sparse.COO{}
 
+	// The pressure, gradient and velocity operators couple the same element
+	// stencil as the mass matrix, so their ghost-column sets coincide and
+	// they can share its importer instead of each re-running the importer
+	// handshake (NewDistMatrixLike falls back to a private importer if the
+	// structures ever diverge).
 	var presCOO sparse.COO
 	s.AssembleMatrix(&presCOO, func(e int, out *[8][8]float64) { s.El.Stiffness(1, out, r) })
-	presDM, err := sparse.NewDistMatrix(r, s.RowMap, &presCOO, s.Owner, 2200)
+	presDM, err := sparse.NewDistMatrixLike(massDM, &presCOO, s.Owner, 2200)
 	if err != nil {
 		return nil, err
 	}
@@ -175,7 +181,7 @@ func Run(r *mp.Rank, cfg Config) (*Result, error) {
 		var gcoo sparse.COO
 		dd := d
 		s.AssembleMatrix(&gcoo, func(e int, out *[8][8]float64) { s.El.Gradient(dd, out, r) })
-		grad[d], err = sparse.NewDistMatrix(r, s.RowMap, &gcoo, s.Owner, 2300+100*d)
+		grad[d], err = sparse.NewDistMatrixLike(massDM, &gcoo, s.Owner, 2300+100*d)
 		if err != nil {
 			return nil, err
 		}
@@ -227,7 +233,7 @@ func Run(r *mp.Rank, cfg Config) (*Result, error) {
 		}
 	}
 	s.AssembleMatrix(&velCOO, velElem)
-	velDM, err := sparse.NewDistMatrix(r, s.RowMap, &velCOO, s.Owner, 2600)
+	velDM, err := sparse.NewDistMatrixLike(massDM, &velCOO, s.Owner, 2600)
 	if err != nil {
 		return nil, err
 	}
@@ -378,7 +384,7 @@ func Run(r *mp.Rank, cfg Config) (*Result, error) {
 		for d := 0; d < 3; d++ {
 			sparse.CopyN(n, uStar[d], uPrev1[d], r)
 			sol, err := velSolve(velDM, velPC, rhss[d], uStar[d], krylov.Options{
-				Tol: cfg.Tol, MaxIter: cfg.MaxIter, Work: work,
+				Tol: cfg.Tol, MaxIter: cfg.MaxIter, Work: work, Obs: rec,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("nse: step %d velocity %d: %w", step, d, err)
@@ -405,7 +411,7 @@ func Run(r *mp.Rank, cfg Config) (*Result, error) {
 			phi[i] = 0
 		}
 		sol, err := krylov.CG(presDM, presPC, rhs, phi, krylov.Options{
-			Tol: cfg.Tol, MaxIter: cfg.MaxIter, Work: work,
+			Tol: cfg.Tol, MaxIter: cfg.MaxIter, Work: work, Obs: rec,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("nse: step %d pressure: %w", step, err)
@@ -437,6 +443,8 @@ func Run(r *mp.Rank, cfg Config) (*Result, error) {
 		}
 		tPrev = t
 		res.FinalTime = t
+		rec.Step(step + 1)
+		rec.StepHalo(step + 1)
 
 		if cfg.Checkpoint != nil {
 			st := &ckptBuf[ckptGen]
@@ -458,6 +466,7 @@ func Run(r *mp.Rank, cfg Config) (*Result, error) {
 			if err := cfg.Checkpoint(*st); err != nil {
 				return nil, fmt.Errorf("nse: checkpoint after step %d: %w", step, err)
 			}
+			rec.Checkpoint("ckpt-write", step+1, 56*int64(n))
 		}
 	}
 

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"bufio"
+	"strconv"
+)
+
+// writeEventLine encodes one event as a single JSON object line. The
+// encoding is hand-rolled (field order fixed, shortest round-trip floats,
+// zero-valued optional fields omitted) so the journal is a pure function of
+// the event values — encoding/json would work today but ties byte output to
+// stdlib internals.
+//
+// Line schema:
+//
+//	{"t":<f>,"rank":<i>,"kind":<s>[,"name":<s>][,"i1":<i>][,"i2":<i>]
+//	 [,"i3":<i>][,"f1":<f>][,"f2":<f>][,"b":true]}
+func writeEventLine(bw *bufio.Writer, ev *Event) {
+	bw.WriteString(`{"t":`)
+	bw.WriteString(formatFloat(ev.T))
+	bw.WriteString(`,"rank":`)
+	bw.WriteString(strconv.Itoa(ev.Rank))
+	bw.WriteString(`,"kind":`)
+	bw.WriteString(strconv.Quote(ev.Kind))
+	if ev.Name != "" {
+		bw.WriteString(`,"name":`)
+		bw.WriteString(strconv.Quote(ev.Name))
+	}
+	writeOptInt(bw, `,"i1":`, ev.I1)
+	writeOptInt(bw, `,"i2":`, ev.I2)
+	writeOptInt(bw, `,"i3":`, ev.I3)
+	writeOptFloat(bw, `,"f1":`, ev.F1)
+	writeOptFloat(bw, `,"f2":`, ev.F2)
+	if ev.B {
+		bw.WriteString(`,"b":true`)
+	}
+	bw.WriteString("}\n")
+}
+
+func writeOptInt(bw *bufio.Writer, key string, v int64) {
+	if v == 0 {
+		return
+	}
+	bw.WriteString(key)
+	bw.WriteString(strconv.FormatInt(v, 10))
+}
+
+func writeOptFloat(bw *bufio.Writer, key string, v float64) {
+	if v == 0 {
+		return
+	}
+	bw.WriteString(key)
+	bw.WriteString(formatFloat(v))
+}

@@ -84,6 +84,38 @@ func Measure(c Case) Result {
 	}
 }
 
+// FormatComparison renders each result next to its baseline entry (paired
+// by name): the allocs/op and ns/op deltas when a baseline exists, and an
+// explicit "(no baseline)" marker when it does not — silence must never
+// read as "unchanged".
+func FormatComparison(rep Report) string {
+	base := map[string]Result{}
+	for _, r := range rep.Baseline {
+		base[r.Name] = r
+	}
+	var b strings.Builder
+	for _, r := range rep.Results {
+		bl, ok := base[r.Name]
+		if !ok {
+			fmt.Fprintf(&b, "%-24s %8d allocs/op   (no baseline)\n", r.Name, r.AllocsPerOp)
+			continue
+		}
+		fmt.Fprintf(&b, "%-24s %8d allocs/op   baseline %8d (%+d), ns/op %+.1f%%\n",
+			r.Name, r.AllocsPerOp, bl.AllocsPerOp, r.AllocsPerOp-bl.AllocsPerOp,
+			pctDelta(r.NsPerOp, bl.NsPerOp))
+	}
+	return b.String()
+}
+
+// pctDelta is the percentage change from base to cur; 0 when base is not a
+// usable reference.
+func pctDelta(cur, base float64) float64 {
+	if base <= 0 || math.IsNaN(base) || math.IsNaN(cur) {
+		return 0
+	}
+	return (cur - base) / base * 100
+}
+
 // WriteJSON writes the report to path, indented for diff-friendly commits.
 func WriteJSON(rep Report, path string) error {
 	out, err := json.MarshalIndent(rep, "", "  ")

@@ -168,6 +168,7 @@ func Run(r *mp.Rank, cfg Config) (*Result, error) {
 	}
 	clk := r.Clock()
 	clk.SetPhase(vclock.PhaseOther)
+	rec := r.Obs()
 
 	// --- setup (paper step i): spaces, maps, symbolic structures ---
 	s, err := fem.NewSpaceBlock(r, cfg.Mesh, cfg.Grid[0], cfg.Grid[1], cfg.Grid[2], 1000)
@@ -318,7 +319,7 @@ func Run(r *mp.Rank, cfg Config) (*Result, error) {
 		clk.SetPhase(vclock.PhaseSolve)
 		sparse.CopyN(n, u, uPrev1, r)
 		sol, err := krylov.CG(sysDM, precond, rhs, u, krylov.Options{
-			Tol: cfg.Tol, MaxIter: cfg.MaxIter, Work: work,
+			Tol: cfg.Tol, MaxIter: cfg.MaxIter, Work: work, Obs: rec,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("rd: step %d: %w", step, err)
@@ -333,6 +334,8 @@ func Run(r *mp.Rank, cfg Config) (*Result, error) {
 		res.SolveIters = append(res.SolveIters, sol.Iterations)
 		uPrev2, uPrev1, u = uPrev1, u, uPrev2
 		res.FinalTime = t
+		rec.Step(step + 1)
+		rec.StepHalo(step + 1)
 
 		if cfg.Checkpoint != nil {
 			st := &ckptBuf[ckptGen]
@@ -348,6 +351,7 @@ func Run(r *mp.Rank, cfg Config) (*Result, error) {
 			if err := cfg.Checkpoint(*st); err != nil {
 				return nil, fmt.Errorf("rd: checkpoint after step %d: %w", step, err)
 			}
+			rec.Checkpoint("ckpt-write", step+1, 16*int64(n))
 		}
 	}
 

@@ -54,6 +54,51 @@ func TestAdmitErrorKinds(t *testing.T) {
 	}
 }
 
+// TestAdmitBoundaries probes each limit exactly at its configured value:
+// Admit uses strict > comparisons throughout, so a job asking for precisely
+// the launch limit, the volume cap, the machine size, or the full RAM per
+// core must be admitted, and one rank (or any fraction of a GB) more must
+// be rejected with the matching typed error.
+func TestAdmitBoundaries(t *testing.T) {
+	ellipse, lagrange, puma := get(t, "ellipse"), get(t, "lagrange"), get(t, "puma")
+	if ellipse.MaxLaunchRanks <= 0 || lagrange.MaxVolumeRanks <= 0 {
+		t.Fatal("catalog no longer configures the ellipse launch limit / lagrange volume cap")
+	}
+
+	cases := []struct {
+		name    string
+		p       *platform.Platform
+		ranks   int
+		mem     float64
+		wantErr error // nil means admit
+	}{
+		{"at launch limit", ellipse, ellipse.MaxLaunchRanks, 0.05, nil},
+		{"one past launch limit", ellipse, ellipse.MaxLaunchRanks + 1, 0.05, ErrLaunchLimit},
+		{"at volume cap", lagrange, lagrange.MaxVolumeRanks, 0.05, nil},
+		{"one past volume cap", lagrange, lagrange.MaxVolumeRanks + 1, 0.05, ErrIBVolumeCap},
+		{"at machine size", puma, puma.TotalCores(), 0.05, nil},
+		{"one past machine size", puma, puma.TotalCores() + 1, 0.05, ErrTooLarge},
+		{"at full RAM per core", puma, 4, puma.RAMPerCoreGB(), nil},
+		{"past full RAM per core", puma, 4, puma.RAMPerCoreGB() * 1.001, ErrInsufficientMemory},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := New(tc.p, 1).Admit(tc.ranks, tc.mem)
+			if tc.wantErr == nil {
+				if err != nil {
+					t.Fatalf("%s rejected %d ranks / %.3f GB at the boundary: %v",
+						tc.p.Name, tc.ranks, tc.mem, err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("%s with %d ranks / %.3f GB: got %v, want %v",
+					tc.p.Name, tc.ranks, tc.mem, err, tc.wantErr)
+			}
+		})
+	}
+}
+
 func TestQueueWaitPositiveAndDeterministic(t *testing.T) {
 	a := New(get(t, "lagrange"), 42)
 	b := New(get(t, "lagrange"), 42)
@@ -65,6 +110,40 @@ func TestQueueWaitPositiveAndDeterministic(t *testing.T) {
 		if wa != wb {
 			t.Fatal("queue wait not deterministic for equal seeds")
 		}
+	}
+}
+
+// TestQueueWaitSequenceDeterminism replays a mixed call pattern — varying
+// node counts and a quantile sweep mid-stream — on two equal-seeded
+// schedulers: every draw must match, because the report generators rely on
+// seeds alone to reproduce availability numbers. A third scheduler on a
+// different seed must diverge (a constant generator would also pass the
+// equality check).
+func TestQueueWaitSequenceDeterminism(t *testing.T) {
+	pattern := []int{1, 200, 8, 8, 64, 2, 100}
+	a := New(get(t, "ellipse"), 9)
+	b := New(get(t, "ellipse"), 9)
+	c := New(get(t, "ellipse"), 10)
+	var diverged bool
+	for round := 0; round < 3; round++ {
+		for _, nodes := range pattern {
+			wa, wb, wc := a.QueueWait(nodes), b.QueueWait(nodes), c.QueueWait(nodes)
+			if wa != wb {
+				t.Fatalf("round %d, %d nodes: equal seeds drew %v vs %v", round, nodes, wa, wb)
+			}
+			if wa != wc {
+				diverged = true
+			}
+		}
+		a10, a50, a90 := a.QueueWaitQuantiles(16, 32)
+		b10, b50, b90 := b.QueueWaitQuantiles(16, 32)
+		if a10 != b10 || a50 != b50 || a90 != b90 {
+			t.Fatalf("round %d: quantile sweep diverged across equal seeds", round)
+		}
+		c.QueueWaitQuantiles(16, 32)
+	}
+	if !diverged {
+		t.Fatal("different seeds never diverged; the stream looks constant")
 	}
 }
 

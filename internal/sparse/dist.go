@@ -78,6 +78,13 @@ type Importer struct {
 	// order that peer packs them.
 	recvPeers []int
 	recvs     [][]int
+	// sendB/recvB cache the total payload bytes one Exchange (resp. the
+	// send half of ExportAdd) puts on the wire, for the observer.
+	sendB, recvB int
+	// ghostGlobal keeps the ghost ids this importer serves, so structurally
+	// identical matrices can verify compatibility and share the importer
+	// (see NewDistMatrixLike).
+	ghostGlobal []int
 }
 
 // NewImporter builds an importer for a vector laid out as [owned | ghosts].
@@ -131,6 +138,8 @@ func NewImporter(r *mp.Rank, rowMap *RowMap, ghostGlobal []int, owner func(int) 
 		src  int
 		locs []int
 	}
+	im.sendPeers = make([]int, 0, numRequesters)
+	im.sends = make([][]int, 0, numRequesters)
 	reqs := make([]srcReq, 0, numRequesters)
 	for i := 0; i < numRequesters; i++ {
 		src, ids := r.RecvAnyInts(tag)
@@ -155,7 +164,12 @@ func NewImporter(r *mp.Rank, rowMap *RowMap, ghostGlobal []int, owner func(int) 
 	for _, q := range reqs {
 		im.sendPeers = append(im.sendPeers, q.src)
 		im.sends = append(im.sends, q.locs)
+		im.sendB += 8 * len(q.locs)
 	}
+	for _, pos := range im.recvs {
+		im.recvB += 8 * len(pos)
+	}
+	im.ghostGlobal = append([]int(nil), ghostGlobal...)
 	return im, nil
 }
 
@@ -184,6 +198,7 @@ func (im *Importer) Exchange(x []float64) {
 	if len(x) < im.nOwned+im.nGhost {
 		panic(fmt.Sprintf("sparse: Exchange vector len %d < %d", len(x), im.nOwned+im.nGhost))
 	}
+	im.r.Obs().CountHalo(im.sendB)
 	for i, p := range im.sendPeers {
 		im.r.SendF64Gather(p, im.tag+1, x, im.sends[i])
 	}
@@ -200,6 +215,7 @@ func (im *Importer) ExportAdd(x []float64) {
 	if len(x) < im.nOwned+im.nGhost {
 		panic(fmt.Sprintf("sparse: ExportAdd vector len %d < %d", len(x), im.nOwned+im.nGhost))
 	}
+	im.r.Obs().CountHalo(im.recvB)
 	for i, p := range im.recvPeers {
 		pos := im.recvs[i]
 		im.r.SendF64Gather(p, im.tag+1, x, pos)
@@ -219,6 +235,18 @@ func sortedKeys(m map[int][]int) []int {
 	}
 	sort.Ints(ks)
 	return ks
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func sortedIntKeys(m map[int]int) []int {

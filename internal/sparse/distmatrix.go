@@ -46,6 +46,22 @@ type DistMatrix struct {
 // tags [tag, tag+4) for this matrix. The coo is retained by reference for
 // SetValues refills and must keep its triplet order.
 func NewDistMatrix(r *mp.Rank, rowMap *RowMap, coo *COO, owner func(int) int, tag int) (*DistMatrix, error) {
+	return newDistMatrix(r, rowMap, coo, owner, tag, nil)
+}
+
+// NewDistMatrixLike builds a matrix like NewDistMatrix but reuses prev's
+// ghost-value importer when the new matrix turns out to have the same ghost
+// column set (the common case for several operators assembled over one
+// finite-element space, e.g. the Navier–Stokes mass/gradient/velocity
+// family). Sharing skips the importer's census Allreduce and request
+// handshake — at 8 ranks that is the dominant setup allocation — and is
+// collective: all ranks must agree on prev. When the ghost sets differ the
+// matrix silently builds its own importer, so the call is always safe.
+func NewDistMatrixLike(prev *DistMatrix, coo *COO, owner func(int) int, tag int) (*DistMatrix, error) {
+	return newDistMatrix(prev.r, prev.rowMap, coo, owner, tag, prev.imp)
+}
+
+func newDistMatrix(r *mp.Rank, rowMap *RowMap, coo *COO, owner func(int) int, tag int, share *Importer) (*DistMatrix, error) {
 	dm := &DistMatrix{r: r, rowMap: rowMap, tag: tag, colG2L: map[int]int{}}
 
 	// Split triplets into locally-owned rows and export groups: a counting
@@ -175,6 +191,8 @@ func NewDistMatrix(r *mp.Rank, rowMap *RowMap, coo *COO, owner func(int) int, ta
 		lr, _ := rowMap.LocalOf(coo.Rows[t])
 		dm.localSlots[i] = dm.A.Slot(lr, colOf(coo.Cols[t]))
 	}
+	dm.importPeers = make([]int, 0, len(ins))
+	dm.importSlots = make([][]int, 0, len(ins))
 	for _, in := range ins {
 		slots := make([]int, 0, len(in.pairs)/2)
 		for j := 0; j < len(in.pairs); j += 2 {
@@ -185,10 +203,26 @@ func NewDistMatrix(r *mp.Rank, rowMap *RowMap, coo *COO, owner func(int) int, ta
 		dm.importSlots = append(dm.importSlots, slots)
 	}
 
-	// Ghost-value importer for matrix-vector products.
-	dm.imp, err = NewImporter(r, rowMap, dm.ghostCols, owner, tag+2)
-	if err != nil {
-		return nil, err
+	// Ghost-value importer for matrix-vector products, shared with a
+	// structurally identical sibling when possible. The decision must be
+	// collective — a rank that shares skips the importer handshake while a
+	// rank that rebuilds enters its census Allreduce — so the rank-local
+	// ghost-set comparisons are agreed with one scalar reduction before
+	// committing either way.
+	if share != nil {
+		eq := 0.0
+		if intsEqual(dm.ghostCols, share.ghostGlobal) {
+			eq = 1
+		}
+		if int(r.AllreduceScalar(mp.OpSum, eq)+0.5) == r.Size() {
+			dm.imp = share
+		}
+	}
+	if dm.imp == nil {
+		dm.imp, err = NewImporter(r, rowMap, dm.ghostCols, owner, tag+2)
+		if err != nil {
+			return nil, err
+		}
 	}
 	dm.xbuf = make([]float64, nOwned+len(dm.ghostCols))
 	dm.SetValues(coo)

@@ -13,6 +13,7 @@ package spot
 import (
 	"fmt"
 
+	"heterohpc/internal/obs"
 	"heterohpc/internal/stats"
 )
 
@@ -36,7 +37,13 @@ type Market struct {
 	capacity  int // spot instances grantable this epoch
 	granted   int // spot instances already granted to this customer
 	maxSupply int // hard cap on total spot grants (below the study's 63)
+	rec       *obs.Recorder
 }
+
+// Observe journals every subsequent price tick and interruption notice to
+// run's global recorder, stamped with the market's virtual clock. A nil run
+// detaches the observer.
+func (m *Market) Observe(run *obs.Run) { m.rec = run.Global() }
 
 // NewMarket creates a market with the study's observed prices: on-demand
 // onDemand, long-run spot around 22.5% of it (0.54/2.40).
@@ -80,6 +87,7 @@ func (m *Market) Tick() {
 	// ever granted stays below maxSupply, reproducing "we never succeeded in
 	// establishing a full 63-host configuration of spot request instances".
 	m.capacity = int(float64(m.maxSupply-m.granted) * m.rng.Range(0.2, 0.7))
+	m.rec.SpotTick(m.Now(), m.price)
 }
 
 // Node is one acquired instance.
@@ -269,6 +277,7 @@ func (m *Market) TickRevoke(a *Assembly, bid float64) []Preemption {
 		if m.rng.Float64() < 0.5 {
 			nd.Noticed = true
 			nd.NoticeAt = now
+			m.rec.Preemption(now, i, m.price, now+NoticeLeadS)
 			out = append(out, Preemption{
 				Node: i, Price: m.price,
 				NoticeAt: now, ReclaimAt: now + NoticeLeadS,

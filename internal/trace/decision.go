@@ -6,6 +6,8 @@ import (
 	"io"
 	"strings"
 	"sync"
+
+	"heterohpc/internal/obs"
 )
 
 // Decision is one supervisor action worth auditing after a faulted run:
@@ -29,15 +31,27 @@ func (d Decision) String() string {
 // Recorder accumulates supervisor decisions. Safe for concurrent use; the
 // zero value is ready.
 type Recorder struct {
-	mu sync.Mutex
-	ds []Decision
+	mu  sync.Mutex
+	ds  []Decision
+	obs *obs.Recorder
+}
+
+// Observe mirrors every subsequent decision into run's global journal as a
+// kind/detail event at the decision's virtual time. A nil run detaches the
+// mirror.
+func (rec *Recorder) Observe(run *obs.Run) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	rec.obs = run.Global()
 }
 
 // Record appends a decision.
 func (rec *Recorder) Record(atS float64, kind, format string, args ...any) {
 	rec.mu.Lock()
 	defer rec.mu.Unlock()
-	rec.ds = append(rec.ds, Decision{AtS: atS, Kind: kind, Detail: fmt.Sprintf(format, args...)})
+	d := Decision{AtS: atS, Kind: kind, Detail: fmt.Sprintf(format, args...)}
+	rec.ds = append(rec.ds, d)
+	rec.obs.EventAt(d.AtS, d.Kind, d.Detail)
 }
 
 // Decisions returns a copy of the log in record order.

@@ -86,7 +86,8 @@ func (r LinearRater) ComputeSeconds(flops, bytes float64) float64 {
 type Clock struct {
 	rater ComputeRater
 
-	phase Phase
+	phase   Phase
+	onPhase PhaseListener
 
 	// now is the rank's current virtual time, maintained directly so that
 	// AdvanceTo(t) lands on exactly t: message-arrival processing order
@@ -123,11 +124,23 @@ func NewAt(rater ComputeRater, t0 float64) *Clock {
 	return c
 }
 
+// PhaseListener observes phase transitions. t is the clock's virtual time at
+// the moment of the switch. The listener must not call back into the clock.
+type PhaseListener func(t float64, from, to Phase)
+
+// SetPhaseListener installs fn to be called on every phase change (nil
+// removes it). The observability layer uses this so vclock need not depend
+// on it.
+func (c *Clock) SetPhaseListener(fn PhaseListener) { c.onPhase = fn }
+
 // SetPhase selects the phase subsequent charges accrue to and returns the
 // previous phase so callers can restore it.
 func (c *Clock) SetPhase(p Phase) Phase {
 	old := c.phase
 	c.phase = p
+	if c.onPhase != nil && p != old {
+		c.onPhase(c.now, old, p)
+	}
 	return old
 }
 
