@@ -68,7 +68,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	preempts := fs.Int("preempts", 1, "spot preemptions injected by the faults command")
 	degrades := fs.Int("degrades", 0, "straggler windows injected by the faults command")
 	policy := fs.String("policy", bench.PolicyRestart,
-		"recovery policy for the faults command: restart, shrink-continue or compare")
+		"recovery policy for the faults command: restart, shrink-continue, migrate or compare")
 	rpn := fs.Int("rpn", 0, "ranks per node for the faults command (0 = pack by cores; shrink needs >= 2 nodes)")
 	tracePath := fs.String("trace", "", "faults command: also write the recovered timeline with decision markers as a Chrome trace to this file")
 	benchOut := fs.String("out", "BENCH.json", "perf command: output path for the benchmark report")
@@ -201,7 +201,7 @@ commands:
   bidding [-nodes N]      extension: spot bid level vs. fleet cost
   trace -ranks N          write a Chrome/Perfetto trace of one job's virtual timeline
   faults [-platform P]    robustness: supervised run under injected crashes/preemptions
-                          -policy restart|shrink-continue|compare, -rpn N, -trace out.json
+                          -policy restart|shrink-continue|migrate|compare, -rpn N, -trace out.json
   perf [-out BENCH.json]  host-performance harness: tracked ns/op, B/op, allocs/op
                           -filter substr, -cpuprofile out.pb.gz, -memprofile out.pb.gz
   all                     run everything
@@ -379,8 +379,8 @@ type faultsConfig struct {
 	TracePath                          string
 }
 
-// policyCompare runs both recovery policies on the identical plan; it is a
-// CLI-only alias, not a bench policy.
+// policyCompare runs all three recovery policies on the identical plan; it
+// is a CLI-only alias, not a bench policy.
 const policyCompare = "compare"
 
 // validateFaults rejects impossible fault-command configurations: negative
@@ -406,10 +406,10 @@ func validateFaults(c faultsConfig) error {
 		return fmt.Errorf("unknown app %q (want rd or ns)", c.App)
 	}
 	switch c.Policy {
-	case bench.PolicyRestart, bench.PolicyShrink, policyCompare:
+	case bench.PolicyRestart, bench.PolicyShrink, bench.PolicyMigrate, policyCompare:
 	default:
-		return fmt.Errorf("unknown policy %q (want %s, %s or %s)",
-			c.Policy, bench.PolicyRestart, bench.PolicyShrink, policyCompare)
+		return fmt.Errorf("unknown policy %q (want %s, %s, %s or %s)",
+			c.Policy, bench.PolicyRestart, bench.PolicyShrink, bench.PolicyMigrate, policyCompare)
 	}
 	return nil
 }
@@ -417,8 +417,8 @@ func validateFaults(c faultsConfig) error {
 // runFaults executes one weak-scaling job under a seeded fault plan with
 // the recovery supervisor and prints the recovery report: the decision log
 // plus recovered-vs-clean numbers with the overhead itemised. With -policy
-// compare it runs the same plan under both policies and prints them side by
-// side; with -trace it also writes the recovered run's Chrome trace with
+// compare it runs the same plan under all three policies and prints them
+// side by side; with -trace it also writes the recovered run's Chrome trace with
 // the supervisor's decisions overlaid as instant markers.
 func runFaults(stdout, stderr io.Writer, c faultsConfig, opts bench.Options) error {
 	if err := validateFaults(c); err != nil {

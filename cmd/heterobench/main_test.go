@@ -89,6 +89,7 @@ func TestValidateFaults(t *testing.T) {
 	}{
 		{"defaults are valid", func(c *faultsConfig) {}, ""},
 		{"shrink policy is valid", func(c *faultsConfig) { c.Policy = bench.PolicyShrink }, ""},
+		{"migrate policy is valid", func(c *faultsConfig) { c.Policy = bench.PolicyMigrate }, ""},
 		{"compare policy is valid", func(c *faultsConfig) { c.Policy = policyCompare }, ""},
 		{"zero fault counts are valid", func(c *faultsConfig) { c.Crashes = 0 }, ""},
 		{"negative seed", func(c *faultsConfig) { c.Seed = -1 }, "seed"},
@@ -101,6 +102,7 @@ func TestValidateFaults(t *testing.T) {
 		{"unknown app", func(c *faultsConfig) { c.App = "lbm" }, `app "lbm"`},
 		{"unknown policy", func(c *faultsConfig) { c.Policy = "abandon-ship" }, `policy "abandon-ship"`},
 		{"misspelled policy", func(c *faultsConfig) { c.Policy = "shrink" }, bench.PolicyShrink},
+		{"misspelled migrate", func(c *faultsConfig) { c.Policy = "migrate-continue" }, bench.PolicyMigrate},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -99,4 +99,23 @@ func TestFaultsJournalDeterminism(t *testing.T) {
 			t.Errorf("fault-run journal missing %s events", want)
 		}
 	}
+
+	// The proactive policy adds world-grow and migrate-decision events; equal
+	// seeds must still give byte-identical journals and metrics.
+	margs := []string{"faults", "-app", "rd", "-platform", "ec2", "-ranks", "8",
+		"-rpn", "2", "-n", "2", "-steps", "3", "-crashes", "0", "-preempts", "1",
+		"-seed", "11", "-policy", "migrate"}
+	mj1, mm1 := driveObserved(t, dir, "ma", margs)
+	mj2, mm2 := driveObserved(t, dir, "mb", margs)
+	if !bytes.Equal(mj1, mj2) {
+		t.Fatal("migrate-run journals differ across identical seeded runs")
+	}
+	if !bytes.Equal(mm1, mm2) {
+		t.Fatal("migrate-run metrics differ across identical seeded runs")
+	}
+	for _, want := range []string{`"kind":"migrate-decision"`, `"kind":"world-grow"`} {
+		if !strings.Contains(string(mj1), want) {
+			t.Errorf("migrate-run journal missing %s events", want)
+		}
+	}
 }

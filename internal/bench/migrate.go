@@ -1,0 +1,529 @@
+package bench
+
+// Proactive preemption recovery: instead of waiting for the spot market to
+// reclaim an instance and then reacting (restart or shrink), the supervisor
+// acts on the two-minute interruption notice. It drains the job at the
+// notice, prices an evacuation of the doomed node's diskless checkpoint
+// shards to their buddy nodes, and — when the window covers the copy and a
+// replacement can be provisioned — shrinks the dead node out and grows a
+// replacement back in (mp.World.Grow), resuming at full width. The
+// elasticity driver decides migrate-vs-shrink-vs-restart per event, so the
+// policy degrades gracefully to the reactive paths and can never hang.
+
+import (
+	"fmt"
+
+	"heterohpc/internal/core"
+	"heterohpc/internal/fault"
+	"heterohpc/internal/mp"
+	"heterohpc/internal/partition"
+	"heterohpc/internal/spot"
+	"heterohpc/internal/trace"
+)
+
+// MigrateStats itemises what the proactive migrate policy did with each
+// fatal event (nil on reports from the other policies).
+type MigrateStats struct {
+	// Migrations counts completed notice-window migrations (drain,
+	// evacuate, shrink dead node out, grow replacement in).
+	Migrations int
+	// FallbackShrinks and FallbackRestarts count fatal events the
+	// elasticity driver routed to the reactive paths: unannounced crashes,
+	// windows too short for the evacuation, exhausted capacity, or no
+	// survivors at all.
+	FallbackShrinks, FallbackRestarts int
+	// ReplacedNodes lists the migrated-away nodes in the fault plan's
+	// original numbering, in event order.
+	ReplacedNodes []int
+	// EvacuatedBlobs, CopyBytes and CopyS measure the notice-window buddy
+	// evacuation: checkpoint shards copied off doomed nodes, their bytes,
+	// and their total priced transfer time.
+	EvacuatedBlobs int
+	CopyBytes      int64
+	CopyS          float64
+	// WindowS sums the notice windows (reclaim − drain) of all noticed
+	// events, whether or not they migrated.
+	WindowS float64
+	// RestoreStep is the checkpoint step the last migration resumed from
+	// (0 for a cold migration before the first checkpoint).
+	RestoreStep int
+}
+
+// elasticityDecision is the driver's verdict for one fatal event.
+type elasticityDecision struct {
+	Verb   string // "migrate", "shrink" or "restart"
+	Reason string
+}
+
+// decideRecovery is the elasticity driver: given the notice window a fatal
+// event leaves after the drain, the priced evacuation cost, and what the
+// run can still do (shrinking needs surviving nodes, migrating needs
+// replacement capacity), it picks the cheapest recovery that cannot hang.
+// The ladder is strict: migrate when the window covers the copy and a
+// replacement exists, shrink when it does not, restart when not even
+// survivors remain.
+func decideRecovery(windowS, copyCostS float64, canShrink, canProvision bool) elasticityDecision {
+	switch {
+	case !canShrink:
+		return elasticityDecision{Verb: "restart", Reason: "no survivor node to continue on"}
+	case windowS <= 0:
+		return elasticityDecision{Verb: "shrink", Reason: "failure carried no usable notice window"}
+	case !canProvision:
+		return elasticityDecision{Verb: "shrink", Reason: "no replacement capacity (market or spares)"}
+	case copyCostS > windowS:
+		return elasticityDecision{Verb: "shrink",
+			Reason: fmt.Sprintf("notice window %.3fs shorter than the %.3fs evacuation", windowS, copyCostS)}
+	default:
+		return elasticityDecision{Verb: "migrate",
+			Reason: fmt.Sprintf("notice window %.3fs covers the %.3fs evacuation", windowS, copyCostS)}
+	}
+}
+
+// doomedRanks returns the ranks living on node, ascending.
+func doomedRanks(topo mp.Topology, node int) []int {
+	var rs []int
+	for r, n := range topo.NodeOf {
+		if n == node {
+			rs = append(rs, r)
+		}
+	}
+	return rs
+}
+
+// runMigrate is the proactive migration recovery loop.
+func runMigrate(s *superSetup) (*RecoveryReport, *shrinkRunState, error) {
+	o := s.o
+	tg, p := s.tg, s.tg.Platform
+	if s.nodes < 2 {
+		return nil, nil, fmt.Errorf("bench: migrate needs at least 2 nodes for buddy evacuation (placement has %d); lower RanksPerNode or raise Ranks",
+			s.nodes)
+	}
+	plan := s.plan
+	fatals := plan.Failures()
+	degrades := plan.Degradations()
+	maxAttempts := o.MaxAttempts
+	if maxAttempts == 0 {
+		maxAttempts = len(fatals) + 3
+	}
+
+	mg := &MigrateStats{}
+	rep := &RecoveryReport{
+		Platform: o.Platform, App: o.App, Policy: PolicyMigrate,
+		Ranks: o.Ranks, FinalRanks: o.Ranks,
+		Plan: plan, Clean: s.clean, CleanVirtualS: s.cleanS,
+		Shrink:  &ShrinkStats{},
+		Migrate: mg,
+	}
+	var rec trace.Recorder
+	rec.Observe(o.Obs)
+	gobs := o.Obs.Global()
+
+	var market *spot.Market
+	if p.SpotPerNodeHour > 0 {
+		market = spot.NewMarket(o.Seed+2, p.CostPerNodeHour)
+		market.Observe(o.Obs)
+	}
+	spares := o.SpareNodes
+	var replacementPremiumPerHour float64
+
+	m, grid, mem, err := weakSetup(o.App, o.Ranks, o.PerRankN)
+	if err != nil {
+		return nil, nil, err
+	}
+	topo, err := mp.BlockTopology(o.Ranks, s.cpn)
+	if err != nil {
+		return nil, nil, err
+	}
+	ms := newMirrorStore(topo)
+	app := newShrinkApp(o.App, m, grid, o.Steps, o.Ranks)
+	app.mirror = ms
+	app.meter = newBuddyMeter(o.Ranks)
+
+	// nodeMap translates the plan's original node numbering into the
+	// current world's; shrinks compose into it, grows append nodes the plan
+	// never targets (a replacement is a different instance).
+	nodeMap := make([]int, s.nodes)
+	for i := range nodeMap {
+		nodeMap[i] = i
+	}
+	var world *mp.World // nil: launch via Attempt; else resume the re-formed world
+	curRanks := o.Ranks
+	state := &shrinkRunState{grid: grid, ranks: curRanks, app: app}
+
+	foldGen := func() {
+		if app.meter != nil {
+			over, nbytes := app.meter.fold()
+			rep.Shrink.BuddyOverheadS += over
+			rep.Shrink.BuddyBytes += nbytes
+		}
+		rep.Shrink.AgreeS += maxOf(app.agreeS)
+		rep.Shrink.RedistributeS += maxOf(app.redistS)
+	}
+
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		rep.Attempts = attempt
+
+		// Drop scheduled fatals aimed at nodes that no longer exist.
+		for len(fatals) > 0 {
+			if ev := fault.Remap(fatals[:1], nodeMap); len(ev) == 0 {
+				rec.Record(fatals[0].At, "drop", "scheduled %s targets node %d, already lost; dropping it",
+					fatals[0].Kind, fatals[0].Node)
+				fatals = fatals[1:]
+				continue
+			}
+			break
+		}
+		events := fault.Remap(degrades, nodeMap)
+		var reclaimAt float64
+		proactive := false
+		if len(fatals) > 0 {
+			armed := fault.Remap(fatals[:1], nodeMap)[0]
+			reclaimAt = armed.At
+			if armed.Kind == fault.KindPreempt {
+				rec.Record(armed.NoticeAt, "notice",
+					"spot interruption notice for node %d (reclaim at t=%.1fs)", fatals[0].Node, armed.At)
+				if armed.NoticeAt < armed.At {
+					// Proactive drain: stop the world at the notice rather
+					// than the reclaim, leaving the window for the
+					// evacuate/provision/grow sequence.
+					proactive = true
+					armed.At = armed.NoticeAt
+				}
+			}
+			events = append(events, armed)
+		}
+
+		var result *core.Report
+		var af *core.AttemptFailure
+		if world == nil {
+			result, af, err = tg.Attempt(core.JobSpec{
+				Ranks: curRanks, RanksPerNode: o.RanksPerNode, App: app,
+				SkipSteps: o.SkipSteps, MemPerRankGB: mem, Faults: events, Obs: o.Obs,
+			})
+		} else {
+			result, af, err = tg.ResumeAttempt(world, app, o.SkipSteps, events)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		foldGen()
+		if app.suspect != nil && app.agreedDead != nil {
+			deadList := []int{}
+			for r, d := range app.agreedDead {
+				if d {
+					deadList = append(deadList, r)
+				}
+			}
+			rec.Record(0, "agree", "survivors agreed on dead ranks %v in %.4fs (max over ranks)",
+				deadList, maxOf(app.agreeS))
+		}
+		if af == nil {
+			rep.Final = result
+			rep.FinalRanks = curRanks
+			rep.FinalVirtualS = virtualDuration(result)
+			if world != nil {
+				rep.MakespanS = world.MaxVirtualTime()
+			} else {
+				rep.MakespanS = rep.FinalVirtualS
+			}
+			rep.RecoveryCostUSD += replacementPremiumPerHour * rep.FinalVirtualS / 3600
+			rep.Shrink.Survivors = curRanks
+			rep.Shrink.Grid = app.grid
+			rec.Record(rep.MakespanS, "complete", "attempt %d finished on %d ranks (grid %dx%dx%d)",
+				attempt, curRanks, app.grid[0], app.grid[1], app.grid[2])
+			rep.Decisions = rec.Decisions()
+			return rep, state, nil
+		}
+
+		if fault.Classify(af) != fault.ClassNodeLoss {
+			rep.Decisions = rec.Decisions()
+			return nil, nil, fmt.Errorf("bench: unrecoverable %v failure: %w", fault.Classify(af), af)
+		}
+		stopAt := af.At
+		curTopo := af.World.Topology()
+		origNode := -1
+		for on, cn := range nodeMap {
+			if cn == af.Node {
+				origNode = on
+			}
+		}
+		kind := "crash"
+		if len(fatals) > 0 && fatals[0].Kind == fault.KindPreempt {
+			kind = "preemption"
+		}
+		if proactive {
+			rec.Record(stopAt, "failure", "%s drained node %d at the notice t=%.1fs (attempt %d, reclaim at t=%.1fs)",
+				kind, origNode, stopAt, attempt, reclaimAt)
+		} else {
+			rec.Record(stopAt, "failure", "%s killed node %d at t=%.1fs (attempt %d): %v",
+				kind, origNode, stopAt, attempt, fault.Classify(af))
+		}
+		if len(fatals) > 0 {
+			fatals = fatals[1:]
+		}
+
+		// Price the evacuation the window would have to absorb: the doomed
+		// ranks' restore-line shards re-mirrored to their buddies, serialised
+		// through the doomed node's NIC. The restore line is taken while the
+		// node is still alive — that is the whole point of acting at the
+		// notice.
+		doomed := doomedRanks(curTopo, af.Node)
+		var window, copyCost float64
+		line, lineAtS := -1, 0.0
+		if proactive {
+			window = reclaimAt - stopAt
+			mg.WindowS += window
+			line, lineAtS = ms.line(o.Steps - 1)
+			if line >= 1 {
+				for _, dr := range doomed {
+					if sn, ok := ms.snapAt(dr, line); ok && ms.buddy[dr] >= 0 {
+						copyCost += af.World.PriceBytes(dr, ms.buddy[dr], len(sn.blob))
+					}
+				}
+			}
+		}
+		canShrink := curTopo.NNodes() >= 2
+		canProvision := market != nil || spares > 0
+		dec := decideRecovery(window, copyCost, canShrink, canProvision)
+		gobs.MigrateDecision(stopAt, dec.Verb, window, copyCost)
+		detail := dec.Reason
+		if market != nil {
+			detail = fmt.Sprintf("%s; spot last ticked at $%.3f/h", detail, market.Price())
+		}
+		rec.Record(stopAt, "migrate-decision", "%s for node %d: %s", dec.Verb, origNode, detail)
+
+		switch dec.Verb {
+		case "migrate":
+			// Evacuate inside the window: re-mirror the doomed ranks' line
+			// shards to their buddies as priced traffic, so the copies are
+			// off-node before the reclaim.
+			evacAt := stopAt
+			evacN := 0
+			if line >= 1 {
+				for _, dr := range doomed {
+					if sn, ok := ms.snapAt(dr, line); ok && ms.buddy[dr] >= 0 {
+						evacAt += af.World.PriceBytes(dr, ms.buddy[dr], len(sn.blob))
+						ms.putBuddy(dr, line, evacAt, sn.blob)
+						evacN++
+						mg.CopyBytes += int64(len(sn.blob))
+					}
+				}
+			}
+			mg.EvacuatedBlobs += evacN
+			mg.CopyS += copyCost
+			rec.Record(stopAt, "drain", "notice window %.1fs: drained in-flight collectives, evacuated %d shard(s) in %.4fs",
+				window, evacN, copyCost)
+
+			// Provision the replacement inside the same window.
+			deadGroup := curTopo.GroupOfNode[af.Node]
+			switch {
+			case market != nil:
+				bid := o.SpotBidFraction * p.CostPerNodeHour
+				repl, err := market.AcquireMix(1, bid, 1, 3)
+				if err != nil {
+					return nil, nil, err
+				}
+				nd := repl.Nodes[0]
+				if nd.Spot {
+					rec.Record(stopAt, "provision", "replacement spot instance at $%.3f/h (bid $%.3f)",
+						nd.PricePerHour, bid)
+				} else {
+					rec.Record(stopAt, "provision", "spot market could not fill the bid; on-demand replacement at $%.2f/h — the paper's forced mix",
+						nd.PricePerHour)
+				}
+				if nd.PricePerHour > p.SpotPerNodeHour {
+					replacementPremiumPerHour += nd.PricePerHour - p.SpotPerNodeHour
+				}
+			default:
+				spares--
+				rec.Record(stopAt, "provision", "cold spare replaces node %d (%d spare(s) left)",
+					origNode, spares)
+			}
+
+			// The reclaim takes the node's memory; then re-form the world
+			// around the survivors plus the replacement.
+			ms.loseNode(af.Node)
+			sr, err := af.World.Shrink()
+			if err != nil {
+				return nil, nil, err
+			}
+			survivors := sr.World.Size()
+			rep.Shrink.Shrinks++
+			rep.Shrink.RevokedMsgs += sr.Revoked
+			rep.Shrink.DeadNodes = append(rep.Shrink.DeadNodes, origNode)
+			gw, err := sr.World.Grow([]int{len(sr.DeadRanks)}, []int{deadGroup}, evacAt)
+			if err != nil {
+				return nil, nil, err
+			}
+			mg.Migrations++
+			mg.ReplacedNodes = append(mg.ReplacedNodes, origNode)
+			gobs.WorldGrow(evacAt, survivors, gw.World.Size(), gw.NewNodes[0])
+			rec.Record(evacAt, "world-grow", "world grew %d -> %d ranks: replacement joins as node %d at t=%.1fs",
+				survivors, gw.World.Size(), gw.NewNodes[0], evacAt)
+
+			// Only the span after the restore line is recomputed; acting at
+			// the notice (instead of the reclaim) is what keeps it short.
+			wasted := stopAt
+			if line >= 1 {
+				wasted = stopAt - lineAtS
+			}
+			rep.WastedVirtualS += wasted
+			rep.RecoveryCostUSD += tg.Billing.JobCost(wasted, curRanks)
+
+			newGrid, err := partition.BalancedGrid(curRanks, m.Nx, m.Ny, m.Nz)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bench: cannot repartition after grow: %w", err)
+			}
+			nextApp := newShrinkApp(o.App, m, newGrid, o.Steps, curRanks)
+			state.grid = newGrid
+			state.ranks = curRanks
+			state.app = nextApp
+			if line >= 1 {
+				rec.Record(evacAt, "restore", "continuation resumes from the evacuated checkpoint after step %d (rollback %.3fs)",
+					line, wasted)
+				rep.Shrink.RestoreStep = line
+				mg.RestoreStep = line
+				// Grown-world rank -> pre-drain rank: survivors map through
+				// the shrink, the joiners hold nothing.
+				toOld := make([]int, gw.World.Size())
+				for nr := range toOld {
+					if nr < len(sr.NewToOld) {
+						toOld[nr] = sr.NewToOld[nr]
+					} else {
+						toOld[nr] = -1
+					}
+				}
+				heldRD, heldNS, err := heldFromMirror(o.App, ms, toOld, af.Node, line)
+				if err != nil {
+					return nil, nil, err
+				}
+				nextApp.heldRD, nextApp.heldNS = heldRD, heldNS
+				state.lastHeldRD, state.lastHeldNS = heldRD, heldNS
+			} else {
+				rec.Record(evacAt, "restore", "no checkpoint preceded the notice; the full-width world restarts the stepping from scratch (cold migration)")
+				rep.Shrink.RestoreStep = 0
+				mg.RestoreStep = 0
+			}
+
+			// The continuation opens with the agreement collective over the
+			// pre-drain rank space.
+			suspect := make([]bool, curRanks)
+			for _, d := range sr.DeadRanks {
+				suspect[d] = true
+			}
+			nextApp.suspect = suspect
+
+			newTopo := gw.World.Topology()
+			ms = newMirrorStore(newTopo)
+			nextApp.mirror = ms
+			nextApp.meter = newBuddyMeter(curRanks)
+
+			for on := range nodeMap {
+				if nodeMap[on] >= 0 {
+					nodeMap[on] = sr.OldToNewNode[nodeMap[on]]
+				}
+			}
+			gw.World.Observe(o.Obs)
+			world = gw.World
+			app = nextApp
+			// curRanks is unchanged: the width was restored, not degraded.
+
+		case "shrink":
+			// Reactive fallback: the shrink-and-continue sequence, exactly
+			// as PolicyShrink runs it.
+			mg.FallbackShrinks++
+			ms.loseNode(af.Node)
+			line, lineAtS := ms.line(o.Steps - 1)
+			sr, err := af.World.Shrink()
+			if err != nil {
+				return nil, nil, err
+			}
+			rep.Shrink.Shrinks++
+			rep.Shrink.RevokedMsgs += sr.Revoked
+			rep.Shrink.DeadNodes = append(rep.Shrink.DeadNodes, origNode)
+			survivors := sr.World.Size()
+			rec.Record(stopAt, "shrink", "world shrunk %d -> %d ranks (%d pending message(s) revoked)",
+				curRanks, survivors, sr.Revoked)
+
+			wasted := stopAt
+			if line >= 1 {
+				wasted = stopAt - lineAtS
+			}
+			rep.WastedVirtualS += wasted
+			rep.RecoveryCostUSD += tg.Billing.JobCost(wasted, curRanks)
+
+			newGrid, err := partition.BalancedGrid(survivors, m.Nx, m.Ny, m.Nz)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bench: cannot repartition after shrink: %w", err)
+			}
+			nextApp := newShrinkApp(o.App, m, newGrid, o.Steps, survivors)
+			state.grid = newGrid
+			state.ranks = survivors
+			state.app = nextApp
+			if line >= 1 {
+				rec.Record(stopAt, "restore", "survivors resume from the mirrored checkpoint after step %d (rollback %.3fs)",
+					line, wasted)
+				rep.Shrink.RestoreStep = line
+				heldRD, heldNS, err := heldFromMirror(o.App, ms, sr.NewToOld, af.Node, line)
+				if err != nil {
+					return nil, nil, err
+				}
+				nextApp.heldRD, nextApp.heldNS = heldRD, heldNS
+				state.lastHeldRD, state.lastHeldNS = heldRD, heldNS
+			} else {
+				rec.Record(stopAt, "restore", "no common mirrored step survived; survivors restart the stepping from scratch (cold shrink)")
+				rep.Shrink.RestoreStep = 0
+			}
+			suspect := make([]bool, curRanks)
+			for _, d := range sr.DeadRanks {
+				suspect[d] = true
+			}
+			nextApp.suspect = suspect
+			newTopo := sr.World.Topology()
+			ms = newMirrorStore(newTopo)
+			nextApp.mirror = ms
+			nextApp.meter = newBuddyMeter(survivors)
+			if newTopo.NNodes() < 2 {
+				rec.Record(stopAt, "unprotected", "single node left; diskless mirroring has no off-node partner")
+			}
+			for on := range nodeMap {
+				if nodeMap[on] >= 0 {
+					nodeMap[on] = sr.OldToNewNode[nodeMap[on]]
+				}
+			}
+			sr.World.Observe(o.Obs)
+			world = sr.World
+			app = nextApp
+			curRanks = survivors
+			rep.Degraded = true
+
+		default: // restart
+			// Last rung of the ladder: nothing survived to continue on, so
+			// relaunch the current shape from scratch. Every nodeMap entry
+			// pointed at the lost world, so remaining scheduled fatals are
+			// dropped on the next pass rather than aimed at fresh instances.
+			mg.FallbackRestarts++
+			rep.WastedVirtualS += stopAt
+			rep.RecoveryCostUSD += tg.Billing.JobCost(stopAt, curRanks)
+			rec.Record(stopAt, "restart", "cold restart at %d ranks (grid %dx%dx%d)",
+				curRanks, state.grid[0], state.grid[1], state.grid[2])
+			for on := range nodeMap {
+				nodeMap[on] = -1
+			}
+			freshTopo, err := mp.BlockTopology(curRanks, s.cpn)
+			if err != nil {
+				return nil, nil, err
+			}
+			ms = newMirrorStore(freshTopo)
+			nextApp := newShrinkApp(o.App, m, state.grid, o.Steps, curRanks)
+			nextApp.mirror = ms
+			nextApp.meter = newBuddyMeter(curRanks)
+			state.app = nextApp
+			world = nil
+			app = nextApp
+		}
+	}
+	rep.Decisions = rec.Decisions()
+	return nil, nil, fmt.Errorf("bench: gave up after %d attempts (%d fault(s) outstanding)",
+		maxAttempts, len(fatals))
+}

@@ -374,6 +374,65 @@ func maxOf(v []float64) float64 {
 	return max
 }
 
+// heldFromMirror assembles the per-rank held-fragment lists for a
+// continuation generation. toOld maps each rank of the next world to its
+// rank in the pre-loss numbering (-1 for ranks that joined at a Grow and
+// hold nothing). Each pre-loss rank contributes its own surviving snapshot
+// at the restore line plus the buddy copies it holds for origins that lived
+// on deadNode. Exactly one of the returned lists is non-nil, matching app.
+func heldFromMirror(app string, ms *mirrorStore, toOld []int, deadNode, line int) ([][]rd.HeldState, [][]nse.HeldState, error) {
+	heldOf := func(holderOld int) ([]mirrorSnap, []int) {
+		var snaps []mirrorSnap
+		var origins []int
+		if sn, ok := ms.snapAt(holderOld, line); ok {
+			snaps = append(snaps, sn)
+			origins = append(origins, holderOld)
+		}
+		for _, origin := range checkpoint.Protects(ms.topo, holderOld) {
+			if ms.topo.NodeOf[origin] != deadNode {
+				continue // origin alive: it contributes its own copy
+			}
+			if bs, ok := ms.snapAt(origin, line); ok {
+				snaps = append(snaps, bs)
+				origins = append(origins, origin)
+			}
+		}
+		return snaps, origins
+	}
+	if app == "rd" {
+		held := make([][]rd.HeldState, len(toOld))
+		for newR, oldR := range toOld {
+			if oldR < 0 {
+				continue
+			}
+			snaps, origins := heldOf(oldR)
+			for i, sn := range snaps {
+				st, _, _, ids, err := checkpoint.ReadRD(bytes.NewReader(sn.blob))
+				if err != nil {
+					return nil, nil, fmt.Errorf("bench: corrupt mirrored checkpoint of rank %d: %w", origins[i], err)
+				}
+				held[newR] = append(held[newR], rd.HeldState{Rank: origins[i], OwnedIDs: ids, State: st})
+			}
+		}
+		return held, nil, nil
+	}
+	held := make([][]nse.HeldState, len(toOld))
+	for newR, oldR := range toOld {
+		if oldR < 0 {
+			continue
+		}
+		snaps, origins := heldOf(oldR)
+		for i, sn := range snaps {
+			st, _, _, ids, err := checkpoint.ReadNSE(bytes.NewReader(sn.blob))
+			if err != nil {
+				return nil, nil, fmt.Errorf("bench: corrupt mirrored checkpoint of rank %d: %w", origins[i], err)
+			}
+			held[newR] = append(held[newR], nse.HeldState{Rank: origins[i], OwnedIDs: ids, State: st})
+		}
+	}
+	return nil, held, nil
+}
+
 // shrinkRunState exposes the final generation's internals to the package
 // tests (held fragments and the final field for bit-identity comparisons).
 type shrinkRunState struct {
@@ -579,54 +638,12 @@ func runShrinkContinue(s *superSetup) (*RecoveryReport, *shrinkRunState, error) 
 			rec.Record(af.At, "restore", "survivors resume from the mirrored checkpoint after step %d (rollback %.3fs)",
 				line, wasted)
 			rep.Shrink.RestoreStep = line
-			heldOf := func(holderOld int) ([]mirrorSnap, []int) {
-				var snaps []mirrorSnap
-				var origins []int
-				sn, ok := ms.snapAt(holderOld, line)
-				if ok {
-					snaps = append(snaps, sn)
-					origins = append(origins, holderOld)
-				}
-				for _, origin := range checkpoint.Protects(ms.topo, holderOld) {
-					if ms.topo.NodeOf[origin] != af.Node {
-						continue // origin alive: it contributes its own copy
-					}
-					if bs, ok := ms.snapAt(origin, line); ok {
-						snaps = append(snaps, bs)
-						origins = append(origins, origin)
-					}
-				}
-				return snaps, origins
+			heldRD, heldNS, err := heldFromMirror(o.App, ms, sr.NewToOld, af.Node, line)
+			if err != nil {
+				return nil, nil, err
 			}
-			if o.App == "rd" {
-				held := make([][]rd.HeldState, survivors)
-				for newR, oldR := range sr.NewToOld {
-					snaps, origins := heldOf(oldR)
-					for i, sn := range snaps {
-						st, _, _, ids, err := checkpoint.ReadRD(bytes.NewReader(sn.blob))
-						if err != nil {
-							return nil, nil, fmt.Errorf("bench: corrupt mirrored checkpoint of rank %d: %w", origins[i], err)
-						}
-						held[newR] = append(held[newR], rd.HeldState{Rank: origins[i], OwnedIDs: ids, State: st})
-					}
-				}
-				nextApp.heldRD = held
-				state.lastHeldRD = held
-			} else {
-				held := make([][]nse.HeldState, survivors)
-				for newR, oldR := range sr.NewToOld {
-					snaps, origins := heldOf(oldR)
-					for i, sn := range snaps {
-						st, _, _, ids, err := checkpoint.ReadNSE(bytes.NewReader(sn.blob))
-						if err != nil {
-							return nil, nil, fmt.Errorf("bench: corrupt mirrored checkpoint of rank %d: %w", origins[i], err)
-						}
-						held[newR] = append(held[newR], nse.HeldState{Rank: origins[i], OwnedIDs: ids, State: st})
-					}
-				}
-				nextApp.heldNS = held
-				state.lastHeldNS = held
-			}
+			nextApp.heldRD, nextApp.heldNS = heldRD, heldNS
+			state.lastHeldRD, state.lastHeldNS = heldRD, heldNS
 		} else {
 			rec.Record(af.At, "restore", "no common mirrored step survived; survivors restart the stepping from scratch (cold shrink)")
 			rep.Shrink.RestoreStep = 0
@@ -670,14 +687,16 @@ func runShrinkContinue(s *superSetup) (*RecoveryReport, *shrinkRunState, error) 
 		maxAttempts, len(fatals))
 }
 
-// RecoveryComparison pits both policies against the identical fault plan.
+// RecoveryComparison pits the three policies against the identical fault
+// plan.
 type RecoveryComparison struct {
-	Restart, Shrink *RecoveryReport
+	Restart, Shrink, Migrate *RecoveryReport
 }
 
-// CompareRecovery runs the same seeded fault plan under checkpoint-restart
-// and under shrink-and-continue, so the reports differ only by policy. The
-// restart run draws the plan; the shrink run replays it verbatim.
+// CompareRecovery runs the same seeded fault plan under checkpoint-restart,
+// shrink-and-continue and proactive migration, so the reports differ only
+// by policy. The restart run draws the plan; the other two replay it
+// verbatim.
 func CompareRecovery(o FaultOptions) (*RecoveryComparison, error) {
 	o = o.withDefaults()
 	ro := o
@@ -693,5 +712,12 @@ func CompareRecovery(o FaultOptions) (*RecoveryComparison, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bench: shrink policy: %w", err)
 	}
-	return &RecoveryComparison{Restart: restart, Shrink: shrink}, nil
+	mo := o
+	mo.Policy = PolicyMigrate
+	mo.Plan = restart.Plan
+	migrate, err := RunSupervised(mo)
+	if err != nil {
+		return nil, fmt.Errorf("bench: migrate policy: %w", err)
+	}
+	return &RecoveryComparison{Restart: restart, Shrink: shrink, Migrate: migrate}, nil
 }

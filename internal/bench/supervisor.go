@@ -28,6 +28,14 @@ const (
 	// the dead, the world shrinks, state redistributes from diskless buddy
 	// copies, and time-stepping resumes mid-run on the survivor count.
 	PolicyShrink = "shrink-continue"
+	// PolicyMigrate is proactive notice-window migration: on a spot
+	// interruption notice the supervisor drains at the notice, evacuates the
+	// doomed node's checkpoint shards to their buddies inside the window,
+	// provisions a replacement, grows the world back to full width and
+	// continues — falling back to shrink-continue (or restart) when the
+	// window is too short, capacity is unavailable, or the failure carried
+	// no notice.
+	PolicyMigrate = "migrate"
 )
 
 // FaultOptions configures a supervised run under fault injection.
@@ -43,8 +51,8 @@ type FaultOptions struct {
 	// node). Shrink-and-continue needs at least two nodes, so small jobs on
 	// fat-node platforms set this to spread ranks out.
 	RanksPerNode int
-	// Policy selects the recovery strategy: PolicyRestart (default) or
-	// PolicyShrink.
+	// Policy selects the recovery strategy: PolicyRestart (default),
+	// PolicyShrink or PolicyMigrate.
 	Policy string
 	// PerRankN is the per-process mesh edge (default 10, as in Options).
 	PerRankN int
@@ -155,8 +163,12 @@ type RecoveryReport struct {
 	// clock for shrink-and-continue (whose clocks carry across the shrink).
 	MakespanS float64
 	// Shrink itemises the shrink-and-continue mechanics (nil under
-	// PolicyRestart).
+	// PolicyRestart; under PolicyMigrate it covers the shared
+	// agree/redistribute/mirror machinery).
 	Shrink *ShrinkStats
+	// Migrate itemises the proactive notice-window migrations (nil unless
+	// the run used PolicyMigrate).
+	Migrate *MigrateStats
 	// Decisions is the supervisor's audit log.
 	Decisions []trace.Decision
 }
@@ -484,9 +496,12 @@ func RunSupervised(o FaultOptions) (*RecoveryReport, error) {
 	case PolicyShrink:
 		rep, _, err := runShrinkContinue(s)
 		return rep, err
+	case PolicyMigrate:
+		rep, _, err := runMigrate(s)
+		return rep, err
 	default:
-		return nil, fmt.Errorf("bench: unknown recovery policy %q (want %q or %q)",
-			o.Policy, PolicyRestart, PolicyShrink)
+		return nil, fmt.Errorf("bench: unknown recovery policy %q (want %q, %q or %q)",
+			o.Policy, PolicyRestart, PolicyShrink, PolicyMigrate)
 	}
 }
 
@@ -711,6 +726,16 @@ func FormatRecovery(rep *RecoveryReport) string {
 		fmt.Fprintf(&b, "  buddy mirroring: %.4fs critical-path overhead, %d bytes exchanged\n",
 			st.BuddyOverheadS, st.BuddyBytes)
 	}
+	if mg := rep.Migrate; mg != nil {
+		fmt.Fprintf(&b, "\nproactive migration mechanics:\n")
+		fmt.Fprintf(&b, "  %d migration(s) (node(s) %v replaced), %d fallback shrink(s), %d fallback restart(s)\n",
+			mg.Migrations, mg.ReplacedNodes, mg.FallbackShrinks, mg.FallbackRestarts)
+		fmt.Fprintf(&b, "  evacuated %d shard(s), %d bytes, %.4fs of priced copy inside %.1fs of notice window(s)\n",
+			mg.EvacuatedBlobs, mg.CopyBytes, mg.CopyS, mg.WindowS)
+		if mg.Migrations > 0 {
+			fmt.Fprintf(&b, "  last migration resumed after step %d at the restored width\n", mg.RestoreStep)
+		}
+	}
 	if rep.Degraded {
 		fmt.Fprintf(&b, "\njob degraded gracefully: finished on %d of %d submitted ranks\n",
 			rep.FinalRanks, rep.Ranks)
@@ -718,10 +743,11 @@ func FormatRecovery(rep *RecoveryReport) string {
 	return b.String()
 }
 
-// FormatRecoveryComparison renders the two policies' reports side by side:
-// the same fault plan, the same application, only the recovery differs.
+// FormatRecoveryComparison renders the three policies' reports side by
+// side: the same fault plan, the same application, only the recovery
+// differs.
 func FormatRecoveryComparison(c *RecoveryComparison) string {
-	r, s := c.Restart, c.Shrink
+	r, s, m := c.Restart, c.Shrink, c.Migrate
 	var b strings.Builder
 	fmt.Fprintf(&b, "Recovery-policy comparison: %s on %s (%d ranks)\n",
 		strings.ToUpper(r.App), r.Platform, r.Ranks)
@@ -730,20 +756,34 @@ func FormatRecoveryComparison(c *RecoveryComparison) string {
 	if r.App == "ns" {
 		errKey = "vel_max_err"
 	}
-	row := func(label, fmtStr string, rv, sv any) {
-		fmt.Fprintf(&b, "%-26s "+fmtStr+" "+fmtStr+"\n", label, rv, sv)
+	row := func(label, fmtStr string, vs ...any) {
+		fmt.Fprintf(&b, "%-26s", label)
+		for _, v := range vs {
+			fmt.Fprintf(&b, " "+fmtStr, v)
+		}
+		b.WriteByte('\n')
 	}
-	fmt.Fprintf(&b, "%-26s %14s %14s\n", "", PolicyRestart, PolicyShrink)
-	row("final ranks", "%14d", r.FinalRanks, s.FinalRanks)
-	row("attempts", "%14d", r.Attempts, s.Attempts)
-	row("wasted virtual (s)", "%14.3f", r.WastedVirtualS, s.WastedVirtualS)
-	row("makespan (s)", "%14.3f", r.MakespanS, s.MakespanS)
-	row("recovery cost (USD)", "%14.5f", r.RecoveryCostUSD, s.RecoveryCostUSD)
-	row(errKey, "%14.2e", r.Final.Metrics[errKey], s.Final.Metrics[errKey])
+	fmt.Fprintf(&b, "%-26s %14s %14s %14s\n", "", PolicyRestart, PolicyShrink, PolicyMigrate)
+	row("final ranks", "%14d", r.FinalRanks, s.FinalRanks, m.FinalRanks)
+	row("attempts", "%14d", r.Attempts, s.Attempts, m.Attempts)
+	row("wasted virtual (s)", "%14.3f", r.WastedVirtualS, s.WastedVirtualS, m.WastedVirtualS)
+	row("makespan (s)", "%14.3f", r.MakespanS, s.MakespanS, m.MakespanS)
+	row("recovery cost (USD)", "%14.5f", r.RecoveryCostUSD, s.RecoveryCostUSD, m.RecoveryCostUSD)
+	row(errKey, "%14.2e", r.Final.Metrics[errKey], s.Final.Metrics[errKey], m.Final.Metrics[errKey])
 	if st := s.Shrink; st != nil {
 		fmt.Fprintf(&b, "\nshrink path paid %.4fs of buddy mirroring (%d bytes) and %.4fs of agreement+redistribution\nto avoid %.3fs of restart waste.\n",
 			st.BuddyOverheadS, st.BuddyBytes, st.AgreeS+st.RedistributeS,
 			r.WastedVirtualS-s.WastedVirtualS)
+	}
+	if mg := m.Migrate; mg != nil {
+		if mg.Migrations > 0 {
+			fmt.Fprintf(&b, "\nmigrate path copied %d shard(s) (%d bytes, %.4fs) inside the notice window(s)\nand finished on %d ranks against shrink's %d, wasting %.3fs less than shrink.\n",
+				mg.EvacuatedBlobs, mg.CopyBytes, mg.CopyS,
+				m.FinalRanks, s.FinalRanks, s.WastedVirtualS-m.WastedVirtualS)
+		} else {
+			fmt.Fprintf(&b, "\nmigrate path found no usable notice window and fell back to reactive recovery\n(%d shrink(s), %d restart(s)), matching shrink-continue.\n",
+				mg.FallbackShrinks, mg.FallbackRestarts)
+		}
 	}
 	return b.String()
 }

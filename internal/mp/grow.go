@@ -1,0 +1,197 @@
+// Elastic-world growth: the dual of Shrink.
+//
+// Shrink (shrink.go) re-forms a poisoned world around its survivors. Grow
+// re-forms a healthy world around its ranks plus freshly provisioned
+// replacement nodes: the proactive half of preemption recovery, where the
+// supervisor uses the spot-market notice window to evacuate a doomed node's
+// state, acquire a replacement, and continue at full width instead of
+// degrading. Surviving ranks keep their rank numbers, their mailboxes (with
+// the warm per-(src,tag) resident queues) and the shared payload pool, and
+// their clocks carry their absolute virtual times via vclock.NewAt — the
+// same continuation contract Shrink established. New ranks start with fresh
+// mailboxes and clocks seeded at startAt, the virtual time at which their
+// node came online.
+//
+// As with Shrink, the network does not re-form with the job: the grown world
+// keeps the old fabric, modelling a replacement instance joining the same
+// interconnect (and, on EC2, the same or an adjacent placement group — the
+// group of each new node is the caller's choice).
+package mp
+
+import (
+	"fmt"
+
+	"sync/atomic"
+
+	"heterohpc/internal/vclock"
+)
+
+// Grow is the outcome of extending a world with replacement nodes.
+type Grow struct {
+	// World is the grown world: same fabric and payload pool, extended
+	// topology, survivor clocks carried at their absolute virtual times and
+	// new-rank clocks seeded at the growth time.
+	World *World
+	// OldToNew maps old rank -> new rank. Growth never renumbers: the map
+	// is the identity, kept for symmetry with Shrink so supervisors can
+	// compose remappings uniformly.
+	OldToNew []int
+	// NewToOld maps new rank -> old rank, -1 for ranks that joined at the
+	// growth (they have no pre-growth history).
+	NewToOld []int
+	// NewRanks and NewNodes list the appended ranks and nodes (new
+	// numbering, ascending).
+	NewRanks []int
+	NewNodes []int
+	// Revoked counts stale mailbox messages purged during the transplant —
+	// payloads sent but never received before the old world completed.
+	// Zero for any well-formed SPMD body.
+	Revoked int
+}
+
+// Grow extends a healthy, completed world with replacement capacity:
+// ranksPerNewNode[i] ranks are added on a new node in placement group
+// groupOfNewNode[i], appended after the existing nodes. Existing ranks keep
+// their numbers, mailboxes and pool ownership; their clocks continue at
+// their absolute virtual times. New ranks get clocks seeded at startAt (the
+// virtual time their node was provisioned). The old world is consumed — it
+// cannot Run again; the grown world is fresh: it has no fault schedule, no
+// observer, and may Run exactly once.
+//
+// Grow refuses a poisoned world: a world that recorded a failure has dead
+// ranks that must be dropped first, so the recovery sequence there is
+// Shrink (drop the dead) and then, capacity permitting, Grow (restore the
+// width).
+func (w *World) Grow(ranksPerNewNode, groupOfNewNode []int, startAt float64) (*Grow, error) {
+	if _, down := w.Failure(); down {
+		return nil, fmt.Errorf("mp: Grow on a poisoned world; Shrink it first")
+	}
+	if w.shrunk {
+		return nil, fmt.Errorf("mp: world already consumed by Shrink or Grow")
+	}
+	if len(ranksPerNewNode) == 0 {
+		return nil, fmt.Errorf("mp: Grow with no new nodes")
+	}
+	if len(groupOfNewNode) != len(ranksPerNewNode) {
+		return nil, fmt.Errorf("mp: Grow got %d rank counts but %d groups",
+			len(ranksPerNewNode), len(groupOfNewNode))
+	}
+	if startAt < 0 {
+		return nil, fmt.Errorf("mp: Grow at negative virtual time %v", startAt)
+	}
+	p := w.Size()
+	nnodes := w.topo.NNodes()
+	added := 0
+	for i, k := range ranksPerNewNode {
+		if k < 1 {
+			return nil, fmt.Errorf("mp: new node %d would hold %d ranks", i, k)
+		}
+		added += k
+	}
+	w.shrunk = true
+
+	gr := &Grow{
+		OldToNew: make([]int, p),
+		NewToOld: make([]int, p+added),
+	}
+	for r := 0; r < p; r++ {
+		gr.OldToNew[r] = r
+		gr.NewToOld[r] = r
+	}
+	for r := p; r < p+added; r++ {
+		gr.NewToOld[r] = -1
+		gr.NewRanks = append(gr.NewRanks, r)
+	}
+
+	nodeOf := make([]int, p, p+added)
+	copy(nodeOf, w.topo.NodeOf)
+	groups := make([]int, nnodes, nnodes+len(ranksPerNewNode))
+	copy(groups, w.topo.GroupOfNode)
+	for i, k := range ranksPerNewNode {
+		node := nnodes + i
+		gr.NewNodes = append(gr.NewNodes, node)
+		groups = append(groups, groupOfNewNode[i])
+		for j := 0; j < k; j++ {
+			nodeOf = append(nodeOf, node)
+		}
+	}
+	topo, err := NewTopology(nodeOf, groups)
+	if err != nil {
+		return nil, fmt.Errorf("mp: grown topology: %w", err)
+	}
+
+	nw := &World{
+		topo:     topo,
+		fabric:   w.fabric,
+		rater:    w.rater,
+		clocks:   make([]*vclock.Clock, p+added),
+		boxes:    make([]*mailbox, p+added),
+		pool:     w.pool, // ownership of the warm free lists moves with the ranks
+		rankDead: make([]atomic.Bool, p+added),
+	}
+
+	// Transplant the surviving ranks' mailboxes: repoint them at the grown
+	// world, widen the per-source collective FIFOs for the new ranks, and
+	// purge any stale payloads (keeping the resident (src,tag) queue
+	// structures warm — the same pairs recur after the growth because rank
+	// numbers are stable under Grow).
+	for i := 0; i < p; i++ {
+		mb := w.boxes[i]
+		mb.mu.Lock()
+		mb.w = nw
+		if mb.coll != nil {
+			mb.coll = append(mb.coll, make([]msgQueue, added)...)
+			for src := range mb.coll {
+				q := &mb.coll[src]
+				if !q.empty() {
+					gr.Revoked += q.len()
+					for j := range q.buf {
+						q.buf[j] = message{}
+					}
+					q.buf, q.head = q.buf[:0], 0
+				}
+			}
+		}
+		for _, q := range mb.pending {
+			for !q.empty() {
+				q.pop()
+				gr.Revoked++
+			}
+		}
+		// Any-source registrations do not survive the transplant: the grown
+		// body re-registers tags on its first takeAny, exactly as a fresh
+		// world would, so directed/any-source tag discipline restarts clean.
+		for tag, q := range mb.anyQ {
+			gr.Revoked += q.len()
+			for !q.empty() {
+				q.pop()
+			}
+			delete(mb.anyQ, tag)
+			mb.putQueue(q)
+		}
+		mb.mu.Unlock()
+		nw.boxes[i] = mb
+		nw.clocks[i] = vclock.NewAt(w.rater, w.clocks[i].Now())
+	}
+	for i := p; i < p+added; i++ {
+		nw.boxes[i] = newMailbox(nw)
+		nw.clocks[i] = vclock.NewAt(w.rater, startAt)
+	}
+
+	gr.World = nw
+	return gr, nil
+}
+
+// PriceBytes returns the virtual seconds one payload of payloadBytes takes
+// from rank src to rank dst on this world's fabric, priced exactly as a send
+// would charge it (header overhead and NIC sharing included) but without
+// advancing any clock. The supervisor uses it to cost a notice-window
+// evacuation before committing to it.
+func (w *World) PriceBytes(src, dst, payloadBytes int) float64 {
+	return w.fabric.P2P(
+		payloadBytes+msgHeaderBytes,
+		w.topo.SameNode(src, dst),
+		w.topo.SameGroup(src, dst),
+		w.topo.NICShare(src),
+	)
+}

@@ -374,17 +374,18 @@ type World struct {
 	rater  vclock.ComputeRater
 	clocks []*vclock.Clock
 	boxes  []*mailbox
-	// pool recycles f64 message payloads (see pool.go); its zero value is
-	// ready to use.
-	pool f64Pool
+	// pool recycles f64 message payloads (see pool.go). It is held by
+	// pointer so Grow can transfer ownership of the warm free lists to the
+	// grown world along with the mailboxes.
+	pool *f64Pool
 
 	// obsRun/recs are the attached observability sink and its per-rank
 	// recorders (nil when the world is unobserved; see Observe).
 	obsRun *obs.Run
 	recs   []*obs.Recorder
 
-	// shrunk marks a world consumed by Shrink; its mailboxes are revoked
-	// and it must not Run again.
+	// shrunk marks a world consumed by Shrink or Grow; it must not Run
+	// again (Shrink revokes its mailboxes, Grow transplants them).
 	shrunk bool
 
 	// Fault-injection state (see fault.go). killAt and degrades are fixed
@@ -420,6 +421,7 @@ func NewWorld(topo Topology, fabric *netmodel.Fabric, rater vclock.ComputeRater)
 		rater:    rater,
 		clocks:   make([]*vclock.Clock, p),
 		boxes:    make([]*mailbox, p),
+		pool:     &f64Pool{},
 		rankDead: make([]atomic.Bool, p),
 	}
 	for i := 0; i < p; i++ {
@@ -489,7 +491,7 @@ func (e *RankError) Unwrap() error { return e.Err }
 // World.
 func (w *World) Run(body func(r *Rank) error) error {
 	if w.shrunk {
-		return fmt.Errorf("mp: world was consumed by Shrink; run the survivor world instead")
+		return fmt.Errorf("mp: world was consumed by Shrink or Grow; run the re-formed world instead")
 	}
 	p := w.Size()
 	errs := make([]error, p)

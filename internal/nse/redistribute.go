@@ -6,6 +6,7 @@ package nse
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"heterohpc/internal/mesh"
@@ -31,19 +32,20 @@ const valsPerDof = 7
 // Redistribute scatters held checkpoint fragments onto the px×py×pz block
 // decomposition of m over the calling world and returns the resume state
 // plus this rank's owned global ids under the new decomposition. Like its
-// rd counterpart it is a collective pure permutation of the stored values:
-// no arithmetic touches them, so resumption is bit-identical to a run at
-// the new rank count restored from the same snapshot. tag and tag+1 must
-// be free application tags.
+// rd counterpart it is a collective pure permutation of the stored values —
+// ranks that joined at a Grow pass no fragments and only receive — so
+// resumption is bit-identical to a run at the new rank count restored from
+// the same snapshot. tag and tag+1 must be free application tags.
 func Redistribute(r *mp.Rank, m *mesh.Mesh, grid [3]int, held []HeldState, tag int) (State, []int, error) {
 	p := r.Size()
 	if grid[0]*grid[1]*grid[2] != p {
 		return State{}, nil, fmt.Errorf("nse: grid %v for %d ranks", grid, p)
 	}
-	if len(held) == 0 {
-		return State{}, nil, fmt.Errorf("nse: rank %d holds no state to redistribute", r.ID())
+	var step int
+	var tm float64
+	if len(held) > 0 {
+		step, tm = held[0].State.StepsDone, held[0].State.Time
 	}
-	step, tm := held[0].State.StepsDone, held[0].State.Time
 	for _, h := range held {
 		n := len(h.OwnedIDs)
 		for c := 0; c < 3; c++ {
@@ -60,11 +62,23 @@ func Redistribute(r *mp.Rank, m *mesh.Mesh, grid [3]int, held []HeldState, tag i
 				held[0].Rank, step, tm, h.Rank, h.State.StepsDone, h.State.Time)
 		}
 	}
-	agree := r.Allreduce(mp.OpMax, []float64{float64(step), tm, -float64(step), -tm})
+	// Empty-handed ranks contribute -Inf, the OpMax identity, so they adopt
+	// the holders' restore line without constraining it (see rd).
+	local := []float64{float64(step), tm, -float64(step), -tm}
+	if len(held) == 0 {
+		for i := range local {
+			local[i] = math.Inf(-1)
+		}
+	}
+	agree := r.Allreduce(mp.OpMax, local)
+	if math.IsInf(agree[0], -1) {
+		return State{}, nil, fmt.Errorf("nse: no rank holds any state to redistribute")
+	}
 	if agree[0] != -agree[2] || agree[1] != -agree[3] {
 		return State{}, nil, fmt.Errorf("nse: ranks disagree on the restore line (steps up to %v, times up to %v)",
 			agree[0], agree[1])
 	}
+	step, tm = int(agree[0]), agree[1]
 
 	sort.Slice(held, func(a, b int) bool { return held[a].Rank < held[b].Rank })
 	sendIDs := make([][]int, p)

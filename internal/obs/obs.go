@@ -52,8 +52,8 @@ type Event struct {
 	// events.
 	Rank int
 	// Kind is the event type ("phase", "solve", "step", "halo", "pool",
-	// "ckpt-write", "ckpt-restore", "spot-tick", "preempt-notice", or a
-	// supervisor decision kind).
+	// "ckpt-write", "ckpt-restore", "spot-tick", "preempt-notice",
+	// "world-grow", "migrate-decision", or a supervisor decision kind).
 	Kind string
 	// Name is the kind-specific subject (phase name, solver name, decision
 	// detail).
@@ -306,6 +306,29 @@ func (rc *Recorder) Preemption(t float64, node int, price, reclaimAt float64) {
 		return
 	}
 	rc.emit(Event{T: t, Kind: "preempt-notice", I1: int64(node), F1: price, F2: reclaimAt})
+}
+
+// WorldGrow records a world re-formation that added capacity at virtual
+// time t: kind "world-grow", I1 = rank count before, I2 = rank count after,
+// I3 = the first appended node index.
+func (rc *Recorder) WorldGrow(t float64, fromRanks, toRanks, newNode int) {
+	if rc == nil {
+		return
+	}
+	rc.emit(Event{T: t, Kind: "world-grow",
+		I1: int64(fromRanks), I2: int64(toRanks), I3: int64(newNode)})
+}
+
+// MigrateDecision records the elasticity driver's per-event verdict at
+// virtual time t: kind "migrate-decision", name = the chosen verb
+// ("migrate", "shrink" or "restart"), F1 = the notice window in virtual
+// seconds (0 when the event carried no notice), F2 = the priced
+// notice-window evacuation cost.
+func (rc *Recorder) MigrateDecision(t float64, verb string, windowS, copyCostS float64) {
+	if rc == nil {
+		return
+	}
+	rc.emit(Event{T: t, Kind: "migrate-decision", Name: verb, F1: windowS, F2: copyCostS})
 }
 
 // PoolStats records one world's payload-pool traffic at virtual time t:

@@ -43,6 +43,65 @@ func TestBalancedGridRejectsImpossibleFits(t *testing.T) {
 	}
 }
 
+// TestBalancedGridGrowPaths covers the shapes the elastic recovery policies
+// walk through: a shrink degrades the grid to a survivor count (often
+// non-cubic), and a migration grows it back to the original width. The grown
+// grid must be exactly the pre-loss grid — BalancedGrid is a pure function of
+// the part count and mesh, so grow-after-shrink round-trips bit-for-bit and
+// the redistribution stays a pure permutation.
+func TestBalancedGridGrowPaths(t *testing.T) {
+	cases := []struct {
+		name                   string
+		full, survivors        int
+		nx, ny, nz             int
+		wantFull, wantSurvivor [3]int
+	}{
+		{"cubic 8 down to 6 and back", 8, 6, 6, 6, 6, [3]int{2, 2, 2}, [3]int{3, 2, 1}},
+		{"non-cubic 12 down to 9", 12, 9, 12, 6, 3, [3]int{3, 2, 2}, [3]int{3, 3, 1}},
+		{"flat mesh 6 down to 4", 6, 4, 12, 2, 6, [3]int{3, 1, 2}, [3]int{2, 1, 2}},
+		{"two ranks down to one", 2, 1, 3, 3, 3, [3]int{2, 1, 1}, [3]int{1, 1, 1}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			full, err := BalancedGrid(c.full, c.nx, c.ny, c.nz)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if full != c.wantFull {
+				t.Fatalf("full grid %v, want %v", full, c.wantFull)
+			}
+			shrunk, err := BalancedGrid(c.survivors, c.nx, c.ny, c.nz)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if shrunk != c.wantSurvivor {
+				t.Fatalf("survivor grid %v, want %v", shrunk, c.wantSurvivor)
+			}
+			regrown, err := BalancedGrid(c.full, c.nx, c.ny, c.nz)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if regrown != full {
+				t.Fatalf("grow-after-shrink grid %v does not round-trip to %v", regrown, full)
+			}
+		})
+	}
+}
+
+// TestBalancedGridDegenerateSingleRank pins the 1-rank world the restart
+// fallback can bottom out at: every mesh accepts it as {1,1,1}.
+func TestBalancedGridDegenerateSingleRank(t *testing.T) {
+	for _, mesh := range [][3]int{{1, 1, 1}, {2, 3, 4}, {16, 16, 16}} {
+		got, err := BalancedGrid(1, mesh[0], mesh[1], mesh[2])
+		if err != nil {
+			t.Fatalf("mesh %v: %v", mesh, err)
+		}
+		if got != [3]int{1, 1, 1} {
+			t.Fatalf("mesh %v: 1 rank got grid %v", mesh, got)
+		}
+	}
+}
+
 func TestBalancedGridIsDeterministic(t *testing.T) {
 	for n := 1; n <= 64; n++ {
 		a, errA := BalancedGrid(n, 16, 16, 16)

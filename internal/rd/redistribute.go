@@ -30,9 +30,10 @@ type HeldState struct {
 // Redistribute scatters held checkpoint fragments onto the px×py×pz block
 // decomposition of m over the calling world and returns the resume state
 // plus this rank's owned global ids under the new decomposition. It is a
-// collective: every rank passes its own held fragments (at least one), and
-// together they must cover the global field exactly once. The exchange is
-// a pure permutation of the stored float64 values — no arithmetic — so a
+// collective: every rank passes its own held fragments — possibly none, for
+// a rank that joined the world at a Grow and has no pre-growth history —
+// and together they must cover the global field exactly once. The exchange
+// is a pure permutation of the stored float64 values — no arithmetic — so a
 // run resumed from the returned state is bit-identical to a run at the new
 // rank count resumed from the same snapshot. tag and tag+1 must be free
 // application tags.
@@ -41,10 +42,11 @@ func Redistribute(r *mp.Rank, m *mesh.Mesh, grid [3]int, held []HeldState, tag i
 	if grid[0]*grid[1]*grid[2] != p {
 		return State{}, nil, fmt.Errorf("rd: grid %v for %d ranks", grid, p)
 	}
-	if len(held) == 0 {
-		return State{}, nil, fmt.Errorf("rd: rank %d holds no state to redistribute", r.ID())
+	var step int
+	var tm float64
+	if len(held) > 0 {
+		step, tm = held[0].State.StepsDone, held[0].State.Time
 	}
-	step, tm := held[0].State.StepsDone, held[0].State.Time
 	for _, h := range held {
 		if len(h.OwnedIDs) != len(h.State.U1) || len(h.State.U1) != len(h.State.U2) {
 			return State{}, nil, fmt.Errorf("rd: origin %d holds %d ids for %d/%d values",
@@ -55,14 +57,28 @@ func Redistribute(r *mp.Rank, m *mesh.Mesh, grid [3]int, held []HeldState, tag i
 				held[0].Rank, step, tm, h.Rank, h.State.StepsDone, h.State.Time)
 		}
 	}
-	// Global agreement that every survivor resumes the same step: one
+	// Global agreement that every holder resumes the same step: one
 	// allreduce carrying (step, time) and their negations detects any
-	// mismatch without a second collective.
-	agree := r.Allreduce(mp.OpMax, []float64{float64(step), tm, -float64(step), -tm})
+	// mismatch without a second collective. Empty-handed ranks contribute
+	// -Inf everywhere, the OpMax identity, so they adopt the holders' line
+	// without constraining it.
+	local := []float64{float64(step), tm, -float64(step), -tm}
+	if len(held) == 0 {
+		for i := range local {
+			local[i] = math.Inf(-1)
+		}
+	}
+	agree := r.Allreduce(mp.OpMax, local)
+	if math.IsInf(agree[0], -1) {
+		return State{}, nil, fmt.Errorf("rd: no rank holds any state to redistribute")
+	}
 	if agree[0] != -agree[2] || agree[1] != -agree[3] {
 		return State{}, nil, fmt.Errorf("rd: ranks disagree on the restore line (steps up to %v, times up to %v)",
 			agree[0], agree[1])
 	}
+	// Empty-handed ranks take the agreed line (bit-exact: the max of equal
+	// holder values is those values).
+	step, tm = int(agree[0]), agree[1]
 
 	// Bucket every held dof by its new owner. Sorting fragments by origin
 	// keeps the per-destination payload order identical across runs.
