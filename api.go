@@ -58,6 +58,12 @@ const (
 	// shrink the world, redistribute state from diskless buddy
 	// checkpoints, and continue mid-run.
 	PolicyShrink = bench.PolicyShrink
+	// PolicyMigrate recovers proactively: on a preemption notice the
+	// supervisor drains inside the window, evacuates the doomed node's
+	// checkpoint shards, provisions replacements (with arbiter coalescing
+	// and autoscaler backoff under fault storms — see
+	// FaultOptions.StormWave and friends), and resumes at full width.
+	PolicyMigrate = bench.PolicyMigrate
 )
 
 // ErrRankDead is the typed error every surviving rank observes when a node

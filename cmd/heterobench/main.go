@@ -70,6 +70,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	policy := fs.String("policy", bench.PolicyRestart,
 		"recovery policy for the faults command: restart, shrink-continue, migrate or compare")
 	rpn := fs.Int("rpn", 0, "ranks per node for the faults command (0 = pack by cores; shrink needs >= 2 nodes)")
+	storm := fs.Int("storm", 0, "faults command: correlated storm — wave of N simultaneous-notice preemptions (>= 2; replaces -crashes/-preempts/-degrades)")
+	cascades := fs.Int("cascades", 0, "faults command: storm cascades — preemptions re-hitting wave slots mid-recovery (needs -storm)")
+	bursts := fs.Int("bursts", 0, "faults command: storm straggler bursts — correlated degradation windows (needs -storm)")
+	odsupply := fs.Int("odsupply", 0, "faults command: cap the replacement market's on-demand pool (0 = unlimited, negative = none; makes exhaustion reachable)")
+	retries := fs.Int("retries", 0, "faults command: autoscaler backoff retries after an exhausted acquisition (0 = default 4, negative = none)")
+	regrow := fs.Bool("regrow", false, "faults command: let the migrate autoscaler re-provision width lost to earlier degradations")
 	tracePath := fs.String("trace", "", "faults command: also write the recovered timeline with decision markers as a Chrome trace to this file")
 	benchOut := fs.String("out", "BENCH.json", "perf command: output path for the benchmark report")
 	benchFilter := fs.String("filter", "", "perf command: only run cases whose name contains this substring")
@@ -130,6 +136,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			App: *app, Platform: *platform, Policy: *policy,
 			Ranks: *ranks, RanksPerNode: *rpn, Seed: *seed,
 			Crashes: *crashes, Preemptions: *preempts, Degradations: *degrades,
+			StormWave: *storm, StormCascades: *cascades, StormBursts: *bursts,
+			OnDemandSupply: *odsupply, ProvisionRetries: *retries, Regrow: *regrow,
 			TracePath: *tracePath,
 		}, opts)
 	case "perf":
@@ -202,6 +210,8 @@ commands:
   trace -ranks N          write a Chrome/Perfetto trace of one job's virtual timeline
   faults [-platform P]    robustness: supervised run under injected crashes/preemptions
                           -policy restart|shrink-continue|migrate|compare, -rpn N, -trace out.json
+                          storms: -storm N -cascades N -bursts N (correlated wave plan)
+                          autoscaler: -odsupply N -retries N -regrow (capped market, backoff re-grow)
   perf [-out BENCH.json]  host-performance harness: tracked ns/op, B/op, allocs/op
                           -filter substr, -cpuprofile out.pb.gz, -memprofile out.pb.gz
   all                     run everything
@@ -372,11 +382,14 @@ func runTrace(stdout, stderr io.Writer, app string, opts bench.Options, ranks in
 // faultsConfig is the faults command's flag bundle, validated before any
 // model runs so a typo fails in milliseconds with a usable message.
 type faultsConfig struct {
-	App, Platform, Policy              string
-	Ranks, RanksPerNode                int
-	Seed                               int64
-	Crashes, Preemptions, Degradations int
-	TracePath                          string
+	App, Platform, Policy                 string
+	Ranks, RanksPerNode                   int
+	Seed                                  int64
+	Crashes, Preemptions, Degradations    int
+	StormWave, StormCascades, StormBursts int
+	OnDemandSupply, ProvisionRetries      int
+	Regrow                                bool
+	TracePath                             string
 }
 
 // policyCompare runs all three recovery policies on the identical plan; it
@@ -399,6 +412,23 @@ func validateFaults(c faultsConfig) error {
 	if c.Crashes < 0 || c.Preemptions < 0 || c.Degradations < 0 {
 		return fmt.Errorf("fault counts must be >= 0, got -crashes %d -preempts %d -degrades %d",
 			c.Crashes, c.Preemptions, c.Degradations)
+	}
+	if c.StormWave < 0 {
+		return fmt.Errorf("-storm %d is negative (a storm wave needs >= 2 correlated notices)", c.StormWave)
+	}
+	if c.StormWave == 1 {
+		return fmt.Errorf("-storm 1 is a lone preemption, not a storm; use -preempts 1 instead")
+	}
+	if c.StormCascades < 0 || c.StormBursts < 0 {
+		return fmt.Errorf("storm event counts must be >= 0, got -cascades %d -bursts %d",
+			c.StormCascades, c.StormBursts)
+	}
+	if c.StormWave == 0 && (c.StormCascades > 0 || c.StormBursts > 0) {
+		return fmt.Errorf("-cascades/-bursts correlate events with a storm wave; add -storm N (>= 2)")
+	}
+	if c.Regrow && c.Policy != bench.PolicyMigrate && c.Policy != policyCompare {
+		return fmt.Errorf("-regrow is the migrate autoscaler's knob; use -policy %s or %s",
+			bench.PolicyMigrate, policyCompare)
 	}
 	switch c.App {
 	case "rd", "ns":
@@ -429,6 +459,8 @@ func runFaults(stdout, stderr io.Writer, c faultsConfig, opts bench.Options) err
 		PerRankN: opts.PerRankN, Steps: opts.Steps, SkipSteps: opts.SkipSteps,
 		Seed:    uint64(c.Seed),
 		Crashes: c.Crashes, Preemptions: c.Preemptions, Degradations: c.Degradations,
+		StormWave: c.StormWave, StormCascades: c.StormCascades, StormBursts: c.StormBursts,
+		OnDemandSupply: c.OnDemandSupply, ProvisionRetries: c.ProvisionRetries, Regrow: c.Regrow,
 		Obs: opts.Obs,
 	}
 	var traced *bench.RecoveryReport

@@ -103,6 +103,22 @@ func TestValidateFaults(t *testing.T) {
 		{"unknown policy", func(c *faultsConfig) { c.Policy = "abandon-ship" }, `policy "abandon-ship"`},
 		{"misspelled policy", func(c *faultsConfig) { c.Policy = "shrink" }, bench.PolicyShrink},
 		{"misspelled migrate", func(c *faultsConfig) { c.Policy = "migrate-continue" }, bench.PolicyMigrate},
+		{"storm wave is valid", func(c *faultsConfig) { c.StormWave = 3 }, ""},
+		{"storm with cascades and bursts is valid",
+			func(c *faultsConfig) { c.StormWave = 2; c.StormCascades = 1; c.StormBursts = 1 }, ""},
+		{"negative storm", func(c *faultsConfig) { c.StormWave = -2 }, "-storm -2 is negative"},
+		{"storm of one", func(c *faultsConfig) { c.StormWave = 1 }, "lone preemption"},
+		{"negative cascades", func(c *faultsConfig) { c.StormWave = 3; c.StormCascades = -1 }, "-cascades -1"},
+		{"negative bursts", func(c *faultsConfig) { c.StormWave = 3; c.StormBursts = -2 }, "-bursts -2"},
+		{"cascades without a storm", func(c *faultsConfig) { c.StormCascades = 1 }, "add -storm"},
+		{"bursts without a storm", func(c *faultsConfig) { c.StormBursts = 2 }, "add -storm"},
+		{"regrow under restart", func(c *faultsConfig) { c.Regrow = true }, "-regrow"},
+		{"regrow under migrate is valid",
+			func(c *faultsConfig) { c.Regrow = true; c.Policy = bench.PolicyMigrate }, ""},
+		{"regrow under compare is valid",
+			func(c *faultsConfig) { c.Regrow = true; c.Policy = policyCompare }, ""},
+		{"capped market is valid",
+			func(c *faultsConfig) { c.OnDemandSupply = -1; c.ProvisionRetries = 2 }, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -145,6 +161,31 @@ func TestRunFaultsCompareWritesDecisionTrace(t *testing.T) {
 	}
 	if err := runFaults(io.Discard, io.Discard, faultsConfig{App: "rd", Policy: "bogus", Ranks: 8, Seed: 1}, o); err == nil {
 		t.Fatal("invalid config reached the supervisor")
+	}
+}
+
+// TestRunFaultsStorm drives the acceptance storm through the CLI path: a
+// 3-notice wave with one cascade on a dry on-demand market, recovered by
+// the arbiter with backoff re-provisioning.
+func TestRunFaultsStorm(t *testing.T) {
+	o := tinyOpts()
+	o.PerRankN, o.Steps = 3, 3
+	var out strings.Builder
+	err := runFaults(&out, io.Discard, faultsConfig{
+		App: "rd", Platform: "ec2", Policy: bench.PolicyMigrate,
+		Ranks: 8, RanksPerNode: 2, Seed: 12,
+		StormWave: 3, StormCascades: 1, OnDemandSupply: -1,
+	}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"storm arbiter: 2 notice(s) coalesced", "1 cascade re-plan(s)",
+		"2 exhausted-market backoff retry(ies)", "finished on 8 ranks",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("storm report missing %q:\n%s", want, out.String())
+		}
 	}
 }
 

@@ -8,8 +8,10 @@
 // supervisor: the job survives two preemptions, re-provisioning
 // replacement capacity (spot first, on-demand fallback — the paper's
 // "mix") and restoring from the per-rank containers after each loss.
-// A final act pits that checkpoint-restart policy against ULFM-style
-// shrink-and-continue on the identical fault plan.
+// A third act pits that checkpoint-restart policy against ULFM-style
+// shrink-and-continue on the identical fault plan, and a final act throws
+// a correlated storm — three simultaneous notices, a cascade, and an
+// exhausted market — at the recovery arbiter and elastic autoscaler.
 package main
 
 import (
@@ -120,4 +122,34 @@ func main() {
 	if cmp.Shrink.WastedVirtualS >= cmp.Restart.WastedVirtualS {
 		log.Fatal("shrink-and-continue should waste strictly less virtual time than restart")
 	}
+	fmt.Println()
+
+	// Act 4: a correlated fault storm. One price spike outbids three of the
+	// four nodes at once — their notices land inside a single two-minute
+	// window — and a cascade reclaims one replacement mid-provisioning,
+	// while a dry on-demand pool forces the autoscaler to back off and
+	// retry AcquireMix. The recovery arbiter coalesces the wave into ONE
+	// recovery point (one drain, one group evacuation, one grow, one
+	// restore — never a double-restore) and still finishes at the
+	// submitted width, bit-identical to a fault-free run.
+	storm, err := bench.RunSupervised(bench.FaultOptions{
+		App: "rd", Platform: "ec2", Ranks: 8, RanksPerNode: 2,
+		PerRankN: 4, Steps: 4,
+		Seed:      12,
+		Policy:    bench.PolicyMigrate,
+		StormWave: 3, StormCascades: 1,
+		OnDemandSupply: -1, // no on-demand top-up: exhaustion is reachable
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.FormatRecovery(storm))
+	mg := storm.Migrate
+	if storm.FinalRanks != 8 || mg == nil || mg.Coalesced == 0 {
+		log.Fatal("the storm wave should coalesce and still recover full width")
+	}
+	fmt.Printf("\nstorm of %d correlated notices + %d cascade: %d coalesced, %d re-plan(s),\n",
+		3, 1, mg.Coalesced, mg.Replans)
+	fmt.Printf("%d backoff retry(ies) on the exhausted market — one recovery point, full width.\n",
+		mg.ProvisionRetries)
 }

@@ -9,14 +9,32 @@ package bench
 // replacement back in (mp.World.Grow), resuming at full width. The
 // elasticity driver decides migrate-vs-shrink-vs-restart per event, so the
 // policy degrades gracefully to the reactive paths and can never hang.
+//
+// Correlated storms extend the single-event loop with a recovery ARBITER:
+// when several preemption notices land inside one notice window (a
+// price-spike reclamation wave), the arbiter coalesces them into ONE
+// recovery point — one drain, one evacuation (re-homing shards whose buddy
+// node is itself doomed onto surviving refugees), one multi-node shrink,
+// one grow — so overlapping events can never double-restore. A second
+// notice for a slot already doomed in the same window is a cascade: the
+// replacement being provisioned for it is reclaimed mid-flight, and the
+// arbiter re-plans by acquiring another. On top sits an elastic
+// AUTOSCALER: AcquireMix exhaustion (a capped market) is retried with
+// seeded exponential backoff instead of failing the run, and — with
+// FaultOptions.Regrow — a recovery point on a previously-degraded world
+// also re-provisions the missing width, growing back to the submitted
+// size. The fallback ladder stays monotone: a migrate whose provisioning
+// ultimately fails downgrades to shrink, never back up.
 
 import (
+	"errors"
 	"fmt"
 
 	"heterohpc/internal/core"
 	"heterohpc/internal/fault"
 	"heterohpc/internal/mp"
 	"heterohpc/internal/partition"
+	"heterohpc/internal/provision"
 	"heterohpc/internal/spot"
 	"heterohpc/internal/trace"
 )
@@ -47,6 +65,16 @@ type MigrateStats struct {
 	// RestoreStep is the checkpoint step the last migration resumed from
 	// (0 for a cold migration before the first checkpoint).
 	RestoreStep int
+	// Coalesced counts fatal events the arbiter folded into an earlier
+	// event's recovery point (beyond the first of each correlated group);
+	// Replans counts cascade re-plans, where the replacement being
+	// provisioned for a slot was itself reclaimed inside the same window.
+	Coalesced, Replans int
+	// ProvisionRetries counts the autoscaler's backoff retries after
+	// AcquireMix exhaustion; RegrownNodes counts the deficit nodes it
+	// re-grew beyond one-for-one replacements (FaultOptions.Regrow).
+	ProvisionRetries int
+	RegrownNodes     int
 }
 
 // elasticityDecision is the driver's verdict for one fatal event.
@@ -62,6 +90,13 @@ type elasticityDecision struct {
 // The ladder is strict: migrate when the window covers the copy and a
 // replacement exists, shrink when it does not, restart when not even
 // survivors remain.
+//
+// The window boundary is pinned: the shrink guard is strictly
+// copyCostS > windowS, so a window EXACTLY equal to the priced evacuation
+// migrates — the last byte lands at the reclaim instant, and the reclaim
+// takes memory that has already been copied. Equality therefore favours
+// the cheaper verb, and the exact-boundary case is covered by a table
+// test.
 func decideRecovery(windowS, copyCostS float64, canShrink, canProvision bool) elasticityDecision {
 	switch {
 	case !canShrink:
@@ -90,7 +125,26 @@ func doomedRanks(topo mp.Topology, node int) []int {
 	return rs
 }
 
-// runMigrate is the proactive migration recovery loop.
+// regrowSetupS prices the software instantiation of a deficit node the
+// autoscaler grows beyond a one-for-one replacement: the platform's
+// preconditioned image (§VI-D) reduces the whole stack to one launch step
+// of the provisioning planner. Replacements inside a notice window pay
+// nothing extra — the window itself is the budget — but cold capacity
+// joining a degraded world is new machinery and boots the image first.
+func regrowSetupS(platform string) float64 {
+	st, err := provision.PlatformState(platform)
+	if err != nil {
+		return 0 // platform outside the paper's porting study: free join
+	}
+	plan, err := provision.Resolve(provision.DefaultRegistry(), st.WithImage(), provision.AppTargets)
+	if err != nil {
+		return 0
+	}
+	return plan.TotalHours * 3600
+}
+
+// runMigrate is the proactive migration recovery loop with the correlated
+// recovery arbiter and the elastic autoscaler on top.
 func runMigrate(s *superSetup) (*RecoveryReport, *shrinkRunState, error) {
 	o := s.o
 	tg, p := s.tg, s.tg.Platform
@@ -105,6 +159,10 @@ func runMigrate(s *superSetup) (*RecoveryReport, *shrinkRunState, error) {
 	if maxAttempts == 0 {
 		maxAttempts = len(fatals) + 3
 	}
+	provRetries := o.ProvisionRetries
+	if provRetries < 0 {
+		provRetries = 0
+	}
 
 	mg := &MigrateStats{}
 	rep := &RecoveryReport{
@@ -118,13 +176,13 @@ func runMigrate(s *superSetup) (*RecoveryReport, *shrinkRunState, error) {
 	rec.Observe(o.Obs)
 	gobs := o.Obs.Global()
 
-	var market *spot.Market
-	if p.SpotPerNodeHour > 0 {
-		market = spot.NewMarket(o.Seed+2, p.CostPerNodeHour)
-		market.Observe(o.Obs)
-	}
+	market := s.newReplacementMarket()
 	spares := o.SpareNodes
 	var replacementPremiumPerHour float64
+	// The provisioning backoff stream is distinct from restart's retry
+	// backoff (seed+1) and the market (seed+2); it only advances when an
+	// acquisition actually exhausts the market.
+	pbo := fault.NewBackoff(o.BackoffBaseS, o.BackoffCapS, o.Seed+3)
 
 	m, grid, mem, err := weakSetup(o.App, o.Ranks, o.PerRankN)
 	if err != nil {
@@ -140,8 +198,10 @@ func runMigrate(s *superSetup) (*RecoveryReport, *shrinkRunState, error) {
 	app.meter = newBuddyMeter(o.Ranks)
 
 	// nodeMap translates the plan's original node numbering into the
-	// current world's; shrinks compose into it, grows append nodes the plan
-	// never targets (a replacement is a different instance).
+	// current world's; shrinks compose into it. Plan slots follow ROLES,
+	// not instances: when a migration replaces a slot's node, the slot is
+	// re-pointed at the replacement, so a later (cascade) event aimed at
+	// that slot hits the new instance instead of silently dropping.
 	nodeMap := make([]int, s.nodes)
 	for i := range nodeMap {
 		nodeMap[i] = i
@@ -262,12 +322,80 @@ func runMigrate(s *superSetup) (*RecoveryReport, *shrinkRunState, error) {
 			fatals = fatals[1:]
 		}
 
+		// ---- Arbiter: coalesce correlated notices into one recovery point.
+		//
+		// Every further preemption whose notice lands before this group's
+		// earliest reclaim belongs to the same storm: its node is folded
+		// into the doomed set (one shared drain/evacuate/shrink/grow), and
+		// a repeat notice for an already-doomed slot is a cascade — the
+		// replacement being provisioned for it is reclaimed mid-flight, so
+		// one extra acquisition is burned. Folding stops at the first
+		// non-notice event, preserving plan order. Crashes never coalesce:
+		// they are unannounced, and pretending to know them at the drain
+		// would break causality.
+		doomed := []int{af.Node}     // current-world numbering, fold order
+		origSlots := []int{origNode} // plan numbering, same order
+		replans := 0
+		if proactive {
+			for len(fatals) > 0 {
+				e := fatals[0]
+				if e.Kind != fault.KindPreempt || e.NoticeAt >= e.At || e.NoticeAt > reclaimAt {
+					break
+				}
+				cur := -1
+				if e.Node >= 0 && e.Node < len(nodeMap) {
+					cur = nodeMap[e.Node]
+				}
+				fatals = fatals[1:]
+				if cur < 0 {
+					rec.Record(e.NoticeAt, "drop", "storm notice targets node %d, already lost; dropping it", e.Node)
+					continue
+				}
+				already := false
+				for _, d := range doomed {
+					if d == cur {
+						already = true
+						break
+					}
+				}
+				if already {
+					replans++
+					mg.Replans++
+					rec.Record(e.NoticeAt, "replan", "second notice for node %d inside the same window: its replacement is reclaimed mid-provisioning; acquiring another",
+						e.Node)
+					continue
+				}
+				doomed = append(doomed, cur)
+				origSlots = append(origSlots, e.Node)
+				mg.Coalesced++
+				rec.Record(e.NoticeAt, "coalesce", "notice for node %d lands inside node %d's window; folding into one recovery point",
+					e.Node, origSlots[0])
+			}
+		}
+
 		// Price the evacuation the window would have to absorb: the doomed
-		// ranks' restore-line shards re-mirrored to their buddies, serialised
-		// through the doomed node's NIC. The restore line is taken while the
-		// node is still alive — that is the whole point of acting at the
-		// notice.
-		doomed := doomedRanks(curTopo, af.Node)
+		// ranks' restore-line shards re-mirrored off the doomed set,
+		// serialised through each doomed node's NIC. The restore line is
+		// taken while the nodes are still alive — that is the whole point
+		// of acting at the notice. A shard whose buddy is itself doomed is
+		// re-homed on the first surviving rank instead (a refugee copy).
+		nodeDoomed := make([]bool, curTopo.NNodes())
+		for _, d := range doomed {
+			nodeDoomed[d] = true
+		}
+		refugee := -1
+		for r := 0; r < curTopo.NRanks(); r++ {
+			if !nodeDoomed[curTopo.NodeOf[r]] {
+				refugee = r
+				break
+			}
+		}
+		evacDst := func(dr int) int {
+			if b := ms.buddy[dr]; b >= 0 && !nodeDoomed[curTopo.NodeOf[b]] {
+				return b
+			}
+			return refugee
+		}
 		var window, copyCost float64
 		line, lineAtS := -1, 0.0
 		if proactive {
@@ -275,172 +403,47 @@ func runMigrate(s *superSetup) (*RecoveryReport, *shrinkRunState, error) {
 			mg.WindowS += window
 			line, lineAtS = ms.line(o.Steps - 1)
 			if line >= 1 {
-				for _, dr := range doomed {
-					if sn, ok := ms.snapAt(dr, line); ok && ms.buddy[dr] >= 0 {
-						copyCost += af.World.PriceBytes(dr, ms.buddy[dr], len(sn.blob))
+				for _, d := range doomed {
+					for _, dr := range doomedRanks(curTopo, d) {
+						if sn, ok := ms.snapAt(dr, line); ok {
+							if dst := evacDst(dr); dst >= 0 {
+								copyCost += af.World.PriceBytes(dr, dst, len(sn.blob))
+							}
+						}
 					}
 				}
 			}
 		}
-		canShrink := curTopo.NNodes() >= 2
-		canProvision := market != nil || spares > 0
+		canShrink := curTopo.NNodes() >= len(doomed)+1
+		needCore := len(doomed) + replans
+		canProvision := market != nil || spares >= needCore
 		dec := decideRecovery(window, copyCost, canShrink, canProvision)
 		gobs.MigrateDecision(stopAt, dec.Verb, window, copyCost)
+		if len(doomed) > 1 || replans > 0 {
+			gobs.ArbiterCoalesce(stopAt, dec.Verb, len(doomed), len(doomed)-1, replans)
+		}
 		detail := dec.Reason
 		if market != nil {
 			detail = fmt.Sprintf("%s; spot last ticked at $%.3f/h", detail, market.Price())
 		}
 		rec.Record(stopAt, "migrate-decision", "%s for node %d: %s", dec.Verb, origNode, detail)
 
-		switch dec.Verb {
-		case "migrate":
-			// Evacuate inside the window: re-mirror the doomed ranks' line
-			// shards to their buddies as priced traffic, so the copies are
-			// off-node before the reclaim.
-			evacAt := stopAt
-			evacN := 0
-			if line >= 1 {
-				for _, dr := range doomed {
-					if sn, ok := ms.snapAt(dr, line); ok && ms.buddy[dr] >= 0 {
-						evacAt += af.World.PriceBytes(dr, ms.buddy[dr], len(sn.blob))
-						ms.putBuddy(dr, line, evacAt, sn.blob)
-						evacN++
-						mg.CopyBytes += int64(len(sn.blob))
-					}
-				}
+		// execShrink is the reactive fallback shared by the "shrink" verb
+		// and a migrate whose provisioning ultimately failed: drop the
+		// whole doomed set in one multi-node shrink and continue degraded,
+		// exactly as PolicyShrink would.
+		execShrink := func() error {
+			for _, d := range doomed {
+				ms.loseNode(d)
 			}
-			mg.EvacuatedBlobs += evacN
-			mg.CopyS += copyCost
-			rec.Record(stopAt, "drain", "notice window %.1fs: drained in-flight collectives, evacuated %d shard(s) in %.4fs",
-				window, evacN, copyCost)
-
-			// Provision the replacement inside the same window.
-			deadGroup := curTopo.GroupOfNode[af.Node]
-			switch {
-			case market != nil:
-				bid := o.SpotBidFraction * p.CostPerNodeHour
-				repl, err := market.AcquireMix(1, bid, 1, 3)
-				if err != nil {
-					return nil, nil, err
-				}
-				nd := repl.Nodes[0]
-				if nd.Spot {
-					rec.Record(stopAt, "provision", "replacement spot instance at $%.3f/h (bid $%.3f)",
-						nd.PricePerHour, bid)
-				} else {
-					rec.Record(stopAt, "provision", "spot market could not fill the bid; on-demand replacement at $%.2f/h — the paper's forced mix",
-						nd.PricePerHour)
-				}
-				if nd.PricePerHour > p.SpotPerNodeHour {
-					replacementPremiumPerHour += nd.PricePerHour - p.SpotPerNodeHour
-				}
-			default:
-				spares--
-				rec.Record(stopAt, "provision", "cold spare replaces node %d (%d spare(s) left)",
-					origNode, spares)
-			}
-
-			// The reclaim takes the node's memory; then re-form the world
-			// around the survivors plus the replacement.
-			ms.loseNode(af.Node)
-			sr, err := af.World.Shrink()
-			if err != nil {
-				return nil, nil, err
-			}
-			survivors := sr.World.Size()
-			rep.Shrink.Shrinks++
-			rep.Shrink.RevokedMsgs += sr.Revoked
-			rep.Shrink.DeadNodes = append(rep.Shrink.DeadNodes, origNode)
-			gw, err := sr.World.Grow([]int{len(sr.DeadRanks)}, []int{deadGroup}, evacAt)
-			if err != nil {
-				return nil, nil, err
-			}
-			mg.Migrations++
-			mg.ReplacedNodes = append(mg.ReplacedNodes, origNode)
-			gobs.WorldGrow(evacAt, survivors, gw.World.Size(), gw.NewNodes[0])
-			rec.Record(evacAt, "world-grow", "world grew %d -> %d ranks: replacement joins as node %d at t=%.1fs",
-				survivors, gw.World.Size(), gw.NewNodes[0], evacAt)
-
-			// Only the span after the restore line is recomputed; acting at
-			// the notice (instead of the reclaim) is what keeps it short.
-			wasted := stopAt
-			if line >= 1 {
-				wasted = stopAt - lineAtS
-			}
-			rep.WastedVirtualS += wasted
-			rep.RecoveryCostUSD += tg.Billing.JobCost(wasted, curRanks)
-
-			newGrid, err := partition.BalancedGrid(curRanks, m.Nx, m.Ny, m.Nz)
-			if err != nil {
-				return nil, nil, fmt.Errorf("bench: cannot repartition after grow: %w", err)
-			}
-			nextApp := newShrinkApp(o.App, m, newGrid, o.Steps, curRanks)
-			state.grid = newGrid
-			state.ranks = curRanks
-			state.app = nextApp
-			if line >= 1 {
-				rec.Record(evacAt, "restore", "continuation resumes from the evacuated checkpoint after step %d (rollback %.3fs)",
-					line, wasted)
-				rep.Shrink.RestoreStep = line
-				mg.RestoreStep = line
-				// Grown-world rank -> pre-drain rank: survivors map through
-				// the shrink, the joiners hold nothing.
-				toOld := make([]int, gw.World.Size())
-				for nr := range toOld {
-					if nr < len(sr.NewToOld) {
-						toOld[nr] = sr.NewToOld[nr]
-					} else {
-						toOld[nr] = -1
-					}
-				}
-				heldRD, heldNS, err := heldFromMirror(o.App, ms, toOld, af.Node, line)
-				if err != nil {
-					return nil, nil, err
-				}
-				nextApp.heldRD, nextApp.heldNS = heldRD, heldNS
-				state.lastHeldRD, state.lastHeldNS = heldRD, heldNS
-			} else {
-				rec.Record(evacAt, "restore", "no checkpoint preceded the notice; the full-width world restarts the stepping from scratch (cold migration)")
-				rep.Shrink.RestoreStep = 0
-				mg.RestoreStep = 0
-			}
-
-			// The continuation opens with the agreement collective over the
-			// pre-drain rank space.
-			suspect := make([]bool, curRanks)
-			for _, d := range sr.DeadRanks {
-				suspect[d] = true
-			}
-			nextApp.suspect = suspect
-
-			newTopo := gw.World.Topology()
-			ms = newMirrorStore(newTopo)
-			nextApp.mirror = ms
-			nextApp.meter = newBuddyMeter(curRanks)
-
-			for on := range nodeMap {
-				if nodeMap[on] >= 0 {
-					nodeMap[on] = sr.OldToNewNode[nodeMap[on]]
-				}
-			}
-			gw.World.Observe(o.Obs)
-			world = gw.World
-			app = nextApp
-			// curRanks is unchanged: the width was restored, not degraded.
-
-		case "shrink":
-			// Reactive fallback: the shrink-and-continue sequence, exactly
-			// as PolicyShrink runs it.
-			mg.FallbackShrinks++
-			ms.loseNode(af.Node)
 			line, lineAtS := ms.line(o.Steps - 1)
-			sr, err := af.World.Shrink()
+			sr, err := af.World.ShrinkNodes(doomed[1:])
 			if err != nil {
-				return nil, nil, err
+				return err
 			}
 			rep.Shrink.Shrinks++
 			rep.Shrink.RevokedMsgs += sr.Revoked
-			rep.Shrink.DeadNodes = append(rep.Shrink.DeadNodes, origNode)
+			rep.Shrink.DeadNodes = append(rep.Shrink.DeadNodes, origSlots...)
 			survivors := sr.World.Size()
 			rec.Record(stopAt, "shrink", "world shrunk %d -> %d ranks (%d pending message(s) revoked)",
 				curRanks, survivors, sr.Revoked)
@@ -454,7 +457,7 @@ func runMigrate(s *superSetup) (*RecoveryReport, *shrinkRunState, error) {
 
 			newGrid, err := partition.BalancedGrid(survivors, m.Nx, m.Ny, m.Nz)
 			if err != nil {
-				return nil, nil, fmt.Errorf("bench: cannot repartition after shrink: %w", err)
+				return fmt.Errorf("bench: cannot repartition after shrink: %w", err)
 			}
 			nextApp := newShrinkApp(o.App, m, newGrid, o.Steps, survivors)
 			state.grid = newGrid
@@ -464,9 +467,9 @@ func runMigrate(s *superSetup) (*RecoveryReport, *shrinkRunState, error) {
 				rec.Record(stopAt, "restore", "survivors resume from the mirrored checkpoint after step %d (rollback %.3fs)",
 					line, wasted)
 				rep.Shrink.RestoreStep = line
-				heldRD, heldNS, err := heldFromMirror(o.App, ms, sr.NewToOld, af.Node, line)
+				heldRD, heldNS, err := heldFromMirror(o.App, ms, sr.NewToOld, doomed, line)
 				if err != nil {
-					return nil, nil, err
+					return err
 				}
 				nextApp.heldRD, nextApp.heldNS = heldRD, heldNS
 				state.lastHeldRD, state.lastHeldNS = heldRD, heldNS
@@ -496,6 +499,275 @@ func runMigrate(s *superSetup) (*RecoveryReport, *shrinkRunState, error) {
 			app = nextApp
 			curRanks = survivors
 			rep.Degraded = true
+			return nil
+		}
+
+		switch dec.Verb {
+		case "migrate":
+			// Evacuate inside the window: re-mirror the doomed ranks' line
+			// shards off the doomed set as priced traffic, so the copies
+			// are off-node before the first reclaim.
+			evacAt := stopAt
+			evacN := 0
+			if line >= 1 {
+				for _, d := range doomed {
+					for _, dr := range doomedRanks(curTopo, d) {
+						sn, ok := ms.snapAt(dr, line)
+						if !ok {
+							continue
+						}
+						dst := evacDst(dr)
+						if dst < 0 {
+							continue
+						}
+						evacAt += af.World.PriceBytes(dr, dst, len(sn.blob))
+						if dst == ms.buddy[dr] {
+							ms.putBuddy(dr, line, evacAt, sn.blob)
+						} else {
+							ms.putRefugee(dr, dst, line, evacAt, sn.blob)
+						}
+						evacN++
+						mg.CopyBytes += int64(len(sn.blob))
+					}
+				}
+			}
+			mg.EvacuatedBlobs += evacN
+			mg.CopyS += copyCost
+			rec.Record(stopAt, "drain", "notice window %.1fs: drained in-flight collectives, evacuated %d shard(s) in %.4fs",
+				window, evacN, copyCost)
+
+			// Provision inside the same window: one replacement per doomed
+			// node, one extra per cascade re-plan, plus — when the
+			// autoscaler may regrow — the deficit a previous degradation
+			// left. Market exhaustion backs off and retries: the market
+			// keeps ticking, so a later round can clear.
+			deadGroup := curTopo.GroupOfNode[af.Node]
+			deficitRanks := 0
+			if o.Regrow && curRanks < o.Ranks {
+				deficitRanks = o.Ranks - curRanks
+			}
+			deficitNodes := (deficitRanks + s.cpn - 1) / s.cpn
+			need := needCore + deficitNodes
+
+			acquired := 0
+			provReadyAt := evacAt
+			switch {
+			case market != nil:
+				bid := o.SpotBidFraction * p.CostPerNodeHour
+				provAttempt := 0
+				for acquired < need {
+					repl, aerr := market.AcquireMix(need-acquired, bid, 1, 3)
+					provAttempt++
+					if aerr != nil && !errors.Is(aerr, spot.ErrExhausted) {
+						return nil, nil, aerr
+					}
+					for _, nd := range repl.Nodes {
+						if nd.Spot {
+							rec.Record(stopAt, "provision", "replacement spot instance at $%.3f/h (bid $%.3f)",
+								nd.PricePerHour, bid)
+						} else {
+							rec.Record(stopAt, "provision", "spot market could not fill the bid; on-demand replacement at $%.2f/h — the paper's forced mix",
+								nd.PricePerHour)
+						}
+						if nd.PricePerHour > p.SpotPerNodeHour {
+							replacementPremiumPerHour += nd.PricePerHour - p.SpotPerNodeHour
+						}
+					}
+					acquired += len(repl.Nodes)
+					if acquired >= need {
+						break
+					}
+					if provAttempt > provRetries {
+						rec.Record(provReadyAt, "provision", "market exhausted after %d acquisition attempt(s): %d of %d instance(s)",
+							provAttempt, acquired, need)
+						break
+					}
+					d := pbo.Next()
+					provReadyAt += d
+					rep.WastedVirtualS += d
+					rep.BackoffS += d
+					mg.ProvisionRetries++
+					gobs.ProvisionRetry(provReadyAt, provAttempt, acquired, need, d)
+					rec.Record(provReadyAt, "backoff", "provisioning retry %d after %.1fs: %d of %d instance(s) acquired",
+						provAttempt, d, acquired, need)
+				}
+			default:
+				take := need
+				if take > spares {
+					take = spares
+				}
+				for i := 0; i < take; i++ {
+					spares--
+					if i < len(origSlots) {
+						rec.Record(stopAt, "provision", "cold spare replaces node %d (%d spare(s) left)",
+							origSlots[i], spares)
+					} else {
+						rec.Record(stopAt, "provision", "cold spare grows the degraded world (%d spare(s) left)",
+							spares)
+					}
+				}
+				acquired = take
+			}
+
+			// Cascade-burned acquisitions come off the top; the remainder
+			// replaces doomed slots in fold order, then regrows deficit
+			// width. Nothing usable left means the migrate failed —
+			// downgrade monotonically to shrink, never retry upward.
+			usable := acquired - replans
+			if usable < 0 {
+				usable = 0
+			}
+			replaceN := len(doomed)
+			if usable < replaceN {
+				replaceN = usable
+			}
+			regrowN := usable - replaceN
+			if regrowN > deficitNodes {
+				regrowN = deficitNodes
+			}
+			if replaceN == 0 {
+				mg.FallbackShrinks++
+				gobs.MigrateDecision(provReadyAt, "shrink", window, copyCost)
+				rec.Record(provReadyAt, "migrate-decision", "shrink for node %d: replacement provisioning failed; falling back",
+					origNode)
+				if err := execShrink(); err != nil {
+					return nil, nil, err
+				}
+				continue
+			}
+
+			// The reclaims take the doomed nodes' memory; then re-form the
+			// world ONCE around the survivors plus every acquired node —
+			// one shrink, one grow per recovery point, so overlapping
+			// events cannot double-restore.
+			for _, d := range doomed {
+				ms.loseNode(d)
+			}
+			sr, err := af.World.ShrinkNodes(doomed[1:])
+			if err != nil {
+				return nil, nil, err
+			}
+			survivors := sr.World.Size()
+			rep.Shrink.Shrinks++
+			rep.Shrink.RevokedMsgs += sr.Revoked
+			rep.Shrink.DeadNodes = append(rep.Shrink.DeadNodes, origSlots...)
+
+			ranksPer := make([]int, 0, replaceN+regrowN)
+			groupsOf := make([]int, 0, replaceN+regrowN)
+			for i := 0; i < replaceN; i++ {
+				ranksPer = append(ranksPer, len(doomedRanks(curTopo, doomed[i])))
+				groupsOf = append(groupsOf, curTopo.GroupOfNode[doomed[i]])
+			}
+			remaining := deficitRanks
+			for i := 0; i < regrowN; i++ {
+				take := s.cpn
+				if take > remaining {
+					take = remaining
+				}
+				ranksPer = append(ranksPer, take)
+				groupsOf = append(groupsOf, deadGroup)
+				remaining -= take
+			}
+			startAt := provReadyAt
+			if regrowN > 0 {
+				setupS := regrowSetupS(o.Platform)
+				startAt += setupS
+				mg.RegrownNodes += regrowN
+				rec.Record(startAt, "provision", "%d deficit node(s) instantiate the preconditioned image in %.0fs and join the re-grow",
+					regrowN, setupS)
+			}
+			gw, err := sr.World.Grow(ranksPer, groupsOf, startAt)
+			if err != nil {
+				return nil, nil, err
+			}
+			mg.Migrations++
+			mg.ReplacedNodes = append(mg.ReplacedNodes, origSlots[:replaceN]...)
+			gobs.WorldGrow(startAt, survivors, gw.World.Size(), gw.NewNodes[0])
+			rec.Record(startAt, "world-grow", "world grew %d -> %d ranks: replacement joins as node %d at t=%.1fs",
+				survivors, gw.World.Size(), gw.NewNodes[0], startAt)
+
+			// Only the span after the restore line is recomputed; acting at
+			// the notice (instead of the reclaim) is what keeps it short.
+			wasted := stopAt
+			if line >= 1 {
+				wasted = stopAt - lineAtS
+			}
+			rep.WastedVirtualS += wasted
+			rep.RecoveryCostUSD += tg.Billing.JobCost(wasted, curRanks)
+
+			newRanks := gw.World.Size()
+			newGrid, err := partition.BalancedGrid(newRanks, m.Nx, m.Ny, m.Nz)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bench: cannot repartition after grow: %w", err)
+			}
+			nextApp := newShrinkApp(o.App, m, newGrid, o.Steps, newRanks)
+			state.grid = newGrid
+			state.ranks = newRanks
+			state.app = nextApp
+			if line >= 1 {
+				rec.Record(startAt, "restore", "continuation resumes from the evacuated checkpoint after step %d (rollback %.3fs)",
+					line, wasted)
+				rep.Shrink.RestoreStep = line
+				mg.RestoreStep = line
+				// Grown-world rank -> pre-drain rank: survivors map through
+				// the shrink, the joiners hold nothing.
+				toOld := make([]int, gw.World.Size())
+				for nr := range toOld {
+					if nr < len(sr.NewToOld) {
+						toOld[nr] = sr.NewToOld[nr]
+					} else {
+						toOld[nr] = -1
+					}
+				}
+				heldRD, heldNS, err := heldFromMirror(o.App, ms, toOld, doomed, line)
+				if err != nil {
+					return nil, nil, err
+				}
+				nextApp.heldRD, nextApp.heldNS = heldRD, heldNS
+				state.lastHeldRD, state.lastHeldNS = heldRD, heldNS
+			} else {
+				rec.Record(startAt, "restore", "no checkpoint preceded the notice; the full-width world restarts the stepping from scratch (cold migration)")
+				rep.Shrink.RestoreStep = 0
+				mg.RestoreStep = 0
+			}
+
+			// The continuation opens with the agreement collective over the
+			// pre-drain rank space.
+			suspect := make([]bool, curRanks)
+			for _, d := range sr.DeadRanks {
+				suspect[d] = true
+			}
+			nextApp.suspect = suspect
+
+			newTopo := gw.World.Topology()
+			ms = newMirrorStore(newTopo)
+			nextApp.mirror = ms
+			nextApp.meter = newBuddyMeter(newRanks)
+
+			for on := range nodeMap {
+				if nodeMap[on] >= 0 {
+					nodeMap[on] = sr.OldToNewNode[nodeMap[on]]
+				}
+			}
+			// Replacements inherit the plan slots they replaced (roles,
+			// not instances) so storm cascades can target them.
+			for i := 0; i < replaceN && i < len(gw.NewNodes); i++ {
+				nodeMap[origSlots[i]] = gw.NewNodes[i]
+			}
+			gw.World.Observe(o.Obs)
+			world = gw.World
+			app = nextApp
+			curRanks = newRanks
+			rep.Degraded = curRanks < o.Ranks
+
+		case "shrink":
+			// Reactive fallback: the shrink-and-continue sequence, exactly
+			// as PolicyShrink runs it (one multi-node shrink for a
+			// coalesced group).
+			mg.FallbackShrinks++
+			if err := execShrink(); err != nil {
+				return nil, nil, err
+			}
 
 		default: // restart
 			// Last rung of the ladder: nothing survived to continue on, so

@@ -44,7 +44,11 @@ func TestDecideRecoveryLadder(t *testing.T) {
 		{"window-too-short", 1, 2, true, true, "shrink"},
 		{"window-covers-copy", 2, 1, true, true, "migrate"},
 		{"cold-but-noticed", 2, 0, true, true, "migrate"},
+		// The boundary tie is pinned: migrate wins when the window
+		// EXACTLY covers the priced evacuation; only a strictly more
+		// expensive copy falls back to shrink.
 		{"exact-fit", 1, 1, true, true, "migrate"},
+		{"hair-over-boundary", 1, math.Nextafter(1, 2), true, true, "shrink"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

@@ -51,6 +51,12 @@ type mirrorStore struct {
 	buddy []int // buddy rank per origin, -1 when unprotected
 	own   [][2]mirrorSnap
 	bud   [][2]mirrorSnap
+	// ref holds refugee evacuation copies: when a correlated wave dooms an
+	// origin AND its buddy's node, the notice-window evacuation re-homes
+	// the origin's line shard on a surviving third rank instead. At most
+	// one refugee copy per origin (only the restore line is evacuated).
+	ref   []mirrorSnap
+	refTo []int  // holder rank of the refugee copy, -1 when none
 	lost  []bool // per node
 }
 
@@ -61,12 +67,16 @@ func newMirrorStore(topo mp.Topology) *mirrorStore {
 		buddy: make([]int, n),
 		own:   make([][2]mirrorSnap, n),
 		bud:   make([][2]mirrorSnap, n),
+		ref:   make([]mirrorSnap, n),
+		refTo: make([]int, n),
 		lost:  make([]bool, topo.NNodes()),
 	}
 	for r := 0; r < n; r++ {
 		s.buddy[r] = checkpoint.BuddyOf(topo, r)
 		s.own[r] = [2]mirrorSnap{{step: -1}, {step: -1}}
 		s.bud[r] = [2]mirrorSnap{{step: -1}, {step: -1}}
+		s.ref[r] = mirrorSnap{step: -1}
+		s.refTo[r] = -1
 	}
 	return s
 }
@@ -85,8 +95,27 @@ func (s *mirrorStore) putBuddy(origin, step int, atS float64, blob []byte) {
 	s.mu.Unlock()
 }
 
+// putRefugee records an evacuation copy of origin's line shard re-homed on
+// holder — used when origin's buddy node is itself doomed, so the regular
+// buddy slot would evaporate with the wave.
+func (s *mirrorStore) putRefugee(origin, holder, step int, atS float64, blob []byte) {
+	s.mu.Lock()
+	s.ref[origin] = mirrorSnap{step: step, atS: atS, blob: blob}
+	s.refTo[origin] = holder
+	s.mu.Unlock()
+}
+
+// refAt returns origin's refugee copy when it captures exactly step.
+func (s *mirrorStore) refAt(origin, step int) (mirrorSnap, int, bool) {
+	if s.refTo[origin] >= 0 && s.ref[origin].step == step {
+		return s.ref[origin], s.refTo[origin], true
+	}
+	return mirrorSnap{}, -1, false
+}
+
 // loseNode discards the copies resident in the lost node's memory: the own
-// copies of its ranks and the buddy copies it held for others.
+// copies of its ranks, the buddy copies it held for others, and any
+// refugee copies re-homed onto it.
 func (s *mirrorStore) loseNode(node int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -98,6 +127,10 @@ func (s *mirrorStore) loseNode(node int) {
 		}
 		if b := s.buddy[r]; b >= 0 && s.topo.NodeOf[b] == node {
 			s.bud[r] = empty
+		}
+		if h := s.refTo[r]; h >= 0 && s.topo.NodeOf[h] == node {
+			s.ref[r] = mirrorSnap{step: -1}
+			s.refTo[r] = -1
 		}
 	}
 }
@@ -138,6 +171,9 @@ func (s *mirrorStore) line(capStep int) (int, float64) {
 				hi = sn.step
 			}
 		}
+		if s.refTo[origin] >= 0 && s.ref[origin].step > hi && s.ref[origin].step <= capStep {
+			hi = s.ref[origin].step
+		}
 		if hi < best {
 			best = hi
 		}
@@ -149,7 +185,9 @@ func (s *mirrorStore) line(capStep int) (int, float64) {
 	for origin := range s.own {
 		sn, ok := s.snapAt(origin, best)
 		if !ok {
-			return -1, 0 // skew beyond the retained window
+			if sn, _, ok = s.refAt(origin, best); !ok {
+				return -1, 0 // skew beyond the retained window
+			}
 		}
 		if sn.atS > atS {
 			atS = sn.atS
@@ -378,9 +416,15 @@ func maxOf(v []float64) float64 {
 // continuation generation. toOld maps each rank of the next world to its
 // rank in the pre-loss numbering (-1 for ranks that joined at a Grow and
 // hold nothing). Each pre-loss rank contributes its own surviving snapshot
-// at the restore line plus the buddy copies it holds for origins that lived
-// on deadNode. Exactly one of the returned lists is non-nil, matching app.
-func heldFromMirror(app string, ms *mirrorStore, toOld []int, deadNode, line int) ([][]rd.HeldState, [][]nse.HeldState, error) {
+// at the restore line, the buddy copies it holds for origins that lived on
+// the dead nodes, and any refugee copies a correlated-wave evacuation
+// re-homed onto it. Exactly one of the returned lists is non-nil, matching
+// app.
+func heldFromMirror(app string, ms *mirrorStore, toOld []int, deadNodes []int, line int) ([][]rd.HeldState, [][]nse.HeldState, error) {
+	deadSet := make([]bool, ms.topo.NNodes())
+	for _, n := range deadNodes {
+		deadSet[n] = true
+	}
 	heldOf := func(holderOld int) ([]mirrorSnap, []int) {
 		var snaps []mirrorSnap
 		var origins []int
@@ -389,11 +433,17 @@ func heldFromMirror(app string, ms *mirrorStore, toOld []int, deadNode, line int
 			origins = append(origins, holderOld)
 		}
 		for _, origin := range checkpoint.Protects(ms.topo, holderOld) {
-			if ms.topo.NodeOf[origin] != deadNode {
+			if !deadSet[ms.topo.NodeOf[origin]] {
 				continue // origin alive: it contributes its own copy
 			}
 			if bs, ok := ms.snapAt(origin, line); ok {
 				snaps = append(snaps, bs)
+				origins = append(origins, origin)
+			}
+		}
+		for origin := 0; origin < ms.topo.NRanks(); origin++ {
+			if rs, holder, ok := ms.refAt(origin, line); ok && holder == holderOld {
+				snaps = append(snaps, rs)
 				origins = append(origins, origin)
 			}
 		}
@@ -638,7 +688,7 @@ func runShrinkContinue(s *superSetup) (*RecoveryReport, *shrinkRunState, error) 
 			rec.Record(af.At, "restore", "survivors resume from the mirrored checkpoint after step %d (rollback %.3fs)",
 				line, wasted)
 			rep.Shrink.RestoreStep = line
-			heldRD, heldNS, err := heldFromMirror(o.App, ms, sr.NewToOld, af.Node, line)
+			heldRD, heldNS, err := heldFromMirror(o.App, ms, sr.NewToOld, []int{af.Node}, line)
 			if err != nil {
 				return nil, nil, err
 			}

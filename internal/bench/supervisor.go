@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -84,6 +85,28 @@ type FaultOptions struct {
 	// SpotBidFraction is the replacement bid as a fraction of the
 	// on-demand price on spot platforms (default 0.25).
 	SpotBidFraction float64
+	// StormWave, when positive, replaces the independent generated plan
+	// with a correlated fault storm (fault.NewStorm): a reclamation wave of
+	// StormWave simultaneous-notice preemptions, StormCascades follow-up
+	// preemptions hitting wave slots mid-recovery, and StormBursts
+	// correlated straggler windows. Ignored when Plan is set.
+	StormWave, StormCascades, StormBursts int
+	// OnDemandSupply caps the replacement market's on-demand top-up pool,
+	// making AcquireMix exhaustion reachable: the autoscaler then retries
+	// with backoff under PolicyMigrate, and PolicyRestart degrades. The
+	// zero value means unlimited (the paper could always "add
+	// regularly-priced hosts"); pass any negative value for an empty pool.
+	OnDemandSupply int
+	// ProvisionRetries bounds the autoscaler's backoff retries after an
+	// exhausted acquisition under PolicyMigrate (default 4; negative: no
+	// retries — a single exhausted attempt falls back to shrink).
+	ProvisionRetries int
+	// Regrow lets the migrate-policy autoscaler re-provision width a
+	// previous degradation lost: a later recovery point also acquires the
+	// deficit nodes and grows the world back toward the submitted Ranks,
+	// charging each deficit joiner the preconditioned-image instantiation
+	// of the provisioning planner.
+	Regrow bool
 	// Obs, when non-nil, journals every supervised attempt, the replacement
 	// market's ticks and notices, and the supervisor's decisions. The clean
 	// baseline run stays unobserved so the journal covers only the faulted
@@ -124,6 +147,9 @@ func (o FaultOptions) withDefaults() FaultOptions {
 	}
 	if o.SpotBidFraction == 0 {
 		o.SpotBidFraction = 0.25
+	}
+	if o.ProvisionRetries == 0 {
+		o.ProvisionRetries = 4
 	}
 	return o
 }
@@ -464,10 +490,18 @@ func newSuperSetup(o FaultOptions) (*superSetup, error) {
 
 	plan := o.Plan
 	if plan == nil {
-		plan, err = fault.New(fault.Spec{
-			Seed: o.Seed, Nodes: nodes, Horizon: cleanS,
-			Crashes: o.Crashes, Preemptions: o.Preemptions, Degradations: o.Degradations,
-		})
+		if o.StormWave > 0 {
+			plan, err = fault.NewStorm(fault.StormSpec{
+				Seed: o.Seed, Nodes: nodes, Horizon: cleanS,
+				WaveSize: o.StormWave, Cascades: o.StormCascades,
+				StragglerBursts: o.StormBursts,
+			})
+		} else {
+			plan, err = fault.New(fault.Spec{
+				Seed: o.Seed, Nodes: nodes, Horizon: cleanS,
+				Crashes: o.Crashes, Preemptions: o.Preemptions, Degradations: o.Degradations,
+			})
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -476,6 +510,28 @@ func newSuperSetup(o FaultOptions) (*superSetup, error) {
 		o: o, tg: tg, clean: clean, cleanS: cleanS,
 		plan: plan, nodes: nodes, cpn: cpn, mem: mem,
 	}, nil
+}
+
+// newReplacementMarket builds the replacement spot market both recovery
+// loops buy capacity from: nil on marketless platforms, seeded at Seed+2,
+// with the on-demand pool capped when OnDemandSupply asks for it (the
+// capped pool is what makes acquisition exhaustion — and therefore the
+// autoscaler's backoff path — reachable).
+func (s *superSetup) newReplacementMarket() *spot.Market {
+	p := s.tg.Platform
+	if p.SpotPerNodeHour <= 0 {
+		return nil
+	}
+	market := spot.NewMarket(s.o.Seed+2, p.CostPerNodeHour)
+	if s.o.OnDemandSupply != 0 {
+		n := s.o.OnDemandSupply
+		if n < 0 {
+			n = 0
+		}
+		market.LimitOnDemand(n)
+	}
+	market.Observe(s.o.Obs)
+	return market
 }
 
 // RunSupervised executes a weak-scaling job under a fault plan with the
@@ -527,11 +583,7 @@ func runRestart(s *superSetup) (*RecoveryReport, error) {
 	var rec trace.Recorder
 	rec.Observe(o.Obs)
 	bo := fault.NewBackoff(o.BackoffBaseS, o.BackoffCapS, o.Seed+1)
-	var market *spot.Market
-	if p.SpotPerNodeHour > 0 {
-		market = spot.NewMarket(o.Seed+2, p.CostPerNodeHour)
-		market.Observe(o.Obs)
-	}
+	market := s.newReplacementMarket()
 	spares := o.SpareNodes
 
 	ranks := o.Ranks
@@ -643,7 +695,18 @@ func runRestart(s *superSetup) (*RecoveryReport, error) {
 				bid := o.SpotBidFraction * p.CostPerNodeHour
 				repl, err := market.AcquireMix(1, bid, 1, 3)
 				if err != nil {
-					return nil, err
+					if !errors.Is(err, spot.ErrExhausted) {
+						return nil, err
+					}
+					// A capped market can sell out entirely; restart has no
+					// backoff-and-regrow machinery, so it degrades exactly
+					// like a marketless platform out of spares.
+					rec.Record(provAt, "provision", "spot and on-demand supply exhausted; no replacement for node %d", af.Node)
+					curNodes := (ranks + cpn - 1) / cpn
+					if derr := degrade(af.At, (curNodes-1)*cpn, "market exhausted"); derr != nil {
+						return nil, derr
+					}
+					break
 				}
 				nd := repl.Nodes[0]
 				if nd.Spot {
@@ -734,6 +797,18 @@ func FormatRecovery(rep *RecoveryReport) string {
 			mg.EvacuatedBlobs, mg.CopyBytes, mg.CopyS, mg.WindowS)
 		if mg.Migrations > 0 {
 			fmt.Fprintf(&b, "  last migration resumed after step %d at the restored width\n", mg.RestoreStep)
+		}
+		if mg.Coalesced > 0 || mg.Replans > 0 {
+			fmt.Fprintf(&b, "  storm arbiter: %d notice(s) coalesced into earlier recovery points, %d cascade re-plan(s)\n",
+				mg.Coalesced, mg.Replans)
+		}
+		if mg.ProvisionRetries > 0 {
+			fmt.Fprintf(&b, "  autoscaler: %d exhausted-market backoff retry(ies) while re-provisioning\n",
+				mg.ProvisionRetries)
+		}
+		if mg.RegrownNodes > 0 {
+			fmt.Fprintf(&b, "  autoscaler re-grew %d deficit node(s) back toward the submitted width\n",
+				mg.RegrownNodes)
 		}
 	}
 	if rep.Degraded {

@@ -1,0 +1,159 @@
+package fault
+
+// Correlated fault storms. The single-event Spec models independent
+// failures; real spot markets misbehave in correlated ways: a price spike
+// outbids many instances at once, so their interruption notices land
+// within one notice-lead window (a reclamation wave); the replacement
+// acquired for a reclaimed slot is itself outbid before it settles (a
+// cascade); and congestion degrades several links simultaneously (a
+// straggler burst). NewStorm draws all three shapes from one seeded
+// stream, so equal seeds give byte-equal storms.
+
+import (
+	"fmt"
+	"sort"
+
+	"heterohpc/internal/stats"
+)
+
+// StormSpec parameterises a correlated fault storm.
+type StormSpec struct {
+	// Seed drives every draw; equal seeds give equal storms.
+	Seed uint64
+	// Nodes is the job's node count; wave targets are drawn from it.
+	Nodes int
+	// Horizon is the virtual window (seconds) the storm lands in.
+	Horizon float64
+	// WaveSize is the number of distinct nodes whose preemption notices
+	// arrive within one notice-lead window (≥ 2 — a wave of one is just a
+	// lone preemption).
+	WaveSize int
+	// Cascades is the number of follow-up preemptions aimed at slots the
+	// wave already hit, landing while their recovery is still in flight —
+	// the replacement itself gets reclaimed.
+	Cascades int
+	// StragglerBursts is the number of correlated degradation windows: each
+	// burst opens simultaneous straggler windows on several distinct nodes.
+	StragglerBursts int
+	// DegradeFactor is the burst slow-down (default 4×).
+	DegradeFactor float64
+	// SpotNodes restricts wave targets to these node indices (the spot
+	// slice of a mixed assembly); nil allows any node.
+	SpotNodes []int
+}
+
+// stormLead is the notice lead a storm uses: the EC2 two-minute lead,
+// scaled down when the virtual horizon is too short to hold a full lead —
+// benchmark-sized runs last seconds, and a storm whose notices clamp to
+// t=0 would stop being proactive at all.
+func stormLead(horizon float64) float64 {
+	lead := NoticeLeadS
+	if horizon < 2*lead {
+		lead = 0.3 * horizon
+	}
+	return lead
+}
+
+// NewStorm generates a deterministic correlated storm plan from spec: one
+// reclamation wave of WaveSize notices inside a single notice-lead window,
+// Cascades follow-up preemptions re-targeting wave victims mid-recovery,
+// and StragglerBursts simultaneous degradation windows. Events are sorted
+// by effect time, like every Plan.
+func NewStorm(spec StormSpec) (*Plan, error) {
+	if spec.Nodes < 2 {
+		return nil, fmt.Errorf("fault: storm over %d node(s); waves need at least 2", spec.Nodes)
+	}
+	if spec.Horizon <= 0 {
+		return nil, fmt.Errorf("fault: non-positive storm horizon %v", spec.Horizon)
+	}
+	if spec.WaveSize < 2 {
+		return nil, fmt.Errorf("fault: wave of %d; a storm needs at least 2 correlated notices (use Spec for lone events)", spec.WaveSize)
+	}
+	if spec.Cascades < 0 || spec.StragglerBursts < 0 {
+		return nil, fmt.Errorf("fault: negative storm event count")
+	}
+	if spec.DegradeFactor == 0 {
+		spec.DegradeFactor = 4
+	}
+	if spec.DegradeFactor <= 1 {
+		return nil, fmt.Errorf("fault: degrade factor %v must exceed 1", spec.DegradeFactor)
+	}
+	targets := spec.SpotNodes
+	if len(targets) == 0 {
+		targets = make([]int, spec.Nodes)
+		for i := range targets {
+			targets[i] = i
+		}
+	}
+	for _, n := range targets {
+		if n < 0 || n >= spec.Nodes {
+			return nil, fmt.Errorf("fault: spot node %d of %d", n, spec.Nodes)
+		}
+	}
+	if spec.WaveSize > len(targets) {
+		return nil, fmt.Errorf("fault: wave of %d over %d eligible node(s)", spec.WaveSize, len(targets))
+	}
+	if spec.WaveSize >= spec.Nodes {
+		return nil, fmt.Errorf("fault: wave of %d over %d node(s); at least one node must survive the storm",
+			spec.WaveSize, spec.Nodes)
+	}
+
+	rng := stats.NewRNG(spec.Seed)
+	lead := stormLead(spec.Horizon)
+	p := &Plan{Seed: spec.Seed}
+
+	// The wave: WaveSize distinct victims drawn by a seeded partial
+	// shuffle, their notices staggered inside the first 20% of one lead —
+	// every notice arrives before the first reclaim, which is what makes
+	// the events one correlated group rather than a sequence.
+	victims := append([]int(nil), targets...)
+	for i := 0; i < spec.WaveSize; i++ {
+		j := i + rng.Intn(len(victims)-i)
+		victims[i], victims[j] = victims[j], victims[i]
+	}
+	victims = victims[:spec.WaveSize]
+	t0 := spec.Horizon * rng.Range(0.45, 0.6)
+	notice := t0
+	for _, v := range victims {
+		p.Events = append(p.Events, Event{
+			Kind: KindPreempt, Node: v, At: notice + lead, NoticeAt: notice,
+		})
+		notice += rng.Range(0, 0.2*lead/float64(spec.WaveSize))
+	}
+
+	// Cascades: the slot of a wave victim is hit again while the wave's
+	// recovery is still inside its window — from the supervisor's side, the
+	// replacement it just acquired for that slot is reclaimed mid-flight.
+	for i := 0; i < spec.Cascades; i++ {
+		v := victims[rng.Intn(len(victims))]
+		n := t0 + lead*rng.Range(0.35, 0.6)
+		p.Events = append(p.Events, Event{Kind: KindPreempt, Node: v, At: n + lead, NoticeAt: n})
+	}
+
+	// Straggler bursts: correlated congestion — up to three distinct nodes
+	// degrade over the same window.
+	for i := 0; i < spec.StragglerBursts; i++ {
+		width := 3
+		if width > spec.Nodes {
+			width = spec.Nodes
+		}
+		burst := make([]int, spec.Nodes)
+		for j := range burst {
+			burst[j] = j
+		}
+		for j := 0; j < width; j++ {
+			k := j + rng.Intn(len(burst)-j)
+			burst[j], burst[k] = burst[k], burst[j]
+		}
+		from := spec.Horizon * rng.Range(0.05, 0.4)
+		until := from + spec.Horizon*rng.Range(0.05, 0.15)
+		for _, bn := range burst[:width] {
+			p.Events = append(p.Events, Event{
+				Kind: KindDegrade, Node: bn, At: from, Until: until, Factor: spec.DegradeFactor,
+			})
+		}
+	}
+
+	sort.SliceStable(p.Events, func(i, j int) bool { return p.Events[i].At < p.Events[j].At })
+	return p, nil
+}

@@ -1,0 +1,179 @@
+package fault
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestStormDeterministicForEqualSeeds(t *testing.T) {
+	spec := StormSpec{Seed: 42, Nodes: 8, Horizon: 600, WaveSize: 3, Cascades: 2, StragglerBursts: 1}
+	p1, err := NewStorm(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NewStorm(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatalf("storms differ for equal seeds:\n%v\n%v", p1, p2)
+	}
+	if p1.String() != p2.String() {
+		t.Fatal("equal-seed storms render differently")
+	}
+	spec.Seed = 43
+	p3, err := NewStorm(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(p1.Events, p3.Events) {
+		t.Fatal("different seeds produced identical storms")
+	}
+}
+
+// TestStormShape pins the correlation structure: a wave is WaveSize
+// distinct preemption notices all issued before the first wave reclaim,
+// cascades re-target wave victims with later notices, and a straggler
+// burst degrades distinct nodes over one shared window.
+func TestStormShape(t *testing.T) {
+	spec := StormSpec{Seed: 7, Nodes: 8, Horizon: 600, WaveSize: 3, Cascades: 2, StragglerBursts: 1}
+	p, err := NewStorm(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var preempts, degrades []Event
+	for _, e := range p.Events {
+		switch e.Kind {
+		case KindPreempt:
+			preempts = append(preempts, e)
+		case KindDegrade:
+			degrades = append(degrades, e)
+		default:
+			t.Fatalf("storm planned a %v; storms only preempt and degrade", e.Kind)
+		}
+	}
+	if len(preempts) != spec.WaveSize+spec.Cascades {
+		t.Fatalf("%d preemptions, want wave %d + cascades %d",
+			len(preempts), spec.WaveSize, spec.Cascades)
+	}
+	if len(degrades) != 3*spec.StragglerBursts {
+		t.Fatalf("%d degrade windows, want 3 per burst × %d burst(s)",
+			len(degrades), spec.StragglerBursts)
+	}
+	if !sort.SliceIsSorted(p.Events, func(i, j int) bool { return p.Events[i].At < p.Events[j].At }) {
+		t.Fatal("storm events not sorted by effect time")
+	}
+
+	// The wave is the WaveSize earliest notices, on distinct nodes, every
+	// notice issued before the first wave reclaim — one correlated group.
+	byNotice := append([]Event(nil), preempts...)
+	sort.SliceStable(byNotice, func(i, j int) bool { return byNotice[i].NoticeAt < byNotice[j].NoticeAt })
+	wave, cascades := byNotice[:spec.WaveSize], byNotice[spec.WaveSize:]
+	waveNodes := map[int]bool{}
+	firstReclaim := wave[0].At
+	for _, e := range wave {
+		if e.At < firstReclaim {
+			firstReclaim = e.At
+		}
+	}
+	lead := stormLead(spec.Horizon)
+	for _, e := range wave {
+		if waveNodes[e.Node] {
+			t.Fatalf("wave hits node %d twice; victims must be distinct", e.Node)
+		}
+		waveNodes[e.Node] = true
+		if e.NoticeAt >= firstReclaim {
+			t.Fatalf("wave notice at t=%.1f lands after the first reclaim at t=%.1f; not one window",
+				e.NoticeAt, firstReclaim)
+		}
+		if got := e.At - e.NoticeAt; got != lead {
+			t.Fatalf("wave lead %.3f, want stormLead %.3f", got, lead)
+		}
+	}
+	for _, e := range cascades {
+		if !waveNodes[e.Node] {
+			t.Fatalf("cascade targets node %d, which the wave never hit", e.Node)
+		}
+		if e.NoticeAt <= wave[0].NoticeAt {
+			t.Fatalf("cascade notice t=%.1f not after the wave opened at t=%.1f",
+				e.NoticeAt, wave[0].NoticeAt)
+		}
+	}
+
+	// One burst: three distinct nodes sharing a single degrade window.
+	nodes := map[int]bool{}
+	for _, e := range degrades {
+		if nodes[e.Node] {
+			t.Fatalf("burst degrades node %d twice", e.Node)
+		}
+		nodes[e.Node] = true
+		if e.At != degrades[0].At || e.Until != degrades[0].Until {
+			t.Fatalf("burst windows differ: [%v,%v] vs [%v,%v]",
+				e.At, e.Until, degrades[0].At, degrades[0].Until)
+		}
+		if e.Factor != 4 {
+			t.Fatalf("default degrade factor %v, want 4", e.Factor)
+		}
+	}
+}
+
+func TestStormLeadScalesToShortHorizons(t *testing.T) {
+	if got := stormLead(1000); got != NoticeLeadS {
+		t.Fatalf("long-horizon lead %v, want the full %v notice", got, NoticeLeadS)
+	}
+	if got := stormLead(100); got != 30 {
+		t.Fatalf("short-horizon lead %v, want 0.3×100 = 30", got)
+	}
+}
+
+func TestStormRespectsSpotNodes(t *testing.T) {
+	spec := StormSpec{Seed: 11, Nodes: 8, Horizon: 600, WaveSize: 2, Cascades: 3,
+		SpotNodes: []int{2, 5, 6}}
+	p, err := NewStorm(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spot := map[int]bool{2: true, 5: true, 6: true}
+	for _, e := range p.Events {
+		if !spot[e.Node] {
+			t.Fatalf("storm hit node %d outside the spot slice", e.Node)
+		}
+	}
+}
+
+func TestStormValidation(t *testing.T) {
+	ok := StormSpec{Seed: 1, Nodes: 8, Horizon: 600, WaveSize: 3}
+	cases := []struct {
+		name string
+		mut  func(*StormSpec)
+		frag string
+	}{
+		{"too-few-nodes", func(s *StormSpec) { s.Nodes = 1 }, "at least 2"},
+		{"non-positive-horizon", func(s *StormSpec) { s.Horizon = 0 }, "horizon"},
+		{"wave-of-one", func(s *StormSpec) { s.WaveSize = 1 }, "lone events"},
+		{"wave-over-spot-slice", func(s *StormSpec) { s.SpotNodes = []int{0, 1}; s.WaveSize = 3 }, "eligible"},
+		{"wave-kills-everyone", func(s *StormSpec) { s.WaveSize = 8 }, "survive"},
+		{"negative-cascades", func(s *StormSpec) { s.Cascades = -1 }, "negative"},
+		{"negative-bursts", func(s *StormSpec) { s.StragglerBursts = -2 }, "negative"},
+		{"degrade-factor-below-one", func(s *StormSpec) { s.DegradeFactor = 0.5 }, "exceed 1"},
+		{"spot-node-out-of-range", func(s *StormSpec) { s.SpotNodes = []int{9}; s.WaveSize = 1 }, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := ok
+			tc.mut(&spec)
+			_, err := NewStorm(spec)
+			if err == nil {
+				t.Fatalf("spec %+v accepted", spec)
+			}
+			if tc.frag != "" && !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("error %q does not mention %q", err, tc.frag)
+			}
+		})
+	}
+	if _, err := NewStorm(ok); err != nil {
+		t.Fatalf("baseline spec rejected: %v", err)
+	}
+}

@@ -29,11 +29,14 @@ type Shrink struct {
 	// OldToNew maps old rank -> new rank, -1 for dead ranks; NewToOld is
 	// the inverse (survivors in ascending old-rank order).
 	OldToNew, NewToOld []int
-	// OldToNewNode maps old node -> new node, -1 for the failed node.
+	// OldToNewNode maps old node -> new node, -1 for dropped nodes.
 	OldToNewNode []int
 	// DeadRanks and DeadNode identify what was lost (old numbering).
+	// DeadNode is the recorded failure node; DeadNodes lists every dropped
+	// node ascending (equal to [DeadNode] for a plain Shrink).
 	DeadRanks []int
 	DeadNode  int
+	DeadNodes []int
 	// Revoked counts the pending mailbox messages purged because they were
 	// addressed to or sent by a dead rank — traffic a ULFM revoke would
 	// have interrupted.
@@ -47,7 +50,15 @@ type Shrink struct {
 // consumed (it cannot Run again); the survivor world is fresh — it has no
 // fault schedule and may Run exactly once, with each rank's clock
 // continuing at the virtual time the rank had reached when it unwound.
-func (w *World) Shrink() (*Shrink, error) {
+func (w *World) Shrink() (*Shrink, error) { return w.ShrinkNodes(nil) }
+
+// ShrinkNodes is Shrink generalised to correlated losses: besides the
+// recorded failure node it also drops alsoDoomed — nodes the supervisor
+// knows are about to be reclaimed (a preemption wave) even though only one
+// failure actually poisoned the world. Dropping them in one re-formation
+// keeps recovery single-shot: one revoke, one survivor world, one
+// continuation, instead of a shrink per casualty.
+func (w *World) ShrinkNodes(alsoDoomed []int) (*Shrink, error) {
 	f, down := w.Failure()
 	if !down {
 		return nil, fmt.Errorf("mp: Shrink on a world that recorded no failure")
@@ -55,27 +66,36 @@ func (w *World) Shrink() (*Shrink, error) {
 	if w.shrunk {
 		return nil, fmt.Errorf("mp: world already shrunk")
 	}
-	w.shrunk = true
 
 	p := w.Size()
 	nnodes := w.topo.NNodes()
+	doomed := make([]bool, nnodes)
+	doomed[f.Node] = true
+	for _, n := range alsoDoomed {
+		if n < 0 || n >= nnodes {
+			return nil, fmt.Errorf("mp: doomed node %d of %d", n, nnodes)
+		}
+		doomed[n] = true
+	}
+	w.shrunk = true
+
 	sr := &Shrink{
 		OldToNew:     make([]int, p),
 		OldToNewNode: make([]int, nnodes),
 		DeadNode:     f.Node,
 	}
+	next := 0
 	for n := 0; n < nnodes; n++ {
-		if n == f.Node {
+		if doomed[n] {
 			sr.OldToNewNode[n] = -1
+			sr.DeadNodes = append(sr.DeadNodes, n)
 			continue
 		}
-		sr.OldToNewNode[n] = n
-		if n > f.Node {
-			sr.OldToNewNode[n] = n - 1
-		}
+		sr.OldToNewNode[n] = next
+		next++
 	}
 	for r := 0; r < p; r++ {
-		if w.topo.NodeOf[r] == f.Node {
+		if doomed[w.topo.NodeOf[r]] {
 			sr.OldToNew[r] = -1
 			sr.DeadRanks = append(sr.DeadRanks, r)
 			continue
@@ -84,7 +104,7 @@ func (w *World) Shrink() (*Shrink, error) {
 		sr.NewToOld = append(sr.NewToOld, r)
 	}
 	if len(sr.NewToOld) == 0 {
-		return nil, fmt.Errorf("mp: no survivors: node %d held every rank", f.Node)
+		return nil, fmt.Errorf("mp: no survivors: node(s) %v held every rank", sr.DeadNodes)
 	}
 
 	// Revoke: purge pending messages involving dead ranks. Deterministic —
@@ -138,9 +158,9 @@ func (w *World) Shrink() (*Shrink, error) {
 	}
 
 	nodeOf := make([]int, len(sr.NewToOld))
-	groups := make([]int, 0, nnodes-1)
+	groups := make([]int, 0, nnodes-len(sr.DeadNodes))
 	for n, g := range w.topo.GroupOfNode {
-		if n != f.Node {
+		if !doomed[n] {
 			groups = append(groups, g)
 		}
 	}

@@ -143,3 +143,75 @@ func TestShrinkOnHealthyWorldRefused(t *testing.T) {
 		t.Fatal("Shrink on a healthy world accepted")
 	}
 }
+
+func TestShrinkNodesDropsCorrelatedSet(t *testing.T) {
+	w := crashWorld(t, 8, 2, 1, 0.005) // recorded failure: node 1 (ranks 2,3)
+	sr, err := w.ShrinkNodes([]int{3}) // the wave also dooms node 3 (ranks 6,7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sr.World.Size(); got != 4 {
+		t.Fatalf("survivor world has %d ranks, want 4", got)
+	}
+	if sr.DeadNode != 1 {
+		t.Fatalf("dead node %d, want the recorded failure node 1", sr.DeadNode)
+	}
+	if len(sr.DeadNodes) != 2 || sr.DeadNodes[0] != 1 || sr.DeadNodes[1] != 3 {
+		t.Fatalf("dead nodes %v, want [1 3] ascending", sr.DeadNodes)
+	}
+	wantDead := []int{2, 3, 6, 7}
+	if len(sr.DeadRanks) != len(wantDead) {
+		t.Fatalf("dead ranks %v, want %v", sr.DeadRanks, wantDead)
+	}
+	for i, r := range wantDead {
+		if sr.DeadRanks[i] != r {
+			t.Fatalf("dead ranks %v, want %v", sr.DeadRanks, wantDead)
+		}
+	}
+	wantO2N := []int{0, 1, -1, -1, 2, 3, -1, -1}
+	for old, want := range wantO2N {
+		if sr.OldToNew[old] != want {
+			t.Fatalf("OldToNew[%d] = %d, want %d", old, sr.OldToNew[old], want)
+		}
+	}
+	wantNode := []int{0, -1, 1, -1}
+	for old, want := range wantNode {
+		if sr.OldToNewNode[old] != want {
+			t.Fatalf("OldToNewNode[%d] = %d, want %d", old, sr.OldToNewNode[old], want)
+		}
+	}
+	// Survivor clocks carry, exactly as for a plain Shrink.
+	for newR, oldR := range sr.NewToOld {
+		if got, want := sr.World.Clocks()[newR].Now(), w.Clocks()[oldR].Now(); got != want {
+			t.Fatalf("new rank %d clock %v, want carried %v", newR, got, want)
+		}
+	}
+}
+
+func TestShrinkNodesValidation(t *testing.T) {
+	w := crashWorld(t, 8, 2, 1, 0.005)
+	// Invalid doomed nodes are rejected BEFORE the world is consumed, so a
+	// corrected call still works.
+	if _, err := w.ShrinkNodes([]int{4}); err == nil {
+		t.Fatal("out-of-range doomed node accepted")
+	}
+	if _, err := w.ShrinkNodes([]int{-1}); err == nil {
+		t.Fatal("negative doomed node accepted")
+	}
+	// Listing the failure node again is harmless (it is already doomed).
+	sr, err := w.ShrinkNodes([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.World.Size() != 6 || len(sr.DeadNodes) != 1 || sr.DeadNodes[0] != 1 {
+		t.Fatalf("duplicate doomed node changed the outcome: %d ranks, dead %v",
+			sr.World.Size(), sr.DeadNodes)
+	}
+}
+
+func TestShrinkNodesRefusesTotalLoss(t *testing.T) {
+	w := crashWorld(t, 8, 2, 0, 0.005)
+	if _, err := w.ShrinkNodes([]int{1, 2, 3}); err == nil {
+		t.Fatal("a wave dooming every node must be refused, not shrunk to zero ranks")
+	}
+}

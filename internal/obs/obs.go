@@ -53,7 +53,8 @@ type Event struct {
 	Rank int
 	// Kind is the event type ("phase", "solve", "step", "halo", "pool",
 	// "ckpt-write", "ckpt-restore", "spot-tick", "preempt-notice",
-	// "world-grow", "migrate-decision", or a supervisor decision kind).
+	// "world-grow", "migrate-decision", "arbiter-coalesce",
+	// "provision-retry", or a supervisor decision kind).
 	Kind string
 	// Name is the kind-specific subject (phase name, solver name, decision
 	// detail).
@@ -329,6 +330,33 @@ func (rc *Recorder) MigrateDecision(t float64, verb string, windowS, copyCostS f
 		return
 	}
 	rc.emit(Event{T: t, Kind: "migrate-decision", Name: verb, F1: windowS, F2: copyCostS})
+}
+
+// ArbiterCoalesce records the recovery arbiter folding a correlated group
+// of fatal events into one recovery point at virtual time t: kind
+// "arbiter-coalesce", Name = the group's verb, I1 = doomed nodes in the
+// group, I2 = events folded beyond the one that poisoned the world, I3 =
+// replacement re-acquisitions forced by cascades. Only coalesced groups
+// emit it, so single-event recoveries journal exactly as before.
+func (rc *Recorder) ArbiterCoalesce(t float64, verb string, doomed, folded, replans int) {
+	if rc == nil {
+		return
+	}
+	rc.emit(Event{T: t, Kind: "arbiter-coalesce", Name: verb,
+		I1: int64(doomed), I2: int64(folded), I3: int64(replans)})
+}
+
+// ProvisionRetry records one autoscaler re-provisioning attempt hitting
+// market exhaustion and backing off, at virtual time t (after the delay):
+// kind "provision-retry", I1 = acquisition attempt number, I2 = instances
+// acquired so far, I3 = instances wanted, F1 = the backoff delay in
+// virtual seconds.
+func (rc *Recorder) ProvisionRetry(t float64, attempt, got, want int, delayS float64) {
+	if rc == nil {
+		return
+	}
+	rc.emit(Event{T: t, Kind: "provision-retry",
+		I1: int64(attempt), I2: int64(got), I3: int64(want), F1: delayS})
 }
 
 // PoolStats records one world's payload-pool traffic at virtual time t:

@@ -11,11 +11,20 @@
 package spot
 
 import (
+	"errors"
 	"fmt"
 
 	"heterohpc/internal/obs"
 	"heterohpc/internal/stats"
 )
+
+// ErrExhausted reports that an acquisition could not be filled: the spot
+// rounds cleared nothing (price above bid, or capacity gone) and the
+// on-demand supply cap — when one is set — left no instances to top up
+// with. AcquireMix returns it wrapped, alongside the partial assembly, so
+// callers can treat exhaustion as retryable: the market keeps ticking, and
+// a later attempt may clear.
+var ErrExhausted = errors.New("spot: market exhausted")
 
 // Market is a seeded spot market for one instance type.
 type Market struct {
@@ -37,7 +46,20 @@ type Market struct {
 	capacity  int // spot instances grantable this epoch
 	granted   int // spot instances already granted to this customer
 	maxSupply int // hard cap on total spot grants (below the study's 63)
+	odLeft    int // on-demand instances left to sell; -1 means unlimited
 	rec       *obs.Recorder
+}
+
+// LimitOnDemand caps the market's remaining on-demand supply at n
+// instances (negative values clamp to zero). The default market is
+// unlimited — the paper could always "add regularly-priced hosts" — but a
+// capped market makes AcquireMix exhaustion reachable, modelling the
+// capacity errors real regions return under pressure.
+func (m *Market) LimitOnDemand(n int) {
+	if n < 0 {
+		n = 0
+	}
+	m.odLeft = n
 }
 
 // Observe journals every subsequent price tick and interruption notice to
@@ -55,6 +77,7 @@ func NewMarket(seed uint64, onDemand float64) *Market {
 		EpochS:    60,
 		rng:       stats.NewRNG(seed),
 		maxSupply: 48, // fewer spot instances than the 63 the study needed
+		odLeft:    -1, // on-demand top-up is unlimited unless capped
 	}
 	m.price = m.Mean
 	m.capacity = m.maxSupply
@@ -185,6 +208,12 @@ func (m *Market) AcquireOnDemand(want int) (*Assembly, error) {
 // acquisitions across groups placement groups and topping up with on-demand
 // instances when the market cannot fill the request within maxRounds —
 // Table II's "mix" configuration.
+//
+// When the on-demand supply has been capped (LimitOnDemand) and runs out
+// before the request is filled, AcquireMix returns the partial assembly
+// together with an error wrapping ErrExhausted. The market state keeps
+// advancing across calls, so retrying later (with backoff) can succeed —
+// exhaustion is a retryable condition, not a terminal one.
 func (m *Market) AcquireMix(want int, bid float64, groups, maxRounds int) (*Assembly, error) {
 	if want < 1 {
 		return nil, fmt.Errorf("spot: fleet of %d requested", want)
@@ -216,8 +245,16 @@ func (m *Market) AcquireMix(want int, bid float64, groups, maxRounds int) (*Asse
 			m.granted += grant
 		}
 	}
-	// Top up with regularly-priced hosts (the paper's forced fallback).
+	// Top up with regularly-priced hosts (the paper's forced fallback),
+	// bounded by the on-demand supply cap when one is set.
 	for len(a.Nodes) < want {
+		if m.odLeft == 0 {
+			return a, fmt.Errorf("spot: filled %d of %d instance(s) in %d round(s), on-demand supply gone: %w",
+				len(a.Nodes), want, a.Rounds, ErrExhausted)
+		}
+		if m.odLeft > 0 {
+			m.odLeft--
+		}
 		place(Node{PricePerHour: m.OnDemand})
 	}
 	return a, nil

@@ -1,6 +1,7 @@
 package spot
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -264,5 +265,89 @@ func TestTickRevokeSemantics(t *testing.T) {
 	}
 	if a.ActiveCount()+a.RevokedCount() != len(a.Nodes) {
 		t.Fatal("active + revoked != fleet size")
+	}
+}
+
+// TestAcquireMixExhaustionTable pins the fallback ladder AcquireMix walks
+// when the spot market cannot fill a request: top up from the on-demand
+// pool, return a partial assembly wrapping ErrExhausted when that pool is
+// capped and runs dry, and — because the market keeps ticking across
+// calls — fill from spot on a later retry.
+func TestAcquireMixExhaustionTable(t *testing.T) {
+	cases := []struct {
+		name      string
+		odSupply  int // math.MinInt32 means "leave unlimited default"
+		bid       float64
+		n         int
+		wantNodes int
+		wantSpot  int
+		exhausted bool
+	}{
+		{
+			// Bid below any clearing price: spot never fills, the
+			// uncapped on-demand pool absorbs the whole request.
+			name: "spot-dry-on-demand-top-up", odSupply: -1 << 30,
+			bid: 1e-9, n: 4, wantNodes: 4, wantSpot: 0, exhausted: false,
+		},
+		{
+			// Capped pool smaller than the request: partial assembly
+			// plus a retryable ErrExhausted.
+			name: "both-exhausted-partial", odSupply: 2,
+			bid: 1e-9, n: 5, wantNodes: 2, wantSpot: 0, exhausted: true,
+		},
+		{
+			// Negative caps clamp to zero supply: nothing to top up
+			// with, the assembly comes back empty.
+			name: "negative-cap-clamps-to-none", odSupply: -3,
+			bid: 1e-9, n: 3, wantNodes: 0, wantSpot: 0, exhausted: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewMarket(7, 2.40)
+			if tc.odSupply != -1<<30 {
+				m.LimitOnDemand(tc.odSupply)
+			}
+			a, err := m.AcquireMix(tc.n, tc.bid, 1, 3)
+			if tc.exhausted != errors.Is(err, ErrExhausted) {
+				t.Fatalf("errors.Is(err, ErrExhausted) = %v, want %v (err %v)",
+					!tc.exhausted, tc.exhausted, err)
+			}
+			if got := len(a.Nodes); got != tc.wantNodes {
+				t.Fatalf("assembly holds %d node(s), want %d", got, tc.wantNodes)
+			}
+			if got := a.SpotCount(); got != tc.wantSpot {
+				t.Fatalf("assembly holds %d spot node(s), want %d", got, tc.wantSpot)
+			}
+			if got := len(a.Nodes) - a.SpotCount(); got != tc.wantNodes-tc.wantSpot {
+				t.Fatalf("assembly holds %d on-demand node(s), want %d",
+					got, tc.wantNodes-tc.wantSpot)
+			}
+		})
+	}
+}
+
+// TestAcquireMixRetryLaterSucceeds shows exhaustion is retryable, not
+// terminal: with the on-demand pool emptied, a bid the market rejects at
+// first clears on a later call because the market keeps ticking between
+// calls. Seed 2 exhausts the first AcquireMix and fills the second from
+// spot; equal seeds reproduce the same sequence.
+func TestAcquireMixRetryLaterSucceeds(t *testing.T) {
+	m := NewMarket(2, 2.40)
+	m.LimitOnDemand(0)
+	a, err := m.AcquireMix(1, 0.50, 1, 3)
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("first call: err %v, want ErrExhausted", err)
+	}
+	if len(a.Nodes) != 0 {
+		t.Fatalf("first call filled %d node(s) below the floor", len(a.Nodes))
+	}
+	a, err = m.AcquireMix(1, 0.50, 1, 3)
+	if err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	if len(a.Nodes) != 1 || a.SpotCount() != 1 {
+		t.Fatalf("retry assembled %d node(s), %d spot; want 1 spot instance",
+			len(a.Nodes), a.SpotCount())
 	}
 }
