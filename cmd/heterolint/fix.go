@@ -1,0 +1,193 @@
+// The -fix driver: re-runs the analyzers through go vet in JSON mode,
+// collects the suggested fixes, and either previews them as a diff
+// (default, exit 1 if any are pending — the CI cleanliness gate) or
+// applies them in place with -write.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+
+	"heterohpc/internal/analysis"
+	"heterohpc/internal/analysis/unitchecker"
+)
+
+func runFix(args []string) int {
+	write := false
+	var patterns []string
+	for _, a := range args {
+		switch a {
+		case "-write", "--write":
+			write = true
+		case "-dry-run", "--dry-run":
+			write = false
+		default:
+			if strings.HasPrefix(a, "-") {
+				fmt.Fprintf(os.Stderr, "heterolint -fix: unknown flag %s\n", a)
+				return 1
+			}
+			patterns = append(patterns, a)
+		}
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "heterolint:", err)
+		return 1
+	}
+	// HETEROLINT_JSON makes the unit checker emit machine-readable
+	// diagnostics without relying on cmd/go forwarding a -json flag.
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Env = append(os.Environ(), "HETEROLINT_JSON=1")
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	_ = cmd.Run() // diagnostics are in the JSON either way; a bad exit with unparseable output fails below
+
+	diags, perr := parseVetJSON(out.Bytes())
+	if perr != nil {
+		fmt.Fprintf(os.Stderr, "heterolint -fix: cannot parse go vet output: %v\noutput was:\n%s", perr, out.String())
+		return 1
+	}
+
+	byFile := map[string][]analysis.Edit{}
+	fixCount := 0
+	for _, d := range diags {
+		if len(d.SuggestedFixes) == 0 {
+			continue
+		}
+		fixCount++
+		// Apply the first fix of each diagnostic, like analysistest.
+		for _, e := range d.SuggestedFixes[0].Edits {
+			byFile[e.Filename] = append(byFile[e.Filename], analysis.Edit{
+				Start: e.Start, End: e.End, New: []byte(e.New),
+			})
+		}
+	}
+	if fixCount == 0 {
+		fmt.Println("heterolint -fix: no pending fixes")
+		return 0
+	}
+
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	failed := false
+	for _, name := range files {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "heterolint -fix: %v\n", err)
+			failed = true
+			continue
+		}
+		fixed, err := analysis.ApplyEdits(src, dedupeEdits(byFile[name]))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "heterolint -fix: %s: %v (conflicting fixes; apply manually)\n", name, err)
+			failed = true
+			continue
+		}
+		if write {
+			if err := os.WriteFile(name, fixed, 0o666); err != nil {
+				fmt.Fprintf(os.Stderr, "heterolint -fix: %v\n", err)
+				failed = true
+				continue
+			}
+			fmt.Printf("fixed %s\n", name)
+		} else {
+			printDiff(name, src, fixed)
+		}
+	}
+	if failed {
+		return 1
+	}
+	if !write {
+		fmt.Printf("heterolint -fix: %d fix(es) pending; run with -write to apply\n", fixCount)
+		return 1
+	}
+	return 0
+}
+
+// parseVetJSON extracts diagnostics from `go vet` output in JSON mode: a
+// sequence of {"pkg": {"analyzer": [diag, ...]}} objects interleaved with
+// "# pkg" comment lines.
+func parseVetJSON(out []byte) ([]unitchecker.JSONDiagnostic, error) {
+	var clean bytes.Buffer
+	for _, line := range bytes.Split(out, []byte("\n")) {
+		if bytes.HasPrefix(bytes.TrimSpace(line), []byte("#")) {
+			continue
+		}
+		clean.Write(line)
+		clean.WriteByte('\n')
+	}
+	var diags []unitchecker.JSONDiagnostic
+	dec := json.NewDecoder(&clean)
+	for dec.More() {
+		var tree map[string]map[string][]unitchecker.JSONDiagnostic
+		if err := dec.Decode(&tree); err != nil {
+			return nil, err
+		}
+		for _, byAnalyzer := range tree {
+			for _, ds := range byAnalyzer {
+				diags = append(diags, ds...)
+			}
+		}
+	}
+	// Deterministic order regardless of cmd/go's action scheduling.
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Posn != diags[j].Posn {
+			return diags[i].Posn < diags[j].Posn
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}
+
+// dedupeEdits drops exact duplicates — the same fix reported through two
+// units (a package and its test variant) must not double-apply.
+func dedupeEdits(edits []analysis.Edit) []analysis.Edit {
+	seen := map[string]bool{}
+	var out []analysis.Edit
+	for _, e := range edits {
+		k := fmt.Sprintf("%d:%d:%s", e.Start, e.End, e.New)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, e)
+	}
+	return out
+}
+
+// printDiff shows a minimal line-based preview of the pending change.
+func printDiff(name string, src, fixed []byte) {
+	fmt.Printf("--- %s\n+++ %s (fixed)\n", name, name)
+	oldLines := strings.Split(string(src), "\n")
+	newLines := strings.Split(string(fixed), "\n")
+	// Trim the common prefix and suffix; what remains is the changed core.
+	p := 0
+	for p < len(oldLines) && p < len(newLines) && oldLines[p] == newLines[p] {
+		p++
+	}
+	so, sn := len(oldLines), len(newLines)
+	for so > p && sn > p && oldLines[so-1] == newLines[sn-1] {
+		so--
+		sn--
+	}
+	fmt.Printf("@@ line %d @@\n", p+1)
+	for _, l := range oldLines[p:so] {
+		fmt.Printf("-%s\n", l)
+	}
+	for _, l := range newLines[p:sn] {
+		fmt.Printf("+%s\n", l)
+	}
+}

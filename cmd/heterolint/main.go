@@ -1,10 +1,16 @@
-// Command heterolint machine-checks the repository's determinism, pooling
-// and clock-charging invariants with four go/analysis-style checkers:
+// Command heterolint machine-checks the repository's determinism, pooling,
+// clock-charging, error-flow, reshape-lifetime and journal-shape invariants
+// with seven go/analysis-style checkers:
 //
-//	detclock    no wall-clock or global math/rand in simulation packages
-//	maporder    no map-iteration order leaking into deterministic output
-//	poolretain  mp payload-pool buffers respect their ownership contract
-//	vcharge     metered float loops charge the virtual clock
+//	detclock      no wall-clock or global math/rand in simulation packages
+//	maporder      no map-iteration order leaking into deterministic output
+//	poolretain    mp payload-pool buffers respect their ownership contract
+//	vcharge       metered float loops charge the virtual clock (transitive
+//	              across packages via facts)
+//	worldconsume  no use of an mp.World after Shrink/ShrinkNodes/Grow
+//	errflow       wrapped sentinels tested with errors.Is and wrapped with %w
+//	obskind       obs journal records keep field order, unique kinds and
+//	              nil-safe writers
 //
 // It speaks the cmd/go vet-tool protocol, so the canonical invocation is
 //
@@ -15,6 +21,13 @@
 // go vet with itself as the vettool:
 //
 //	heterolint ./...
+//
+// Some diagnostics carry machine-applicable fixes (errflow's errors.Is
+// rewrite, obskind's field reorder). The fix driver previews them as a
+// unified-ish diff and applies them on request:
+//
+//	heterolint -fix ./...          # dry-run: print pending fixes, exit 1 if any
+//	heterolint -fix -write ./...   # apply fixes in place
 //
 // Deliberate exceptions are annotated in source:
 //
@@ -32,16 +45,23 @@ import (
 	"strings"
 
 	"heterohpc/internal/analysis/detclock"
+	"heterohpc/internal/analysis/errflow"
 	"heterohpc/internal/analysis/maporder"
+	"heterohpc/internal/analysis/obskind"
 	"heterohpc/internal/analysis/poolretain"
 	"heterohpc/internal/analysis/unitchecker"
 	"heterohpc/internal/analysis/vcharge"
+	"heterohpc/internal/analysis/worldconsume"
 )
 
 func main() {
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "-fix" {
+		os.Exit(runFix(args[1:]))
+	}
 	// Package patterns (no .cfg, no protocol flag) → re-exec under go vet,
 	// which builds dependency export data and drives the protocol.
-	if patterns := patternArgs(os.Args[1:]); len(patterns) > 0 {
+	if patterns := patternArgs(args); len(patterns) > 0 {
 		os.Exit(runGoVet(patterns))
 	}
 	unitchecker.Main(
@@ -49,6 +69,9 @@ func main() {
 		maporder.Analyzer,
 		poolretain.Analyzer,
 		vcharge.Analyzer,
+		worldconsume.Analyzer,
+		errflow.Analyzer,
+		obskind.Analyzer,
 	)
 }
 

@@ -67,7 +67,14 @@ func CollectAllows(fset *token.FileSet, files []*ast.File) []Allow {
 // reported, and annotations that suppressed nothing are reported as stale.
 // Diagnostics come back sorted by position so every driver prints the same
 // order — the suite practices the determinism it preaches.
-func RunAnalyzer(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+//
+// facts is the unit's shared fact store (imported dependency facts in,
+// exported facts out); nil runs the analyzer fact-blind with a private
+// empty store.
+func RunAnalyzer(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *FactStore) ([]Diagnostic, error) {
+	if facts == nil {
+		facts = NewFactStore(a)
+	}
 	var raw []Diagnostic
 	pass := &Pass{
 		Analyzer:  a,
@@ -76,6 +83,7 @@ func RunAnalyzer(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types
 		Pkg:       pkg,
 		TypesInfo: info,
 		Report:    func(d Diagnostic) { raw = append(raw, d) },
+		facts:     facts,
 	}
 	if _, err := a.Run(pass); err != nil {
 		return nil, err

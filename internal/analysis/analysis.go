@@ -1,12 +1,16 @@
 // Package analysis is a self-contained static-analysis framework for the
 // repository's own invariant checkers (heterolint). It mirrors the core API
-// of golang.org/x/tools/go/analysis — Analyzer, Pass, Diagnostic — so the
-// four heterolint analyzers read like any other go/analysis checker and can
-// migrate to the upstream framework verbatim once the module is vendored.
-// The subset implemented here is deliberately fact-free: every heterolint
-// invariant is checkable from a single type-checked package, which is what
-// keeps the whole suite runnable offline with nothing but the standard
-// library (go/ast, go/types, go/importer).
+// of golang.org/x/tools/go/analysis — Analyzer, Pass, Diagnostic, Fact —
+// so the heterolint analyzers read like any other go/analysis checker and
+// can migrate to the upstream framework verbatim once the module is
+// vendored.
+//
+// Since v2 the framework is facts-capable: an analyzer may export typed
+// facts about package-level objects (or whole packages) and import facts
+// recorded by its own runs over dependency packages. Facts serialize
+// through the unitchecker's .vetx files, so cross-package propagation works
+// under the `go vet -vettool` protocol with nothing but the standard
+// library (go/ast, go/types, go/importer, encoding/json).
 package analysis
 
 import (
@@ -24,8 +28,14 @@ type Analyzer struct {
 	Doc string
 	// AllowKeyword is the //heterolint:allow keyword that suppresses this
 	// analyzer's diagnostics ("wallclock" for detclock, etc.). Empty means
-	// the analyzer cannot be suppressed.
+	// the analyzer cannot be suppressed. Non-empty keywords must be unique
+	// across the suite (enforced by Validate) so one annotation can never
+	// silence two different checkers.
 	AllowKeyword string
+	// FactTypes lists the fact types the analyzer exports or imports, one
+	// zero value per type. An analyzer with no FactTypes is fact-free and
+	// is skipped on facts-only (VetxOnly) unitchecker runs.
+	FactTypes []Fact
 	// Run applies the analyzer to one package.
 	Run func(*Pass) (interface{}, error)
 }
@@ -41,6 +51,10 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+
+	// facts is the fact store shared by every analyzer run of one unit:
+	// facts imported from dependency packages plus facts exported here.
+	facts *FactStore
 }
 
 // Reportf reports a diagnostic at pos with a Sprintf-formatted message.
@@ -48,16 +62,85 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
-// Diagnostic is one finding, attributed to a source position.
+// ExportObjectFact records fact about obj, a package-level object (or
+// method) of the pass package, for this analyzer's runs over downstream
+// packages. It panics on objects from other packages or objects without a
+// stable key — both are analyzer bugs.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if obj == nil || obj.Pkg() != p.Pkg {
+		panic(fmt.Sprintf("%s: ExportObjectFact: object does not belong to package %s", p.Analyzer, p.Pkg.Path()))
+	}
+	key := ObjectKey(obj)
+	if key == "" {
+		panic(fmt.Sprintf("%s: ExportObjectFact: object %s is not package-level", p.Analyzer, obj.Name()))
+	}
+	if err := p.facts.set(p.Analyzer.Name, p.Pkg.Path(), key, fact); err != nil {
+		panic(fmt.Sprintf("%s: ExportObjectFact: %v", p.Analyzer, err))
+	}
+}
+
+// ImportObjectFact copies into fact the fact previously exported for obj —
+// by this pass or by the same analyzer's run over the package defining obj
+// — and reports whether one was found. fact must be a pointer of the
+// concrete fact type.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	key := ObjectKey(obj)
+	if key == "" {
+		return false
+	}
+	return p.facts.get(p.Analyzer.Name, obj.Pkg().Path(), key, fact)
+}
+
+// ExportPackageFact records fact about the pass package as a whole.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if err := p.facts.set(p.Analyzer.Name, p.Pkg.Path(), "", fact); err != nil {
+		panic(fmt.Sprintf("%s: ExportPackageFact: %v", p.Analyzer, err))
+	}
+}
+
+// ImportPackageFact copies into fact the package fact previously exported
+// for pkg and reports whether one was found.
+func (p *Pass) ImportPackageFact(pkg *types.Package, fact Fact) bool {
+	if pkg == nil {
+		return false
+	}
+	return p.facts.get(p.Analyzer.Name, pkg.Path(), "", fact)
+}
+
+// Diagnostic is one finding, attributed to a source position, optionally
+// carrying machine-applicable fixes.
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+	// SuggestedFixes are alternative edits that resolve the finding; the
+	// heterolint -fix driver applies the first fix of each diagnostic.
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix is one way to resolve a diagnostic, expressed as a set of
+// non-overlapping text edits.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// TextEdit replaces the source in [Pos, End) with NewText. End == Pos is a
+// pure insertion.
+type TextEdit struct {
+	Pos, End token.Pos
+	NewText  []byte
 }
 
 // Validate checks the analyzer list for driver use: non-empty distinct
-// names and a Run function each.
+// names, a Run function each, pointer-shaped fact types, and distinct
+// non-empty AllowKeywords (one //heterolint:allow keyword must never
+// suppress two different checkers).
 func Validate(analyzers []*Analyzer) error {
 	seen := map[string]bool{}
+	keywords := map[string]string{} // keyword -> analyzer that claimed it
 	for _, a := range analyzers {
 		if a.Name == "" {
 			return fmt.Errorf("analysis: analyzer with empty name")
@@ -68,6 +151,18 @@ func Validate(analyzers []*Analyzer) error {
 		seen[a.Name] = true
 		if a.Run == nil {
 			return fmt.Errorf("analysis: analyzer %q has no Run", a.Name)
+		}
+		if a.AllowKeyword != "" {
+			if prev, dup := keywords[a.AllowKeyword]; dup {
+				return fmt.Errorf("analysis: analyzers %q and %q share allow keyword %q; one //heterolint:allow must not suppress two checkers",
+					prev, a.Name, a.AllowKeyword)
+			}
+			keywords[a.AllowKeyword] = a.Name
+		}
+		for _, f := range a.FactTypes {
+			if err := validateFactType(f); err != nil {
+				return fmt.Errorf("analysis: analyzer %q: %v", a.Name, err)
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+type factA struct{ N int }
+
+func (*factA) AFact() {}
+
+type factB struct{ S string }
+
+func (*factB) AFact() {}
+
+// badFact is not a struct pointer when registered by value.
+type badFact struct{}
+
+func (badFact) AFact() {}
+
+func mkAnalyzer(name, keyword string, facts ...Fact) *Analyzer {
+	return &Analyzer{
+		Name:         name,
+		AllowKeyword: keyword,
+		FactTypes:    facts,
+		Run:          func(*Pass) (interface{}, error) { return nil, nil },
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name      string
+		analyzers []*Analyzer
+		wantErr   string
+	}{
+		{"ok distinct", []*Analyzer{mkAnalyzer("a", "ka"), mkAnalyzer("b", "kb")}, ""},
+		{"ok empty keywords", []*Analyzer{mkAnalyzer("a", ""), mkAnalyzer("b", "")}, ""},
+		{"empty name", []*Analyzer{mkAnalyzer("", "k")}, "empty name"},
+		{"duplicate name", []*Analyzer{mkAnalyzer("a", "x"), mkAnalyzer("a", "y")}, "duplicate analyzer name"},
+		{"no run", []*Analyzer{{Name: "a"}}, "has no Run"},
+		{"duplicate keyword", []*Analyzer{mkAnalyzer("a", "shared"), mkAnalyzer("b", "shared")}, `share allow keyword "shared"`},
+		{"bad fact type", []*Analyzer{mkAnalyzer("a", "", badFact{})}, "not a struct pointer"},
+		{"ok facts", []*Analyzer{mkAnalyzer("a", "", (*factA)(nil), (*factB)(nil))}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Validate(tc.analyzers)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestApplyEdits(t *testing.T) {
+	src := []byte("hello world")
+	got, err := ApplyEdits(src, []Edit{
+		{Start: 6, End: 11, New: []byte("edits")},
+		{Start: 0, End: 5, New: []byte("bye")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "bye edits" {
+		t.Fatalf("ApplyEdits = %q, want %q", got, "bye edits")
+	}
+
+	if _, err := ApplyEdits(src, []Edit{{Start: 0, End: 3, New: nil}, {Start: 2, End: 4, New: nil}}); err == nil {
+		t.Fatal("overlapping edits: want error")
+	}
+	if _, err := ApplyEdits(src, []Edit{{Start: 5, End: 99, New: nil}}); err == nil {
+		t.Fatal("out-of-range edit: want error")
+	}
+
+	// Pure insertion at one point applies once and in order.
+	got, err = ApplyEdits([]byte("ab"), []Edit{{Start: 1, End: 1, New: []byte("X")}})
+	if err != nil || string(got) != "aXb" {
+		t.Fatalf("insertion = %q, %v", got, err)
+	}
+}
+
+// typecheck compiles one synthetic package for object-key tests.
+func typecheck(t *testing.T, src string) *types.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := new(types.Config).Check("example/p", fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+func TestObjectKey(t *testing.T) {
+	pkg := typecheck(t, `package p
+type T struct{ F int }
+func (t *T) M() {}
+func (t T) V() {}
+func F() {}
+var X int
+`)
+	lookup := func(name string) types.Object { return pkg.Scope().Lookup(name) }
+	if got := ObjectKey(lookup("F")); got != "F" {
+		t.Errorf("func key = %q, want F", got)
+	}
+	if got := ObjectKey(lookup("X")); got != "X" {
+		t.Errorf("var key = %q, want X", got)
+	}
+	named := lookup("T").Type().(*types.Named)
+	for i := 0; i < named.NumMethods(); i++ {
+		m := named.Method(i)
+		want := "T." + m.Name()
+		if got := ObjectKey(m); got != want {
+			t.Errorf("method key = %q, want %q", got, want)
+		}
+	}
+	// A struct field is not package-level: no key.
+	field := named.Underlying().(*types.Struct).Field(0)
+	if got := ObjectKey(field); got != "" {
+		t.Errorf("field key = %q, want empty", got)
+	}
+	if got := ObjectKey(nil); got != "" {
+		t.Errorf("nil key = %q, want empty", got)
+	}
+}
+
+func TestFactStoreRoundTrip(t *testing.T) {
+	a1 := mkAnalyzer("alpha", "", (*factA)(nil))
+	a2 := mkAnalyzer("beta", "", (*factB)(nil))
+	s := NewFactStore(a1, a2)
+	if err := s.set("alpha", "pkg/x", "F", &factA{N: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.set("alpha", "pkg/x", "", &factA{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.set("beta", "pkg/y", "T.M", &factB{S: "hi"}); err != nil {
+		t.Fatal(err)
+	}
+	// Unregistered fact types are rejected at set time.
+	if err := s.set("alpha", "pkg/x", "G", &factB{}); err == nil {
+		t.Fatal("set with undeclared fact type: want error")
+	}
+
+	enc, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(enc) != string(enc2) {
+		t.Fatal("Encode is not deterministic")
+	}
+
+	dst := NewFactStore(a1, a2)
+	if err := dst.Decode(enc); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Len() != 3 {
+		t.Fatalf("decoded %d facts, want 3", dst.Len())
+	}
+	var fa factA
+	if !dst.get("alpha", "pkg/x", "F", &fa) || fa.N != 7 {
+		t.Fatalf("object fact round-trip: got %+v, found=%v", fa, dst.get("alpha", "pkg/x", "F", &fa))
+	}
+	if !dst.get("alpha", "pkg/x", "", &fa) || fa.N != 1 {
+		t.Fatalf("package fact round-trip: got %+v", fa)
+	}
+	var fb factB
+	if !dst.get("beta", "pkg/y", "T.M", &fb) || fb.S != "hi" {
+		t.Fatalf("method fact round-trip: got %+v", fb)
+	}
+	// Wrong concrete type at get: not found, dst untouched.
+	if dst.get("alpha", "pkg/x", "F", &fb) {
+		t.Fatal("get with mismatched type: want not found")
+	}
+
+	// A store that does not know beta's fact type skips those records.
+	partial := NewFactStore(a1)
+	if err := partial.Decode(enc); err != nil {
+		t.Fatal(err)
+	}
+	if partial.Len() != 2 {
+		t.Fatalf("partial decode kept %d facts, want 2", partial.Len())
+	}
+
+	// Garbage degrades to an error from Decode, not a panic.
+	if err := dst.Decode([]byte("not json")); err == nil {
+		t.Fatal("Decode(garbage): want error")
+	}
+}
+
+// TestFactStoreCopies pins the isolation contract: mutating a fact after
+// set (or the returned copy after get) must not leak into the store.
+func TestFactStoreCopies(t *testing.T) {
+	a := mkAnalyzer("alpha", "", (*factA)(nil))
+	s := NewFactStore(a)
+	f := &factA{N: 1}
+	if err := s.set("alpha", "p", "F", f); err != nil {
+		t.Fatal(err)
+	}
+	f.N = 99
+	var out factA
+	if !s.get("alpha", "p", "F", &out) || out.N != 1 {
+		t.Fatalf("store leaked caller mutation: got %+v", out)
+	}
+	out.N = 42
+	var again factA
+	if !s.get("alpha", "p", "F", &again) || again.N != 1 {
+		t.Fatalf("store leaked get-copy mutation: got %+v", again)
+	}
+}

@@ -12,6 +12,12 @@
 // matching diagnostic) fail the test. Fixture packages are type-checked
 // from source with GOPATH pointed at testdata, so fixtures may import both
 // sibling fixture packages and the standard library.
+//
+// Sibling fixture imports resolve through a shared loader that analyzes
+// the dependency first, so facts exported by the analyzer's run over the
+// imported package are visible when the importing package is analyzed —
+// the in-process mirror of the unitchecker's .vetx fact flow. Naming both
+// packages in one Run checks diagnostics in both directions.
 package analysistest
 
 import (
@@ -33,62 +39,201 @@ import (
 )
 
 // Run applies the analyzer to each fixture package (an import path under
-// testdata/src) and reports expectation mismatches through t.
+// testdata/src) and reports expectation mismatches through t. Dependencies
+// between fixture packages are analyzed in import order with a fact store
+// shared across the whole run.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	ld, restore := newLoader(t, testdata, a)
+	defer restore()
+	for _, pkgPath := range pkgPaths {
+		lp := ld.load(pkgPath)
+		checkExpectations(t, a, ld.fset, lp.files, lp.diags, pkgPath)
+	}
+}
+
+// RunFixes applies every suggested fix the analyzer reports on the fixture
+// package and compares each changed file against a sibling <name>.golden
+// file. Files the fixes leave untouched need no golden.
+func RunFixes(t *testing.T, testdata string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	ld, restore := newLoader(t, testdata, a)
+	defer restore()
+	lp := ld.load(pkgPath)
+
+	byFile := map[string][]analysis.Edit{}
+	for _, d := range lp.diags {
+		if len(d.SuggestedFixes) == 0 {
+			continue
+		}
+		// Like the -fix driver, apply the first fix of each diagnostic.
+		for _, te := range d.SuggestedFixes[0].TextEdits {
+			posn := ld.fset.Position(te.Pos)
+			end := ld.fset.Position(te.End)
+			byFile[posn.Filename] = append(byFile[posn.Filename], analysis.Edit{
+				Start: posn.Offset, End: end.Offset, New: te.NewText,
+			})
+		}
+	}
+	if len(byFile) == 0 {
+		t.Errorf("%s [%s]: no suggested fixes reported", pkgPath, a.Name)
+		return
+	}
+	names := make([]string, 0, len(byFile))
+	for name := range byFile {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		fixed, err := analysis.ApplyEdits(src, dedupeEdits(byFile[name]))
+		if err != nil {
+			t.Errorf("%s [%s]: %v", pkgPath, a.Name, err)
+			continue
+		}
+		golden, err := os.ReadFile(name + ".golden")
+		if err != nil {
+			t.Errorf("%s [%s]: fixes changed %s but no golden: %v", pkgPath, a.Name, name, err)
+			continue
+		}
+		if string(fixed) != string(golden) {
+			t.Errorf("%s [%s]: fixed %s does not match %s.golden:\n-- got --\n%s", pkgPath, a.Name, name, name, fixed)
+		}
+	}
+}
+
+// dedupeEdits drops exact duplicates: two diagnostics in one file may both
+// carry the same import-insertion edit, which must apply once.
+func dedupeEdits(edits []analysis.Edit) []analysis.Edit {
+	seen := map[string]bool{}
+	var out []analysis.Edit
+	for _, e := range edits {
+		k := fmt.Sprintf("%d:%d:%s", e.Start, e.End, e.New)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, e)
+	}
+	return out
+}
+
+// loader type-checks fixture packages with one shared FileSet, importer and
+// fact store, analyzing each package exactly once in dependency order.
+type loader struct {
+	t        *testing.T
+	testdata string
+	fset     *token.FileSet
+	analyzer *analysis.Analyzer
+	std      types.Importer
+	facts    *analysis.FactStore
+	pkgs     map[string]*loadedPkg
+	loading  map[string]bool // cycle detection
+}
+
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	diags []analysis.Diagnostic
+}
+
+// newLoader builds a loader and points go/build's default context (and the
+// process environment the source importer consults) at the fixture tree;
+// the returned restore func undoes both.
+func newLoader(t *testing.T, testdata string, a *analysis.Analyzer) (*loader, func()) {
 	t.Helper()
 	abs, err := filepath.Abs(testdata)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The source importer resolves through go/build's default context;
-	// point it at the fixture tree for the duration of the run.
 	oldGOPATH := build.Default.GOPATH
 	build.Default.GOPATH = abs
-	defer func() { build.Default.GOPATH = oldGOPATH }()
+	var undo []func()
+	undo = append(undo, func() { build.Default.GOPATH = oldGOPATH })
 	// Fixture imports resolve GOPATH-style; without this, go/build defers
 	// to the module-aware `go list`, which cannot see testdata/src.
 	for k, v := range map[string]string{"GOPATH": abs, "GO111MODULE": "off"} {
 		old, had := os.LookupEnv(k)
 		os.Setenv(k, v)
 		k, old, had := k, old, had
-		defer func() {
+		undo = append(undo, func() {
 			if had {
 				os.Setenv(k, old)
 			} else {
 				os.Unsetenv(k)
 			}
-		}()
+		})
 	}
-
-	for _, pkgPath := range pkgPaths {
-		runOne(t, abs, a, pkgPath)
+	fset := token.NewFileSet()
+	ld := &loader{
+		t:        t,
+		testdata: abs,
+		fset:     fset,
+		analyzer: a,
+		std:      importer.ForCompiler(fset, "source", nil),
+		facts:    analysis.NewFactStore(a),
+		pkgs:     map[string]*loadedPkg{},
+		loading:  map[string]bool{},
+	}
+	return ld, func() {
+		for i := len(undo) - 1; i >= 0; i-- {
+			undo[i]()
+		}
 	}
 }
 
-func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkgPath string) {
-	t.Helper()
-	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgPath))
+// Import resolves an import encountered while type-checking a fixture:
+// sibling fixture packages load (and get analyzed) through the loader so
+// object identity and facts are shared; everything else falls through to
+// the standard source importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(ld.testdata, "src", filepath.FromSlash(path)); isDir(dir) {
+		return ld.load(path).pkg, nil
+	}
+	return ld.std.Import(path)
+}
+
+func isDir(p string) bool {
+	st, err := os.Stat(p)
+	return err == nil && st.IsDir()
+}
+
+// load parses, type-checks and analyzes one fixture package, memoized.
+func (ld *loader) load(pkgPath string) *loadedPkg {
+	ld.t.Helper()
+	if lp, ok := ld.pkgs[pkgPath]; ok {
+		return lp
+	}
+	if ld.loading[pkgPath] {
+		ld.t.Fatalf("%s: fixture import cycle through %q", ld.analyzer.Name, pkgPath)
+	}
+	ld.loading[pkgPath] = true
+	defer delete(ld.loading, pkgPath)
+
+	dir := filepath.Join(ld.testdata, "src", filepath.FromSlash(pkgPath))
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		t.Fatalf("%s: %v", a.Name, err)
+		ld.t.Fatalf("%s: %v", ld.analyzer.Name, err)
 	}
-	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 			continue
 		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
 		if err != nil {
-			t.Fatalf("%s: %v", a.Name, err)
+			ld.t.Fatalf("%s: %v", ld.analyzer.Name, err)
 		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		t.Fatalf("%s: no fixture files in %s", a.Name, dir)
+		ld.t.Fatalf("%s: no fixture files in %s", ld.analyzer.Name, dir)
 	}
 
-	tc := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tc := &types.Config{Importer: ld}
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Defs:       map[*ast.Ident]types.Object{},
@@ -98,16 +243,17 @@ func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkgPath string)
 		Scopes:     map[ast.Node]*types.Scope{},
 		Instances:  map[*ast.Ident]types.Instance{},
 	}
-	pkg, err := tc.Check(pkgPath, fset, files, info)
+	pkg, err := tc.Check(pkgPath, ld.fset, files, info)
 	if err != nil {
-		t.Fatalf("%s: typecheck %s: %v", a.Name, pkgPath, err)
+		ld.t.Fatalf("%s: typecheck %s: %v", ld.analyzer.Name, pkgPath, err)
 	}
-
-	diags, err := analysis.RunAnalyzer(a, fset, files, pkg, info)
+	diags, err := analysis.RunAnalyzer(ld.analyzer, ld.fset, files, pkg, info, ld.facts)
 	if err != nil {
-		t.Fatalf("%s: %v", a.Name, err)
+		ld.t.Fatalf("%s: %v", ld.analyzer.Name, err)
 	}
-	checkExpectations(t, a, fset, files, diags, pkgPath)
+	lp := &loadedPkg{pkg: pkg, files: files, diags: diags}
+	ld.pkgs[pkgPath] = lp
+	return lp
 }
 
 type lineKey struct {

@@ -10,3 +10,10 @@ import (
 func TestDetclock(t *testing.T) {
 	analysistest.Run(t, "../testdata", detclock.Analyzer, "rd", "webui")
 }
+
+// TestDetclockStaleAllowAcrossFiles pins the multi-file contract: a valid
+// allow in one file must not mask a bare diagnostic in another, and a
+// stale allow is reported no matter which file holds it.
+func TestDetclockStaleAllowAcrossFiles(t *testing.T) {
+	analysistest.Run(t, "../testdata", detclock.Analyzer, "fault")
+}

@@ -1,0 +1,42 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edit is one offset-addressed replacement inside a single file: the bytes
+// in [Start, End) are replaced by New. This is TextEdit after position
+// resolution — the form the -fix driver and analysistest golden tests share.
+type Edit struct {
+	Start, End int
+	New        []byte
+}
+
+// ApplyEdits returns src with the edits applied. Edits are sorted by start
+// offset; overlapping or out-of-range edits are an error — a driver must
+// not half-apply a fix.
+func ApplyEdits(src []byte, edits []Edit) ([]byte, error) {
+	es := append([]Edit(nil), edits...)
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Start != es[j].Start {
+			return es[i].Start < es[j].Start
+		}
+		return es[i].End < es[j].End
+	})
+	var out []byte
+	prev := 0
+	for _, e := range es {
+		if e.Start < 0 || e.End < e.Start || e.End > len(src) {
+			return nil, fmt.Errorf("analysis: edit [%d,%d) out of range (len %d)", e.Start, e.End, len(src))
+		}
+		if e.Start < prev {
+			return nil, fmt.Errorf("analysis: overlapping edits at offset %d", e.Start)
+		}
+		out = append(out, src[prev:e.Start]...)
+		out = append(out, e.New...)
+		prev = e.End
+	}
+	out = append(out, src[prev:]...)
+	return out, nil
+}

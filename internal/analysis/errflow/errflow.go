@@ -1,0 +1,367 @@
+// Package errflow enforces the error-identity discipline around wrapped
+// sentinels. The simulator's recovery paths hinge on sentinel tests —
+// spot.ErrExhausted decides whether an arbiter retries or re-plans — and
+// spot wraps that sentinel with %w to attach the pool mix. A downstream
+// `err == spot.ErrExhausted` compiles, passes the happy-path tests, and
+// silently stops matching the moment the producer wraps: the recovery
+// policy then treats "pool empty" as an unknown fault. The analyzer closes
+// both ends of the contract:
+//
+//   - comparisons: a sentinel that is wrapped anywhere (its own package
+//     exports a WrappedSentinel fact; importers learn it from the fact
+//     store) must be tested with errors.Is, never == or !=. A suggested
+//     fix rewrites the comparison and adds the errors import.
+//   - wrapping: a fmt.Errorf that forwards a sentinel must use %w — %v/%s
+//     strip the identity the comparisons depend on.
+//
+// Knowledge flows cross-package as facts in both directions: the defining
+// package publishes which sentinels get wrapped and which exported
+// functions return wrapped chains; consuming packages import those facts
+// to judge their comparisons.
+package errflow
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"heterohpc/internal/analysis"
+)
+
+// WrappedSentinel marks a package-level sentinel error variable that its
+// defining package wraps with %w: comparing it by identity is unsound
+// everywhere.
+type WrappedSentinel struct{}
+
+// AFact marks WrappedSentinel as an analysis fact.
+func (*WrappedSentinel) AFact() {}
+
+// ReturnsWrapped marks an exported function or method that can return a
+// %w-wrapped error chain, so identity comparisons against its result are
+// unsound even when the sentinel side looks pristine.
+type ReturnsWrapped struct{}
+
+// AFact marks ReturnsWrapped as an analysis fact.
+func (*ReturnsWrapped) AFact() {}
+
+// Analyzer is the errflow checker.
+var Analyzer = &analysis.Analyzer{
+	Name:         "errflow",
+	AllowKeyword: "errflow",
+	FactTypes:    []analysis.Fact{(*WrappedSentinel)(nil), (*ReturnsWrapped)(nil)},
+	Doc: `require errors.Is for wrapped sentinels and %w when forwarding them
+
+Sentinel error vars (package-level Err*) that any package wraps with %w
+must be tested with errors.Is: == and != stop matching wrapped chains.
+fmt.Errorf calls that forward a sentinel must wrap with %w so errors.Is
+keeps working downstream. Wrap knowledge crosses packages as facts.
+Deliberate identity tests carry //heterolint:allow errflow <why>.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	var files []*ast.File
+	for _, f := range pass.Files {
+		if !analysis.IsTestFile(pass.Fset, f.Pos()) {
+			files = append(files, f)
+		}
+	}
+
+	// wrapped accumulates sentinels known to be wrapped: found locally in
+	// this package's fmt.Errorf("%w") calls, or imported as facts.
+	wrapped := map[types.Object]bool{}
+	// Pass 1: find every wrapping fmt.Errorf; record wrapped sentinels and
+	// the functions that wrap (seed of the returns-wrapped fixpoint).
+	wrapsLocally := map[*types.Func]bool{}
+	decls := map[*types.Func]*ast.FuncDecl{}
+	var order []*types.Func
+	for _, f := range files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[obj] = fn
+			order = append(order, obj)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				format, ok := errorfFormat(pass, call)
+				if !ok {
+					return true
+				}
+				hasW := strings.Contains(format, "%w")
+				if hasW {
+					wrapsLocally[obj] = true
+				}
+				for _, arg := range call.Args[1:] {
+					s := sentinelObj(pass, arg)
+					if s == nil {
+						continue
+					}
+					if hasW {
+						wrapped[s] = true
+					} else {
+						pass.Reportf(call.Pos(),
+							"fmt.Errorf forwards sentinel %s without %%w; the wrap strips the identity errors.Is needs",
+							s.Name())
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Export WrappedSentinel for own-package sentinels (only the defining
+	// package may attach facts to an object).
+	for s := range wrapped {
+		if s.Pkg() == pass.Pkg && analysis.ObjectKey(s) != "" {
+			pass.ExportObjectFact(s, &WrappedSentinel{})
+		}
+	}
+
+	// Returns-wrapped fixpoint: a function wraps if it calls fmt.Errorf
+	// with %w, or calls a function already known (locally or by fact) to
+	// return a wrapped chain.
+	for changed := true; changed; {
+		changed = false
+		for _, obj := range order {
+			if wrapsLocally[obj] {
+				continue
+			}
+			if callsWrapping(pass, decls[obj].Body, wrapsLocally) {
+				wrapsLocally[obj] = true
+				changed = true
+			}
+		}
+	}
+	for _, obj := range order {
+		if wrapsLocally[obj] && obj.Exported() && analysis.ObjectKey(obj) != "" {
+			pass.ExportObjectFact(obj, &ReturnsWrapped{})
+		}
+	}
+
+	// Pass 2: identity comparisons.
+	isWrapped := func(s types.Object) bool {
+		if wrapped[s] {
+			return true
+		}
+		var fact WrappedSentinel
+		return pass.ImportObjectFact(s, &fact)
+	}
+	returnsWrapped := func(e ast.Expr) bool {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		var callee types.Object
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			callee = pass.TypesInfo.Uses[fun]
+		case *ast.SelectorExpr:
+			callee = pass.TypesInfo.Uses[fun.Sel]
+		}
+		f, ok := callee.(*types.Func)
+		if !ok {
+			return false
+		}
+		if wrapsLocally[f] {
+			return true
+		}
+		var fact ReturnsWrapped
+		return pass.ImportObjectFact(f, &fact)
+	}
+	for _, f := range files {
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			// One side must name a sentinel; nil comparisons are fine.
+			s := sentinelObj(pass, be.X)
+			other := be.Y
+			if s == nil {
+				s = sentinelObj(pass, be.Y)
+				other = be.X
+			}
+			if s == nil {
+				return true
+			}
+			if !isWrapped(s) && !returnsWrapped(other) {
+				return true
+			}
+			d := analysis.Diagnostic{
+				Pos: be.Pos(),
+				Message: "sentinel " + s.Name() + " may arrive wrapped; " +
+					map[token.Token]string{token.EQL: "== misses wrapped chains, use errors.Is", token.NEQ: "!= misses wrapped chains, use !errors.Is"}[be.Op],
+			}
+			if fix, ok := errorsIsFix(pass, file, be); ok {
+				d.SuggestedFixes = []analysis.SuggestedFix{fix}
+			}
+			pass.Report(d)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// errorfFormat returns the constant format string of a fmt.Errorf call.
+func errorfFormat(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return "", false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" {
+		return "", false
+	}
+	if len(call.Args) < 2 {
+		return "", false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// sentinelObj resolves e to a package-level sentinel error variable (name
+// Err*, type implementing error), local or imported.
+func sentinelObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() == nil || !strings.HasPrefix(obj.Name(), "Err") {
+		return nil
+	}
+	if obj.Parent() != obj.Pkg().Scope() {
+		return nil
+	}
+	if !isErrorType(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+func isErrorType(t types.Type) bool {
+	errType, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(t, errType)
+}
+
+// callsWrapping reports whether body calls a function already known to
+// return wrapped chains — locally via the fixpoint map, or cross-package
+// via a ReturnsWrapped fact.
+func callsWrapping(pass *analysis.Pass, body *ast.BlockStmt, local map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var callee types.Object
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			callee = pass.TypesInfo.Uses[fun]
+		case *ast.SelectorExpr:
+			callee = pass.TypesInfo.Uses[fun.Sel]
+		}
+		f, ok := callee.(*types.Func)
+		if !ok {
+			return true
+		}
+		if local[f] {
+			found = true
+			return false
+		}
+		if f.Pkg() != nil && f.Pkg() != pass.Pkg {
+			var fact ReturnsWrapped
+			if pass.ImportObjectFact(f, &fact) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// errorsIsFix builds the rewrite `x == S` -> `errors.Is(x, S)` (and the
+// negated form for !=), adding an errors import when the file lacks one.
+func errorsIsFix(pass *analysis.Pass, file *ast.File, be *ast.BinaryExpr) (analysis.SuggestedFix, bool) {
+	x, okX := exprText(pass.Fset, be.X)
+	y, okY := exprText(pass.Fset, be.Y)
+	if !okX || !okY {
+		return analysis.SuggestedFix{}, false
+	}
+	// Keep operand order: errors.Is(err, Sentinel) reads naturally when the
+	// error is on the left, and swapping operands never changes the result.
+	neg := ""
+	if be.Op == token.NEQ {
+		neg = "!"
+	}
+	fix := analysis.SuggestedFix{
+		Message: "replace identity test with errors.Is",
+		TextEdits: []analysis.TextEdit{{
+			Pos: be.Pos(), End: be.End(),
+			NewText: []byte(neg + "errors.Is(" + x + ", " + y + ")"),
+		}},
+	}
+	if edit, needed := importErrorsEdit(file); needed {
+		fix.TextEdits = append(fix.TextEdits, edit)
+	}
+	return fix, true
+}
+
+func exprText(fset *token.FileSet, e ast.Expr) (string, bool) {
+	var sb strings.Builder
+	if err := printer.Fprint(&sb, fset, e); err != nil {
+		return "", false
+	}
+	return sb.String(), true
+}
+
+// importErrorsEdit returns the insertion that adds `"errors"` to the
+// file's imports, or needed=false if it is already imported.
+func importErrorsEdit(file *ast.File) (analysis.TextEdit, bool) {
+	for _, imp := range file.Imports {
+		if imp.Path.Value == `"errors"` {
+			return analysis.TextEdit{}, false
+		}
+	}
+	for _, d := range file.Decls {
+		gd, ok := d.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		if gd.Lparen.IsValid() {
+			// Inside the block, first position: "errors" sorts early and
+			// gofmt accepts leading placement.
+			return analysis.TextEdit{Pos: gd.Lparen + 1, End: gd.Lparen + 1, NewText: []byte("\n\t\"errors\"")}, true
+		}
+		return analysis.TextEdit{Pos: gd.Pos(), End: gd.Pos(), NewText: []byte("import \"errors\"\n")}, true
+	}
+	return analysis.TextEdit{Pos: file.Name.End(), End: file.Name.End(), NewText: []byte("\n\nimport \"errors\"")}, true
+}

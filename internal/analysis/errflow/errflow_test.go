@@ -1,0 +1,26 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"heterohpc/internal/analysis/analysistest"
+	"heterohpc/internal/analysis/errflow"
+)
+
+// TestErrflow checks both sides of the fact boundary: errs exports the
+// WrappedSentinel/ReturnsWrapped facts while being diagnosed itself, and
+// errsuser's findings exist only because those facts flowed across.
+func TestErrflow(t *testing.T) {
+	analysistest.Run(t, "../testdata", errflow.Analyzer, "errs", "errsuser")
+}
+
+// TestErrflowConsumerFirst loads the consumer before naming the producer:
+// the loader must analyze the imported package on demand so the facts are
+// present either way.
+func TestErrflowConsumerFirst(t *testing.T) {
+	analysistest.Run(t, "../testdata", errflow.Analyzer, "errsuser")
+}
+
+func TestErrflowFixes(t *testing.T) {
+	analysistest.RunFixes(t, "../testdata", errflow.Analyzer, "errsfix")
+}

@@ -1,0 +1,16 @@
+package obskind_test
+
+import (
+	"testing"
+
+	"heterohpc/internal/analysis/analysistest"
+	"heterohpc/internal/analysis/obskind"
+)
+
+func TestObskind(t *testing.T) {
+	analysistest.Run(t, "../testdata", obskind.Analyzer, "obs", "obsuser")
+}
+
+func TestObskindFixes(t *testing.T) {
+	analysistest.RunFixes(t, "../testdata", obskind.Analyzer, "obs")
+}

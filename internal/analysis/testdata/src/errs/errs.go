@@ -1,0 +1,45 @@
+// Package errs is the errflow defining-side fixture: it wraps one sentinel
+// with %w (which exports the WrappedSentinel fact and makes Acquire a
+// ReturnsWrapped producer) and leaves another sentinel pristine.
+package errs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrExhausted is wrapped by Acquire: identity tests on it are unsound.
+var ErrExhausted = errors.New("exhausted")
+
+// ErrClosed is never wrapped: identity tests on it stay legal.
+var ErrClosed = errors.New("closed")
+
+// Acquire wraps the sentinel with %w.
+func Acquire(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("acquire %d: %w", n, ErrExhausted)
+	}
+	return nil
+}
+
+// AcquireAll returns wrapped chains transitively through Acquire.
+func AcquireAll() error { return Acquire(0) }
+
+// LocalCompare trips over the package's own wrapped sentinel.
+func LocalCompare(err error) bool {
+	return err == ErrExhausted // want `sentinel ErrExhausted may arrive wrapped; == misses wrapped chains, use errors.Is`
+}
+
+// PlainCompare is fine: ErrClosed is never wrapped anywhere.
+func PlainCompare(err error) bool { return err == ErrClosed }
+
+// NilCompare is always fine.
+func NilCompare(err error) bool { return err == nil }
+
+// Stringify forwards the sentinel but strips its identity.
+func Stringify() error {
+	return fmt.Errorf("ctx: %v", ErrExhausted) // want `fmt.Errorf forwards sentinel ErrExhausted without %w; the wrap strips the identity errors.Is needs`
+}
+
+// IsCompare is the sanctioned test.
+func IsCompare(err error) bool { return errors.Is(err, ErrExhausted) }

@@ -1,0 +1,24 @@
+// Package errsfix is the errflow autofix fixture: the suggested rewrites
+// applied to this file must reproduce errsfix.go.golden byte for byte,
+// including the errors import the fix inserts.
+package errsfix
+
+import (
+	"fmt"
+)
+
+// ErrGone is wrapped below, so identity tests on it get the rewrite.
+var ErrGone = fmt.Errorf("gone")
+
+// Wrap makes ErrGone a wrapped sentinel.
+func Wrap() error { return fmt.Errorf("op: %w", ErrGone) }
+
+// Check gets rewritten to errors.Is.
+func Check(err error) bool {
+	return err == ErrGone // want `sentinel ErrGone may arrive wrapped; == misses wrapped chains, use errors.Is`
+}
+
+// CheckNot gets the negated rewrite.
+func CheckNot(err error) bool {
+	return err != ErrGone // want `sentinel ErrGone may arrive wrapped; != misses wrapped chains, use !errors.Is`
+}

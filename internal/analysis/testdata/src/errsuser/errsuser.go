@@ -1,0 +1,46 @@
+// Package errsuser is the errflow consuming-side fixture: every finding
+// here depends on facts imported from the errs package — the wrap that
+// poisons identity tests happens entirely on the other side of the
+// package boundary.
+package errsuser
+
+import (
+	"errors"
+	"fmt"
+
+	"errs"
+)
+
+// FactCompare is unsound only because errs wraps the sentinel (fact flow).
+func FactCompare(err error) bool {
+	return err == errs.ErrExhausted // want `sentinel ErrExhausted may arrive wrapped; == misses wrapped chains, use errors.Is`
+}
+
+// FactCompareNeq gets the negated rewrite.
+func FactCompareNeq(err error) bool {
+	return err != errs.ErrExhausted // want `sentinel ErrExhausted may arrive wrapped; != misses wrapped chains, use !errors.Is`
+}
+
+// CallCompare: the sentinel side is pristine, but the other operand is a
+// call into a function that returns wrapped chains (ReturnsWrapped fact).
+func CallCompare() bool {
+	return errs.AcquireAll() == errs.ErrClosed // want `sentinel ErrClosed may arrive wrapped; == misses wrapped chains, use errors.Is`
+}
+
+// PlainCompare stays legal: ErrClosed is unwrapped and the operand is a
+// plain error value.
+func PlainCompare(err error) bool { return err == errs.ErrClosed }
+
+// IsCompare is the sanctioned form.
+func IsCompare(err error) bool { return errors.Is(err, errs.ErrExhausted) }
+
+// UserStringify forwards an imported sentinel without %w.
+func UserStringify() error {
+	return fmt.Errorf("op: %v", errs.ErrExhausted) // want `fmt.Errorf forwards sentinel ErrExhausted without %w`
+}
+
+// Allowed documents a deliberate identity probe.
+func Allowed(err error) bool {
+	//heterolint:allow errflow bring-up probe against an unwrapped producer build
+	return err == errs.ErrExhausted
+}

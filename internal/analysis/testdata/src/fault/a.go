@@ -1,0 +1,12 @@
+// Package fault is the detclock multi-file fixture: allow annotations and
+// the diagnostics they suppress live in different files of one package, so
+// stale-annotation detection must see the whole fileset at once.
+package fault
+
+import "time"
+
+// Seeded reads the wall clock deliberately, excused in this file.
+func Seeded() int64 {
+	//heterolint:allow wallclock one-off setup stamp outside the replayed region
+	return time.Now().UnixNano()
+}

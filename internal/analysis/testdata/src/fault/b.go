@@ -1,0 +1,14 @@
+package fault
+
+import "time"
+
+// Hot reads the clock without an annotation: flagged even though file a.go
+// contains a valid allow for the same keyword.
+func Hot() time.Time {
+	return time.Now() // want `wall-clock read time\.Now in simulation-deterministic package "fault"`
+}
+
+// Quiet trips nothing, so the annotation above it is stale.
+//
+//heterolint:allow wallclock leftover from a removed probe // want `unused //heterolint:allow wallclock annotation`
+func Quiet() int { return 1 }

@@ -31,3 +31,21 @@ func RawNorm(x []float64) float64 { // want `exported RawNorm loops over float64
 	}
 	return s
 }
+
+// TwoStage loops floats and is charged only through the imported fact:
+// AxpyMetered's internal meter charge is invisible syntactically, no
+// Charger value crosses this call.
+func TwoStage(n int, x, y []float64) {
+	for i := 0; i < n; i++ {
+		y[i] -= x[i]
+	}
+	sparse.AxpyMetered(n, 2, x, y)
+}
+
+// ApplyCSR is charged through a cross-package method fact.
+func ApplyCSR(m *sparse.CSR, x, y []float64) {
+	for i := range y {
+		y[i] *= 0.5
+	}
+	m.MulVec(x, y)
+}

@@ -1,0 +1,73 @@
+// Package obs is the obskind fixture: a miniature journal with the same
+// Event shape and nil-safe API contract the real observability layer uses.
+package obs
+
+// Event is one journal record; field order is the journal's column order.
+type Event struct {
+	T    float64
+	Rank int
+	Kind string
+	Name string
+	I1   int64
+	F1   float64
+}
+
+// Sink collects events; nil and the zero value are both usable.
+type Sink struct{ events []Event }
+
+// Emit appends one record; nil-safe like the real API.
+func (s *Sink) Emit(e Event) {
+	if s == nil {
+		return
+	}
+	s.events = append(s.events, e)
+}
+
+// Len is nil-safe through a compound guard.
+func (s *Sink) Len() int {
+	if s == nil || len(s.events) == 0 {
+		return 0
+	}
+	return len(s.events)
+}
+
+// Reset forgets the guard the API contract requires.
+func (s *Sink) Reset() { // want `exported obs method Reset has a pointer receiver but no leading nil guard`
+	s.events = nil
+}
+
+// Snapshot has a value receiver: a nil pointer cannot reach it.
+func (s Sink) Snapshot() int { return len(s.events) }
+
+// clear is unexported: internal callers already hold a non-nil receiver.
+func (s *Sink) clear() { s.events = nil }
+
+// EmitStep writes the "step" record in declared order.
+func EmitStep(s *Sink, t float64, step int64) {
+	s.Emit(Event{T: t, Kind: "step", I1: step})
+}
+
+// EmitJumbled lists fields out of declared order.
+func EmitJumbled(s *Sink, t float64) {
+	s.Emit(Event{Kind: "jumbled", T: t, Name: "x"}) // want `obs\.Event fields out of declared order`
+}
+
+// EmitStepAgain reuses another writer's kind.
+func EmitStepAgain(s *Sink, t float64) {
+	s.Emit(Event{T: t, Kind: "step"}) // want `journal kind "step" is already emitted by EmitStep`
+}
+
+// EmitPhase emits its kind from two branches: same writer, no finding.
+func EmitPhase(s *Sink, t float64, up bool) {
+	if up {
+		s.Emit(Event{T: t, Kind: "phase", Name: "up"})
+	} else {
+		s.Emit(Event{T: t, Kind: "phase", Name: "down"})
+	}
+}
+
+// AllowedMirror documents a sanctioned duplicate writer.
+func AllowedMirror(s *Sink, t float64) {
+	//heterolint:allow obskind replay mirror re-emits the original record
+	s.Emit(Event{T: t, Kind: "step"})
+}

@@ -1,0 +1,21 @@
+// Package obsuser is the consumer-side obskind fixture: journal records
+// must flow through the obs helpers, not raw Event literals.
+package obsuser
+
+import "obs"
+
+// Record builds a raw event outside obs.
+func Record(s *obs.Sink, t float64) {
+	s.Emit(obs.Event{T: t, Kind: "user"}) // want `raw obs\.Event literal outside package obs`
+}
+
+// Delegate uses the sanctioned helpers.
+func Delegate(s *obs.Sink, t float64) {
+	obs.EmitStep(s, t, 1)
+}
+
+// AllowedRaw documents a sanctioned literal.
+func AllowedRaw(s *obs.Sink, t float64) {
+	//heterolint:allow obskind bootstrap record predates the helper API
+	s.Emit(obs.Event{T: t, Kind: "boot"})
+}

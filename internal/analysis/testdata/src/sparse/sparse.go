@@ -94,3 +94,61 @@ func sumsq(x []float64) float64 {
 	}
 	return s
 }
+
+// Meter is the package-level charge sink for self-metered kernels.
+var Meter Charger = NopCharger{}
+
+// AxpyMetered charges the package meter itself: no Charger crosses the
+// call boundary, so downstream packages see the charge only through the
+// exported ChargesFact.
+func AxpyMetered(n int, a float64, x, y []float64) {
+	for i := 0; i < n; i++ {
+		y[i] += a * x[i]
+	}
+	Meter.ChargeCompute(2*float64(n), 24*float64(n))
+}
+
+// CSR is a matrix whose multiply self-meters (method-fact case).
+type CSR struct{ N int }
+
+// MulVec charges through the package meter.
+func (m *CSR) MulVec(x, y []float64) {
+	for i := range y {
+		y[i] += x[i] * 2
+	}
+	Meter.ChargeCompute(float64(2*m.N), float64(12*m.N))
+}
+
+// NewCSR assembles the structure; constructors are setup-time and exempt
+// even though assembly loops over float data.
+func NewCSR(vals []float64) *CSR {
+	var checksum float64
+	for _, v := range vals {
+		checksum += v
+	}
+	_ = checksum
+	return &CSR{N: len(vals)}
+}
+
+// NewWeights is named New* but returns no pointer to a local type: the
+// constructor exemption does not apply.
+func NewWeights(n int) []float64 { // want `exported NewWeights loops over float64 data with no reachable compute charge`
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = float64(i) * 0.5
+	}
+	return w
+}
+
+// NewScaled demonstrates a stale annotation: the constructor exemption
+// already covers it, so the allow suppresses nothing.
+//
+//heterolint:allow vcharge setup-time assembly loop // want `unused //heterolint:allow vcharge annotation`
+func NewScaled(vals []float64) *CSR {
+	var sum float64
+	for _, v := range vals {
+		sum += v * v
+	}
+	_ = sum
+	return &CSR{N: len(vals)}
+}

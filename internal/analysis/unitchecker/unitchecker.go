@@ -5,7 +5,16 @@
 // import map, and the export-data file for every dependency (already built
 // by cmd/go). The tool parses and type-checks the unit with go/importer
 // reading that export data, runs the analyzers, prints diagnostics, and
-// writes the (empty — heterolint is fact-free) .vetx output cmd/go caches.
+// writes the .vetx output cmd/go caches.
+//
+// Since heterolint v2 the .vetx files carry serialized analyzer facts:
+// each unit decodes the fact closure from its dependencies' .vetx files,
+// runs the analyzers with those facts visible, and re-encodes the merged
+// closure (inherited facts plus the unit's own exports) into its VetxOutput
+// — cmd/go hands every unit only its direct dependencies' files, so the
+// closure must ride along. Dependency units outside the requested patterns
+// arrive with VetxOnly set; for those only the fact-producing analyzers
+// run and their diagnostics are discarded.
 //
 // The protocol surface:
 //
@@ -32,6 +41,11 @@ import (
 
 	"heterohpc/internal/analysis"
 )
+
+// vetxHeader introduces the facts section of a .vetx file. Files with any
+// other first line (including PR-4's fact-free "heterolint\n" stamp) are
+// treated as carrying no facts.
+const vetxHeader = "heterolint.facts/v1"
 
 // Config is the JSON unit description cmd/go writes to <objdir>/vet.cfg.
 // Field names and meanings follow cmd/go/internal/work; unknown fields are
@@ -64,7 +78,7 @@ func Main(analyzers ...*analysis.Analyzer) {
 		log.Fatal(err)
 	}
 
-	jsonOut := false
+	jsonOut := os.Getenv("HETEROLINT_JSON") == "1"
 	var cfgFile string
 	for _, arg := range os.Args[1:] {
 		switch {
@@ -94,18 +108,18 @@ func Main(analyzers ...*analysis.Analyzer) {
 		usage(progname, analyzers)
 		os.Exit(1)
 	}
-	diags, err := Run(cfgFile, analyzers)
+	res, err := Run(cfgFile, analyzers)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if jsonOut {
-		printJSON(os.Stdout, diags)
+		printJSON(os.Stdout, res)
 		os.Exit(0)
 	}
-	for _, d := range diags {
+	for _, d := range res.Diagnostics {
 		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.Posn, d.Message, d.Analyzer)
 	}
-	if len(diags) > 0 {
+	if len(res.Diagnostics) > 0 {
 		os.Exit(2)
 	}
 	os.Exit(0)
@@ -130,7 +144,8 @@ func printVersion(progname string) {
 
 func usage(progname string, analyzers []*analysis.Analyzer) {
 	fmt.Fprintf(os.Stderr, "%s: machine-checks heterohpc's determinism, pooling and clock-charging invariants\n\n", progname)
-	fmt.Fprintf(os.Stderr, "usage: go vet -vettool=$(command -v %s) ./...\n\nanalyzers:\n", progname)
+	fmt.Fprintf(os.Stderr, "usage: go vet -vettool=$(command -v %s) ./...\n", progname)
+	fmt.Fprintf(os.Stderr, "       %s -fix [-write] ./...   preview (or apply) suggested fixes\n\nanalyzers:\n", progname)
 	for _, a := range analyzers {
 		doc := a.Doc
 		if i := strings.IndexByte(doc, '\n'); i >= 0 {
@@ -140,17 +155,42 @@ func usage(progname string, analyzers []*analysis.Analyzer) {
 	}
 }
 
-// JSONDiagnostic is one finding in -json output.
-type JSONDiagnostic struct {
-	Analyzer string `json:"analyzer"`
-	Posn     string `json:"posn"`
-	Message  string `json:"message"`
+// Result is one unit's findings.
+type Result struct {
+	ImportPath  string
+	Diagnostics []JSONDiagnostic
 }
 
-func printJSON(w io.Writer, diags []JSONDiagnostic) {
-	tree := map[string][]JSONDiagnostic{}
-	for _, d := range diags {
-		tree[d.Analyzer] = append(tree[d.Analyzer], d)
+// JSONDiagnostic is one finding in -json output, following the upstream
+// unitchecker schema (posn string, optional suggested_fixes).
+type JSONDiagnostic struct {
+	Analyzer       string             `json:"-"`
+	Posn           string             `json:"posn"`
+	Message        string             `json:"message"`
+	SuggestedFixes []JSONSuggestedFix `json:"suggested_fixes,omitempty"`
+}
+
+// JSONSuggestedFix is one machine-applicable fix.
+type JSONSuggestedFix struct {
+	Message string         `json:"message"`
+	Edits   []JSONTextEdit `json:"edits"`
+}
+
+// JSONTextEdit addresses a replacement by file and byte offsets, the form
+// the -fix driver applies without re-parsing.
+type JSONTextEdit struct {
+	Filename string `json:"filename"`
+	Start    int    `json:"start"`
+	End      int    `json:"end"`
+	New      string `json:"new"`
+}
+
+// printJSON emits {"importpath": {"analyzer": [diags]}} like the upstream
+// unitchecker, so drivers can stream-decode `go vet -json` output.
+func printJSON(w io.Writer, res *Result) {
+	tree := map[string]map[string][]JSONDiagnostic{res.ImportPath: {}}
+	for _, d := range res.Diagnostics {
+		tree[res.ImportPath][d.Analyzer] = append(tree[res.ImportPath][d.Analyzer], d)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "\t")
@@ -158,7 +198,7 @@ func printJSON(w io.Writer, diags []JSONDiagnostic) {
 }
 
 // Run analyzes the unit described by cfgFile and returns its diagnostics.
-func Run(cfgFile string, analyzers []*analysis.Analyzer) ([]JSONDiagnostic, error) {
+func Run(cfgFile string, analyzers []*analysis.Analyzer) (*Result, error) {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
 		return nil, err
@@ -167,17 +207,42 @@ func Run(cfgFile string, analyzers []*analysis.Analyzer) ([]JSONDiagnostic, erro
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		return nil, fmt.Errorf("cannot decode vet config %s: %v", cfgFile, err)
 	}
+	res := &Result{ImportPath: cfg.ImportPath}
 
-	// cmd/go expects the facts output to exist even for units it only needs
-	// facts from. Heterolint analyzers are fact-free, so it is empty — but
-	// it must be written before any early return.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("heterolint\n"), 0o666); err != nil {
-			return nil, err
+	// cmd/go expects the facts output to exist even for units that fail to
+	// typecheck, so a placeholder is written before any early return and
+	// overwritten with the real fact closure after analysis.
+	writeVetx := func(facts *analysis.FactStore) error {
+		if cfg.VetxOutput == "" {
+			return nil
 		}
+		payload := []byte(vetxHeader + "\n")
+		if facts != nil {
+			enc, err := facts.Encode()
+			if err != nil {
+				return err
+			}
+			payload = append(payload, enc...)
+		}
+		return os.WriteFile(cfg.VetxOutput, payload, 0o666)
 	}
+	if err := writeVetx(nil); err != nil {
+		return nil, err
+	}
+
+	// Facts-only units run just the fact-producing analyzers; their
+	// diagnostics are discarded by cmd/go anyway.
+	toRun := analyzers
 	if cfg.VetxOnly {
-		return nil, nil
+		toRun = nil
+		for _, a := range analyzers {
+			if len(a.FactTypes) > 0 {
+				toRun = append(toRun, a)
+			}
+		}
+		if len(toRun) == 0 {
+			return res, nil
+		}
 	}
 
 	fset := token.NewFileSet()
@@ -185,8 +250,8 @@ func Run(cfgFile string, analyzers []*analysis.Analyzer) ([]JSONDiagnostic, erro
 	for _, name := range cfg.GoFiles {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
-			if cfg.SucceedOnTypecheckFailure {
-				return nil, nil
+			if cfg.SucceedOnTypecheckFailure || cfg.VetxOnly {
+				return res, nil
 			}
 			return nil, err
 		}
@@ -238,27 +303,86 @@ func Run(cfgFile string, analyzers []*analysis.Analyzer) ([]JSONDiagnostic, erro
 	}
 	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			return nil, nil
+		if cfg.SucceedOnTypecheckFailure || cfg.VetxOnly {
+			return res, nil
 		}
 		return nil, fmt.Errorf("typecheck %s: %v", cfg.ImportPath, err)
 	}
 
-	var out []JSONDiagnostic
-	for _, a := range analyzers {
-		diags, err := analysis.RunAnalyzer(a, fset, files, pkg, info)
+	// Merge the fact closures of every dependency that has one. Unreadable
+	// or legacy-format files degrade to "no facts": a stale cache entry
+	// must never fail the build.
+	facts := analysis.NewFactStore(analyzers...)
+	for _, vetx := range sortedValues(cfg.PackageVetx) {
+		raw, err := os.ReadFile(vetx)
+		if err != nil {
+			continue
+		}
+		body, ok := strings.CutPrefix(string(raw), vetxHeader+"\n")
+		if !ok || len(strings.TrimSpace(body)) == 0 {
+			continue
+		}
+		if err := facts.Decode([]byte(body)); err != nil {
+			continue
+		}
+	}
+
+	for _, a := range toRun {
+		diags, err := analysis.RunAnalyzer(a, fset, files, pkg, info, facts)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %v", a.Name, err)
 		}
+		if cfg.VetxOnly {
+			continue
+		}
 		for _, d := range diags {
-			out = append(out, JSONDiagnostic{
+			jd := JSONDiagnostic{
 				Analyzer: a.Name,
 				Posn:     fset.Position(d.Pos).String(),
 				Message:  d.Message,
-			})
+			}
+			for _, sf := range d.SuggestedFixes {
+				jsf := JSONSuggestedFix{Message: sf.Message}
+				for _, te := range sf.TextEdits {
+					posn := fset.Position(te.Pos)
+					end := fset.Position(te.End)
+					jsf.Edits = append(jsf.Edits, JSONTextEdit{
+						Filename: posn.Filename,
+						Start:    posn.Offset,
+						End:      end.Offset,
+						New:      string(te.NewText),
+					})
+				}
+				jd.SuggestedFixes = append(jd.SuggestedFixes, jsf)
+			}
+			res.Diagnostics = append(res.Diagnostics, jd)
 		}
 	}
-	return out, nil
+	if err := writeVetx(facts); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// sortedValues returns m's values ordered by key, so fact decoding (and
+// any duplicate-key resolution) is deterministic across runs.
+func sortedValues(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// The framework practices the determinism it preaches: no map-order
+	// dependence in the merged fact store.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = m[k]
+	}
+	return out
 }
 
 type importerFunc func(path string) (*types.Package, error)

@@ -1,0 +1,93 @@
+package unitchecker_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVetxFactFlow proves the facts round-trip through the real cmd/go
+// protocol: it builds the heterolint binary, lays out a two-package module
+// where the wrap that poisons a sentinel happens in the dependency, and
+// asserts that `go vet -vettool` flags the identity comparison in the
+// downstream package — which is only possible if the WrappedSentinel fact
+// survived serialization into the dependency unit's .vetx file and
+// deserialization in the consumer unit.
+func TestVetxFactFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not found in PATH")
+	}
+
+	tmp := t.TempDir()
+	tool := filepath.Join(tmp, "heterolint")
+	build := exec.Command(goTool, "build", "-o", tool, "heterohpc/cmd/heterolint")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building heterolint: %v\n%s", err, out)
+	}
+
+	mod := filepath.Join(tmp, "mod")
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(mod, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module factflow\n\ngo 1.22\n")
+	write("pool/pool.go", `package pool
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrExhausted is wrapped below: the fact must reach importers.
+var ErrExhausted = errors.New("exhausted")
+
+// Acquire wraps the sentinel.
+func Acquire(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("acquire %d: %w", n, ErrExhausted)
+	}
+	return nil
+}
+`)
+	write("user/user.go", `package user
+
+import "factflow/pool"
+
+// Drain compares by identity; only the imported fact makes this a finding.
+func Drain(err error) bool {
+	return err == pool.ErrExhausted
+}
+`)
+
+	vet := exec.Command(goTool, "vet", "-vettool="+tool, "./...")
+	vet.Dir = mod
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet succeeded; want errflow finding in user package\noutput:\n%s", out)
+	}
+	if !strings.Contains(string(out), "sentinel ErrExhausted may arrive wrapped") ||
+		!strings.Contains(string(out), "user.go") {
+		t.Fatalf("missing cross-package errflow diagnostic; output:\n%s", out)
+	}
+
+	// Second run exercises cmd/go's vet cache: the cached .vetx files must
+	// decode to the same facts and reproduce the same finding.
+	vet2 := exec.Command(goTool, "vet", "-vettool="+tool, "./...")
+	vet2.Dir = mod
+	out2, err2 := vet2.CombinedOutput()
+	if err2 == nil || !strings.Contains(string(out2), "sentinel ErrExhausted may arrive wrapped") {
+		t.Fatalf("cached rerun lost the finding (err=%v); output:\n%s", err2, out2)
+	}
+}

@@ -5,6 +5,14 @@
 // handing a Charger to a callee that does) silently under-reports the very
 // platform differences the paper measures — the bug shows up as a puma run
 // that looks faster than it should be, not as a test failure.
+//
+// Since v2 the reachability is transitive across packages: the analyzer
+// exports a ChargesFact for every exported function or method that charges,
+// and a caller in a downstream metered package inherits that knowledge
+// through the fact store, so a krylov routine whose only charge is
+// sparse.Axpy no longer needs an annotation. Constructors — functions named
+// New* returning a pointer to a locally-defined type — are exempt: they run
+// once at setup time, outside the measured solve loop.
 package vcharge
 
 import (
@@ -16,16 +24,28 @@ import (
 	"heterohpc/internal/analysis"
 )
 
+// ChargesFact marks an exported function or method whose body reaches a
+// compute charge, so calls to it from downstream metered packages count as
+// charging without a local annotation.
+type ChargesFact struct{}
+
+// AFact marks ChargesFact as an analysis fact.
+func (*ChargesFact) AFact() {}
+
 // Analyzer is the vcharge checker.
 var Analyzer = &analysis.Analyzer{
 	Name:         "vcharge",
 	AllowKeyword: "vcharge",
+	FactTypes:    []analysis.Fact{(*ChargesFact)(nil)},
 	Doc: `require metered packages to charge looped float work to the virtual clock
 
 Exported functions in sparse, krylov and fem that run a loop doing float64
 arithmetic must call ChargeCompute/ChargeComm, pass a Charger to a callee,
-or call a package-local helper that does. Deliberately uncharged helpers
-(setup, exact solutions) carry //heterolint:allow vcharge <why>.`,
+or call a helper — package-local or exported from another metered package —
+that does (charging knowledge crosses package boundaries as facts).
+Constructors (New* returning a pointer to a locally-defined type) are
+setup-time and exempt. Deliberately uncharged helpers (exact solutions,
+test support) carry //heterolint:allow vcharge <why>.`,
 	Run: run,
 }
 
@@ -40,7 +60,8 @@ func run(pass *analysis.Pass) (interface{}, error) {
 
 	// Package-local functions and methods, keyed by their *types.Func, with
 	// a fixpoint over "calls a charging helper": Norm2Local charges because
-	// DotLocal does.
+	// DotLocal does, and DotLocal's cross-package analogue charges because
+	// its defining package exported a ChargesFact for it.
 	decls := map[*types.Func]*ast.FuncDecl{}
 	var order []*types.Func
 	for _, f := range pass.Files {
@@ -77,9 +98,20 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		}
 	}
 
+	// Publish what downstream metered packages may rely on: every exported
+	// charging function or method with a stable object key.
+	for _, obj := range order {
+		if charges[obj] && obj.Exported() && analysis.ObjectKey(obj) != "" {
+			pass.ExportObjectFact(obj, &ChargesFact{})
+		}
+	}
+
 	for _, obj := range order {
 		fn := decls[obj]
 		if !fn.Name.IsExported() || charges[obj] {
+			continue
+		}
+		if isConstructor(pass, fn) {
 			continue
 		}
 		if _, found := computeLoop(pass, fn.Body); found {
@@ -104,6 +136,30 @@ func appliesTo(path string) bool {
 		}
 	}
 	return false
+}
+
+// isConstructor reports whether fn is a setup-time constructor: a function
+// (not a method) named New* whose first result is a pointer to a named type
+// defined in this package. Constructors assemble data structures before the
+// measured solve begins; their loops are allocation, not compute.
+func isConstructor(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	if fn.Recv != nil || !strings.HasPrefix(fn.Name.Name, "New") {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Results().Len() == 0 {
+		return false
+	}
+	ptr, ok := sig.Results().At(0).Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Pkg() == pass.Pkg
 }
 
 // findChargerInterface locates the Charger interface — in this package or
@@ -166,8 +222,9 @@ func chargesDirectly(pass *analysis.Pass, body *ast.BlockStmt, iface *types.Inte
 	return found
 }
 
-// callsCharging reports whether body calls a package-local function already
-// known to charge.
+// callsCharging reports whether body calls a function already known to
+// charge: a package-local one from the fixpoint map, or a foreign one whose
+// defining package exported a ChargesFact for it.
 func callsCharging(pass *analysis.Pass, body *ast.BlockStmt, charges map[*types.Func]bool) bool {
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -185,9 +242,20 @@ func callsCharging(pass *analysis.Pass, body *ast.BlockStmt, charges map[*types.
 		case *ast.SelectorExpr:
 			callee = pass.TypesInfo.Uses[fun.Sel]
 		}
-		if f, ok := callee.(*types.Func); ok && charges[f] {
+		f, ok := callee.(*types.Func)
+		if !ok {
+			return true
+		}
+		if charges[f] {
 			found = true
 			return false
+		}
+		if f.Pkg() != nil && f.Pkg() != pass.Pkg {
+			var fact ChargesFact
+			if pass.ImportObjectFact(f, &fact) {
+				found = true
+				return false
+			}
 		}
 		return true
 	})

@@ -1,0 +1,12 @@
+package worldconsume_test
+
+import (
+	"testing"
+
+	"heterohpc/internal/analysis/analysistest"
+	"heterohpc/internal/analysis/worldconsume"
+)
+
+func TestWorldconsume(t *testing.T) {
+	analysistest.Run(t, "../testdata", worldconsume.Analyzer, "elastic")
+}

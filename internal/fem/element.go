@@ -85,9 +85,10 @@ type Element struct {
 	jac   float64          // |J| = hx·hy·hz/8
 }
 
-// NewElement precomputes quadrature data for an hx×hy×hz element.
-//
-//heterolint:allow vcharge one-time quadrature setup per world construction; the per-step assembly loops it feeds are charged by AssembleMatrix
+// NewElement precomputes quadrature data for an hx×hy×hz element. The
+// one-time setup per world construction is covered by vcharge's
+// constructor exemption; the per-step assembly loops it feeds are charged
+// by AssembleMatrix.
 func NewElement(hx, hy, hz float64) (*Element, error) {
 	if hx <= 0 || hy <= 0 || hz <= 0 {
 		return nil, fmt.Errorf("fem: non-positive element size %v×%v×%v", hx, hy, hz)

@@ -81,9 +81,9 @@ type CSR struct {
 }
 
 // NewCSRFromCOO builds a CSR from triplets, summing duplicates. Column
-// indices within each row come out sorted.
-//
-//heterolint:allow vcharge symbolic construction runs once per space setup; per-step numeric refills go through charged paths (fem.AssembleMatrix, MulVec)
+// indices within each row come out sorted. Symbolic construction runs once
+// per space setup, so vcharge's constructor exemption applies; per-step
+// numeric refills go through charged paths (fem.AssembleMatrix, MulVec).
 func NewCSRFromCOO(nrows, ncols int, c *COO) (*CSR, error) {
 	if nrows > 1<<31 || ncols > 1<<31 {
 		return nil, fmt.Errorf("sparse: %dx%d exceeds the 2^31 packed-key index range", nrows, ncols)
