@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"heterohpc/internal/obs"
+)
+
+// faultsArgs is the seeded recovery scenario the journal-diff tests diff:
+// the fault plan is derived from the seed, so different seeds produce
+// journals that diverge at the first fault-handling decision, while a
+// fault-free run's journal would not move with the seed at all.
+func faultsArgs(seed string) []string {
+	return []string{"faults", "-app", "rd", "-platform", "ec2", "-ranks", "8",
+		"-n", "2", "-steps", "3", "-crashes", "1", "-preempts", "1", "-seed", seed}
+}
+
+// writeFaultsJournal runs the scenario and returns the journal path.
+func writeFaultsJournal(t *testing.T, dir, tag, seed string) string {
+	t.Helper()
+	j, _ := driveObserved(t, dir, tag, faultsArgs(seed))
+	p := filepath.Join(dir, tag+".copy.jsonl")
+	if err := os.WriteFile(p, j, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// diff invokes `heterobench journal-diff` and returns (exit code, stdout).
+func diff(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(append([]string{"journal-diff"}, args...), &stdout, &stderr)
+	if stderr.Len() > 0 && code != 2 {
+		t.Logf("stderr: %s", stderr.String())
+	}
+	return code, stdout.String() + stderr.String()
+}
+
+// TestJournalDiffEqualSeeds pins exit code 0: two runs of the identical
+// seeded scenario are byte-identical, and journal-diff says so.
+func TestJournalDiffEqualSeeds(t *testing.T) {
+	dir := t.TempDir()
+	a := writeFaultsJournal(t, dir, "a", "11")
+	b := writeFaultsJournal(t, dir, "b", "11")
+	code, out := diff(t, a, b)
+	if code != 0 {
+		t.Fatalf("equal-seed diff exited %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "journals identical") {
+		t.Fatalf("missing identical verdict:\n%s", out)
+	}
+}
+
+// TestJournalDiffDifferentSeeds pins exit code 1 and the context contract:
+// the report names the first diverging line and annotates each side with
+// virtual time, rank, kind, and the last completed step.
+func TestJournalDiffDifferentSeeds(t *testing.T) {
+	dir := t.TempDir()
+	a := writeFaultsJournal(t, dir, "s11", "11")
+	b := writeFaultsJournal(t, dir, "s12", "12")
+	code, out := diff(t, a, b)
+	if code != 1 {
+		t.Fatalf("different-seed diff exited %d, want 1:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"first divergence at line",
+		"common context:",
+		"after-step=",
+		`kind="`,
+		"rank=",
+		"t=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("divergence report missing %q:\n%s", want, out)
+		}
+	}
+	// Both side headers name their file.
+	if !strings.Contains(out, filepath.Base(a)) || !strings.Contains(out, filepath.Base(b)) {
+		t.Errorf("report does not name both journals:\n%s", out)
+	}
+}
+
+// TestJournalDiffReplay drives the full triage loop end to end: diff two
+// seeded fault runs, then re-run the scenario from the nearest checkpoint
+// at or before the divergence and dump solver/world state.
+func TestJournalDiffReplay(t *testing.T) {
+	dir := t.TempDir()
+	a := writeFaultsJournal(t, dir, "s11", "11")
+	b := writeFaultsJournal(t, dir, "s12", "12")
+	code, out := diff(t, a, b, "-replay", "-app", "rd", "-platform", "ec2",
+		"-ranks", "8", "-n", "2", "-steps", "3", "-crashes", "1",
+		"-preempts", "1", "-seed", "12")
+	if code != 1 {
+		t.Fatalf("replay diff exited %d, want 1:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"first divergence at line",
+		"checkpoint-anchored replay",
+		"rank  steps",
+		"state-l2",
+		"residual",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("replay output missing %q:\n%s", want, out)
+		}
+	}
+	// The anchoring note is one of the two legal forms: resumed from a
+	// common checkpoint, or replayed from scratch when none precedes the
+	// divergence.
+	if !strings.Contains(out, "resumed from the checkpoint") &&
+		!strings.Contains(out, "replayed from scratch") {
+		t.Errorf("replay output missing anchoring note:\n%s", out)
+	}
+}
+
+// TestJournalDiffSweep smoke-tests the grid report: every point of a small
+// platform × ranks sweep is generated at two seeds and diffed; fault-free
+// journals are seed-independent, so the grid must read "same" everywhere.
+func TestJournalDiffSweep(t *testing.T) {
+	code, out := diff(t, "-sweep", "-n", "2", "-steps", "2", "-max", "8",
+		"-platforms", "puma,ec2")
+	if code != 0 {
+		t.Fatalf("sweep exited %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "journal-diff sweep") {
+		t.Fatalf("missing sweep header:\n%s", out)
+	}
+	for _, plat := range []string{"puma", "ec2"} {
+		if !strings.Contains(out, plat) {
+			t.Errorf("sweep grid missing platform %q:\n%s", plat, out)
+		}
+	}
+	if !strings.Contains(out, "same") {
+		t.Errorf("fault-free sweep should be seed-independent (all same):\n%s", out)
+	}
+}
+
+// TestJournalDiffUsageErrors pins exit code 2 for operator mistakes, which
+// must stay distinct from "journals diverge" (1).
+func TestJournalDiffUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	a := writeFaultsJournal(t, dir, "a", "11")
+	cases := [][]string{
+		{},                            // no journals
+		{a},                           // only one journal
+		{a, filepath.Join(dir, "no")}, // unreadable second journal
+		{a, a, "-sweep"},              // files and sweep mixed
+	}
+	for _, args := range cases {
+		if code, out := diff(t, args...); code != 2 {
+			t.Errorf("journal-diff %v exited %d, want 2:\n%s", args, code, out)
+		}
+	}
+}
+
+// TestFailingRunStillWritesJournal is the regression test for the
+// obs-on-failure fix: a command that errors after partial work must still
+// flush its journal and metrics so there is something to triage, while the
+// original error keeps driving the exit status.
+func TestFailingRunStillWritesJournal(t *testing.T) {
+	dir := t.TempDir()
+	jp := filepath.Join(dir, "fail.jsonl")
+	mp := filepath.Join(dir, "fail.json")
+	var stdout, stderr bytes.Buffer
+	// ec2 succeeds, then the bogus platform errors: the journal must hold
+	// the completed ec2 points when the run dies.
+	code := run([]string{"rd-weak", "-n", "2", "-steps", "2", "-max", "8",
+		"-platforms", "ec2,bogus", "-journal", jp, "-metrics", mp},
+		&stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run exited %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "bogus") {
+		t.Errorf("stderr does not report the failing platform: %s", stderr.String())
+	}
+	j, err := os.ReadFile(jp)
+	if err != nil {
+		t.Fatalf("failing run left no journal: %v", err)
+	}
+	if len(j) == 0 {
+		t.Fatal("failing run wrote an empty journal")
+	}
+	evs, err := obs.ReadJournal(bytes.NewReader(j))
+	if err != nil {
+		t.Fatalf("failing run's journal does not parse: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("failing run's journal has no events")
+	}
+	if _, err := os.Stat(mp); err != nil {
+		t.Errorf("failing run left no metrics file: %v", err)
+	}
+}

@@ -12,6 +12,7 @@
 //	heterobench cost -app rd|ns [flags]      # Figures 6 and 7
 //	heterobench availability [-nodes N]      # §VIII availability comparison
 //	heterobench faults [-platform P] [flags] # supervised run under injected faults
+//	heterobench journal-diff a.jsonl b.jsonl # triage: first diverging journal line (+ -replay)
 //	heterobench all [flags]                  # everything above
 //
 // Common flags: -n (elements per rank per dimension; the paper uses 20,
@@ -23,6 +24,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -34,6 +36,7 @@ import (
 	"heterohpc/internal/obs"
 	"heterohpc/internal/perf"
 	"heterohpc/internal/trace"
+	"heterohpc/internal/triage"
 )
 
 func main() {
@@ -83,6 +86,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	memProfile := fs.String("memprofile", "", "perf command: write a heap profile to this file")
 	journalPath := fs.String("journal", "", "write the run's deterministic event journal (JSONL) to this file")
 	metricsPath := fs.String("metrics", "", "write the run's metric registry (JSON) to this file")
+	window := fs.Int("window", 3, "journal-diff: surrounding lines shown around the divergence")
+	replay := fs.Bool("replay", false, "journal-diff: re-run the scenario from the nearest checkpoint before the divergence and dump state (takes the faults scenario flags)")
+	sweep := fs.Bool("sweep", false, "journal-diff: first-divergence report across the platform × rank grid, -seed vs -seed2 (no journal files)")
+	seed2 := fs.Int64("seed2", 0, "journal-diff -sweep: second seed (default: -seed + 1)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return 2
 	}
@@ -140,6 +147,55 @@ func run(args []string, stdout, stderr io.Writer) int {
 			OnDemandSupply: *odsupply, ProvisionRetries: *retries, Regrow: *regrow,
 			TracePath: *tracePath,
 		}, opts)
+	case "journal-diff":
+		// fs.Parse stopped at the first positional (the old journal path),
+		// so trailing flags like `journal-diff a.jsonl b.jsonl -replay` are
+		// still sitting in fs.Args(): consume the positionals and parse the
+		// remainder through the same FlagSet.
+		rest := fs.Args()
+		var oldPath, newPath string
+		if !*sweep {
+			if len(rest) < 2 || strings.HasPrefix(rest[0], "-") || strings.HasPrefix(rest[1], "-") {
+				fmt.Fprintln(stderr, "usage: heterobench journal-diff old.jsonl new.jsonl [-window N] [-replay <scenario flags>]")
+				fmt.Fprintln(stderr, "       heterobench journal-diff -sweep [-app rd|ns] [-platforms list] [-max N] [-seed N] [-seed2 M]")
+				return 2
+			}
+			oldPath, newPath = rest[0], rest[1]
+			rest = rest[2:]
+		}
+		if err := fs.Parse(rest); err != nil {
+			return 2
+		}
+		if *sweep && oldPath != "" {
+			fmt.Fprintln(stderr, "heterobench: journal-diff -sweep generates its own journals; drop the file arguments")
+			return 2
+		}
+		// The re-parse may have updated any flag: rebuild the derived
+		// option bundles from the final values.
+		s2 := uint64(*seed2)
+		if *seed2 < 0 {
+			fmt.Fprintf(stderr, "heterobench: -seed2 %d is negative\n", *seed2)
+			return 2
+		}
+		if s2 == 0 {
+			s2 = uint64(*seed) + 1
+		}
+		return runJournalDiff(stdout, stderr, jdConfig{
+			oldPath: oldPath, newPath: newPath,
+			window: *window, replay: *replay, sweep: *sweep,
+			app: *app, seed2: s2,
+			opts: bench.Options{
+				PerRankN: *n, Steps: *steps, SkipSteps: *skip,
+				MaxRanks: *maxRanks, Seed: uint64(*seed),
+				Platforms: strings.Split(*platforms, ","),
+			},
+			scenario: bench.ReplayOptions{
+				App: *app, Platform: *platform, Ranks: *ranks, RanksPerNode: *rpn,
+				PerRankN: *n, Steps: *steps, SkipSteps: *skip, Seed: uint64(*seed),
+				Crashes: *crashes, Preemptions: *preempts, Degradations: *degrades,
+				Policy: *policy,
+			},
+		})
 	case "perf":
 		err = runPerf(stderr, *benchOut, *benchFilter, *cpuProfile, *memProfile)
 	case "all":
@@ -151,13 +207,120 @@ func run(args []string, stdout, stderr io.Writer) int {
 		usage(stderr)
 		return 2
 	}
-	if err == nil {
-		err = writeObs(stderr, obsRun, *journalPath, *metricsPath)
+	// Observability is written best-effort even when the command failed:
+	// the journal is most valuable exactly then (journal-diff triage of a
+	// failing run). The command's own error stays the exit status; a write
+	// failure on top of it is only reported.
+	if werr := writeObs(stderr, obsRun, *journalPath, *metricsPath); werr != nil {
+		if err == nil {
+			err = werr
+		} else {
+			fmt.Fprintf(stderr, "heterobench: writing observability: %v\n", werr)
+		}
 	}
 	if err != nil {
 		fmt.Fprintf(stderr, "heterobench: %v\n", err)
 		return 1
 	}
+	return 0
+}
+
+// jdConfig is the journal-diff command's bundle after flag re-parsing.
+type jdConfig struct {
+	oldPath, newPath string
+	window           int
+	replay           bool
+	sweep            bool
+	app              string
+	seed2            uint64
+	opts             bench.Options       // sweep grid configuration
+	scenario         bench.ReplayOptions // -replay scenario (the faults flags)
+}
+
+// runJournalDiff is the triage front-end. Exit contract: 0 when the
+// journals are byte-identical (or the sweep completed), 1 when a
+// divergence was found and reported, 2 on usage, I/O or parse errors.
+func runJournalDiff(stdout, stderr io.Writer, c jdConfig) int {
+	if c.sweep {
+		return runJournalDiffSweep(stdout, stderr, c)
+	}
+	of, err := os.Open(c.oldPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "heterobench: %v\n", err)
+		return 2
+	}
+	defer of.Close()
+	nf, err := os.Open(c.newPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "heterobench: %v\n", err)
+		return 2
+	}
+	defer nf.Close()
+	d, lines, err := triage.Diff(c.oldPath, of, c.newPath, nf, c.window)
+	if err != nil {
+		fmt.Fprintf(stderr, "heterobench: %v\n", err)
+		return 2
+	}
+	if d == nil {
+		fmt.Fprintf(stdout, "journals identical (%d lines)\n", lines)
+		return 0
+	}
+	fmt.Fprint(stdout, triage.FormatDivergence(d))
+	if c.replay {
+		// Anchor the replay off the side that still carries a parseable
+		// event (prefer the new journal): its rank's last completed step
+		// +1 is the step the divergence happened in.
+		side := &d.New
+		if side.Line == nil || !side.Line.Parsed {
+			side = &d.Old
+		}
+		if side.Line == nil || !side.Line.Parsed {
+			fmt.Fprintln(stderr, "heterobench: no parseable diverging line to anchor the replay on")
+			return 2
+		}
+		c.scenario.DivStep = side.Step + 1
+		dump, err := bench.ReplayFromCheckpoint(c.scenario)
+		if err != nil {
+			fmt.Fprintf(stderr, "heterobench: %v\n", err)
+			return 2
+		}
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, bench.FormatReplayDump(dump))
+	}
+	return 1
+}
+
+// runJournalDiffSweep diffs -seed against -seed2 journals at every
+// (platform, ranks) point of the weak-scaling grid and prints the
+// first-divergence summary table. The sweep itself always exits 0 (it is
+// a report, not an assertion); points that fail to run show as ERR cells.
+func runJournalDiffSweep(stdout, stderr io.Writer, c jdConfig) int {
+	o2 := c.opts
+	o2.Seed = c.seed2
+	nameA := fmt.Sprintf("seed %d", c.opts.Seed)
+	nameB := fmt.Sprintf("seed %d", c.seed2)
+	var results []triage.SweepResult
+	for _, p := range c.opts.Platforms {
+		for _, ranks := range bench.WeakSeries {
+			if ranks > c.opts.MaxRanks {
+				break
+			}
+			pt := triage.SweepPoint{Platform: p, Ranks: ranks}
+			ja, err := bench.PointJournal(c.app, p, ranks, c.opts)
+			if err != nil {
+				results = append(results, triage.SweepResult{Point: pt, Err: err})
+				continue
+			}
+			jb, err := bench.PointJournal(c.app, p, ranks, o2)
+			if err != nil {
+				results = append(results, triage.SweepResult{Point: pt, Err: err})
+				continue
+			}
+			d, lines, err := triage.Diff(nameA, bytes.NewReader(ja), nameB, bytes.NewReader(jb), c.window)
+			results = append(results, triage.SweepResult{Point: pt, Lines: lines, Div: d, Err: err})
+		}
+	}
+	fmt.Fprint(stdout, triage.FormatSweep(results))
 	return 0
 }
 
@@ -212,6 +375,12 @@ commands:
                           -policy restart|shrink-continue|migrate|compare, -rpn N, -trace out.json
                           storms: -storm N -cascades N -bursts N (correlated wave plan)
                           autoscaler: -odsupply N -retries N -regrow (capped market, backoff re-grow)
+  journal-diff a b        triage: report the first diverging line of two -journal files
+                          (exit 0 identical, 1 divergence, 2 errors); -window N context
+                          -replay: re-run the scenario (faults flags) from the nearest
+                          checkpoint before the divergence and dump solver/world state
+                          -sweep: first-divergence grid across -platforms × ranks,
+                          -seed vs -seed2 (generates its own journals)
   perf [-out BENCH.json]  host-performance harness: tracked ns/op, B/op, allocs/op
                           -filter substr, -cpuprofile out.pb.gz, -memprofile out.pb.gz
   all                     run everything

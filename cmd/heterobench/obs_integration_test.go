@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"heterohpc/internal/obs"
 )
 
 // driveObserved runs one CLI invocation writing journal+metrics files and
@@ -31,6 +33,25 @@ func driveObserved(t *testing.T, dir, tag string, args []string) (journal, metri
 	return j, m
 }
 
+// assertReencodes is the round-trip property backing journal-diff: every
+// journal the CLI writes must parse with the strict canonical reader and
+// re-encode to the identical bytes, so a successful parse certifies the
+// file as diffable line by line.
+func assertReencodes(t *testing.T, journal []byte) {
+	t.Helper()
+	evs, err := obs.ReadJournal(bytes.NewReader(journal))
+	if err != nil {
+		t.Fatalf("CLI journal rejected by canonical reader: %v", err)
+	}
+	var re []byte
+	for i := range evs {
+		re = obs.AppendEventLine(re, &evs[i])
+	}
+	if !bytes.Equal(journal, re) {
+		t.Fatalf("parse→re-encode is not byte-identical:\n--- written ---\n%s\n--- re-encoded ---\n%s", journal, re)
+	}
+}
+
 // TestJournalBitDeterminism is the acceptance check of the observability
 // layer: two runs of the identical seeded command must produce byte-identical
 // journal and metrics files, even though ranks record concurrently.
@@ -49,6 +70,7 @@ func TestJournalBitDeterminism(t *testing.T) {
 	if len(j1) == 0 {
 		t.Fatal("journal is empty")
 	}
+	assertReencodes(t, j1)
 
 	// Every journal line is standalone JSON, and the event kinds of the core
 	// instrumentation all show up in a weak-scaling sweep.
@@ -99,6 +121,7 @@ func TestFaultsJournalDeterminism(t *testing.T) {
 			t.Errorf("fault-run journal missing %s events", want)
 		}
 	}
+	assertReencodes(t, j1)
 
 	// The proactive policy adds world-grow and migrate-decision events; equal
 	// seeds must still give byte-identical journals and metrics.
@@ -118,4 +141,5 @@ func TestFaultsJournalDeterminism(t *testing.T) {
 			t.Errorf("migrate-run journal missing %s events", want)
 		}
 	}
+	assertReencodes(t, mj1)
 }

@@ -34,7 +34,7 @@ Suppress a deliberate exception with //heterolint:allow wallclock <why>.`,
 // bit-identically from the same seed and fault plan.
 var deterministicPkgs = []string{
 	"mp", "vclock", "checkpoint", "bench", "fault", "spot", "rd", "nse", "obs",
-	"partition", "trace",
+	"partition", "trace", "triage",
 }
 
 // forbiddenTime are the "time" package functions that read or schedule

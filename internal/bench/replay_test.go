@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"heterohpc/internal/obs"
+)
+
+func TestReplayPlainAnchorsBeforeDivergence(t *testing.T) {
+	d, err := ReplayFromCheckpoint(ReplayOptions{
+		App: "rd", Platform: "ec2", Ranks: 8, PerRankN: 2,
+		Steps: 3, Seed: 7, DivStep: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.AnchorStep != 2 || d.ColdStart {
+		t.Fatalf("anchor = %d (cold %v), want 2", d.AnchorStep, d.ColdStart)
+	}
+	if d.DivStep != 3 || len(d.PerRank) != 8 {
+		t.Fatalf("divStep=%d ranks=%d", d.DivStep, len(d.PerRank))
+	}
+	if d.MaxVirtualS <= 0 {
+		t.Fatalf("no virtual time replayed: %v", d.MaxVirtualS)
+	}
+	for _, rs := range d.PerRank {
+		if rs.StepsDone != 3 {
+			t.Fatalf("rank %d stopped at step %d, want 3", rs.Rank, rs.StepsDone)
+		}
+		if rs.LastSolver == "" || rs.LastIters <= 0 || !rs.Converged {
+			t.Fatalf("rank %d missing solve context: %+v", rs.Rank, rs)
+		}
+		if rs.ClockS <= 0 || rs.StateL2 <= 0 || rs.StateMax <= 0 {
+			t.Fatalf("rank %d missing state: %+v", rs.Rank, rs)
+		}
+	}
+	out := FormatReplayDump(d)
+	for _, want := range []string{"checkpoint-anchored replay", "after step 2", "to step 3", "state-l2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReplayColdStartAtFirstStep(t *testing.T) {
+	d, err := ReplayFromCheckpoint(ReplayOptions{
+		App: "rd", Platform: "puma", Ranks: 8, PerRankN: 2,
+		Steps: 2, Seed: 7, DivStep: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.ColdStart || d.AnchorStep != 0 {
+		t.Fatalf("want cold start, got anchor %d", d.AnchorStep)
+	}
+	for _, rs := range d.PerRank {
+		if rs.StepsDone != 1 {
+			t.Fatalf("rank %d at step %d, want 1", rs.Rank, rs.StepsDone)
+		}
+	}
+	if !strings.Contains(FormatReplayDump(d), "replayed from scratch") {
+		t.Error("dump missing cold-start note")
+	}
+}
+
+func TestReplayFaultedScenario(t *testing.T) {
+	d, err := ReplayFromCheckpoint(ReplayOptions{
+		App: "rd", Platform: "ec2", Ranks: 8, PerRankN: 2,
+		Steps: 3, Seed: 11, Crashes: 1, Preemptions: 1, DivStep: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.AnchorStep != 1 || d.ColdStart {
+		t.Fatalf("anchor = %d (cold %v), want 1", d.AnchorStep, d.ColdStart)
+	}
+	for _, rs := range d.PerRank {
+		if rs.StepsDone != 2 {
+			t.Fatalf("rank %d at step %d, want 2", rs.Rank, rs.StepsDone)
+		}
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	opt := ReplayOptions{
+		App: "rd", Platform: "ec2", Ranks: 8, PerRankN: 2,
+		Steps: 3, Seed: 11, Crashes: 1, DivStep: 3,
+	}
+	a, err := ReplayFromCheckpoint(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReplayFromCheckpoint(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FormatReplayDump(a) != FormatReplayDump(b) {
+		t.Fatalf("equal-seed replays differ:\n%s\nvs\n%s", FormatReplayDump(a), FormatReplayDump(b))
+	}
+}
+
+func TestReplayRejectsShrinkAndMigrate(t *testing.T) {
+	for _, policy := range []string{PolicyShrink, PolicyMigrate} {
+		_, err := ReplayFromCheckpoint(ReplayOptions{Policy: policy, DivStep: 1})
+		if err == nil || !strings.Contains(err.Error(), "buddy mirroring") {
+			t.Fatalf("policy %s: got %v, want rejection", policy, err)
+		}
+	}
+}
+
+// TestPointJournalDeterminism pins the sweep's primitive: equal
+// configurations give byte-identical journals, different platform models
+// diverge (the outlier-hunting signal), and every produced journal
+// parses. Note the seed alone does not perturb a fault-free journal — it
+// drives queue waits and markets, which a clean job's ranks never see.
+func TestPointJournalDeterminism(t *testing.T) {
+	o := Options{PerRankN: 2, Steps: 2, MaxRanks: 8, Seed: 7}
+	a, err := PointJournal("rd", "ec2", 8, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PointJournal("rd", "ec2", 8, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("equal-seed point journals differ")
+	}
+	if _, err := obs.ReadJournal(bytes.NewReader(a)); err != nil {
+		t.Fatalf("point journal does not parse: %v", err)
+	}
+	c, err := PointJournal("rd", "puma", 8, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, c) {
+		t.Fatal("ec2 and puma point journals identical — platform model not in the journal")
+	}
+}

@@ -112,6 +112,13 @@ type FaultOptions struct {
 	// baseline run stays unobserved so the journal covers only the faulted
 	// job.
 	Obs *obs.Run
+
+	// ckptTap, when non-nil, mirrors every checkpoint the faulted job's
+	// ranks write — (rank, step, world width, serialised blob) — to the
+	// replay anchor collector. The clean baseline inside newSuperSetup is
+	// never tapped, matching the journal's coverage. Unexported: only
+	// ReplayFromCheckpoint sets it (see replay.go).
+	ckptTap func(rank, step, width int, blob []byte)
 }
 
 func (o FaultOptions) withDefaults() FaultOptions {
@@ -315,6 +322,37 @@ func (s *ckptStore) sync() (min, max int) {
 	return min, max
 }
 
+// snapStore is the checkpoint persistence surface supervisedApp writes
+// through: ckptStore in the recovery loops, anchorStore/replayStore in the
+// journal-diff replay (replay.go), tapStore to layer the two.
+type snapStore interface {
+	put(rank, step int, b []byte)
+	get(rank int) []byte
+}
+
+// tapStore forwards saves to an inner store and mirrors every write to a
+// replay tap along with the world width it was taken at.
+type tapStore struct {
+	inner snapStore
+	width int
+	tap   func(rank, step, width int, blob []byte)
+}
+
+func (t *tapStore) put(rank, step int, b []byte) {
+	t.inner.put(rank, step, b)
+	t.tap(rank, step, t.width, b)
+}
+
+func (t *tapStore) get(rank int) []byte { return t.inner.get(rank) }
+
+// tapped wraps store with the replay tap when one is set.
+func tapped(store snapStore, width int, tap func(rank, step, width int, blob []byte)) snapStore {
+	if tap == nil {
+		return store
+	}
+	return &tapStore{inner: store, width: width, tap: tap}
+}
+
 // supervisedApp wires per-rank checkpoint save/restore closures into the
 // weak-scaling applications. Checkpoints flow through the
 // internal/checkpoint containers, exactly as a production restart would.
@@ -323,10 +361,10 @@ type supervisedApp struct {
 	rdCfg rd.Config
 	nsCfg nse.Config
 	owned [][]int
-	store *ckptStore
+	store snapStore
 }
 
-func newSupervisedApp(app string, ranks, perRankN, steps int, store *ckptStore) (*supervisedApp, float64, error) {
+func newSupervisedApp(app string, ranks, perRankN, steps int, store snapStore) (*supervisedApp, float64, error) {
 	p, err := mesh.CubeGrid(ranks)
 	if err != nil {
 		return nil, 0, fmt.Errorf("bench: weak scaling needs cubic rank counts: %w", err)
@@ -588,7 +626,7 @@ func runRestart(s *superSetup) (*RecoveryReport, error) {
 
 	ranks := o.Ranks
 	store := newCkptStore(ranks)
-	app, appMem, err := newSupervisedApp(o.App, ranks, o.PerRankN, o.Steps, store)
+	app, appMem, err := newSupervisedApp(o.App, ranks, o.PerRankN, o.Steps, tapped(store, ranks, o.ckptTap))
 	if err != nil {
 		return nil, err
 	}
@@ -608,7 +646,7 @@ func runRestart(s *superSetup) (*RecoveryReport, error) {
 		ranks = to
 		rep.Degraded = true
 		store = newCkptStore(ranks)
-		app, appMem, err = newSupervisedApp(o.App, ranks, o.PerRankN, o.Steps, store)
+		app, appMem, err = newSupervisedApp(o.App, ranks, o.PerRankN, o.Steps, tapped(store, ranks, o.ckptTap))
 		return err
 	}
 

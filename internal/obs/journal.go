@@ -1,54 +1,73 @@
 package obs
 
 import (
-	"bufio"
 	"strconv"
 )
 
-// writeEventLine encodes one event as a single JSON object line. The
-// encoding is hand-rolled (field order fixed, shortest round-trip floats,
-// zero-valued optional fields omitted) so the journal is a pure function of
-// the event values — encoding/json would work today but ties byte output to
-// stdlib internals.
+// AppendEventLine appends one event encoded as a single JSON object line
+// (including the trailing newline) to dst and returns the extended slice.
+// The encoding is hand-rolled (field order fixed, shortest round-trip
+// floats, zero-valued optional fields omitted) so the journal is a pure
+// function of the event values — encoding/json would work today but ties
+// byte output to stdlib internals. WriteJournal emits every line through
+// this function, and ParseEventLine accepts exactly this function's image:
+// parse followed by re-encode is byte-identical for every line a journal
+// writer produced.
 //
 // Line schema:
 //
 //	{"t":<f>,"rank":<i>,"kind":<s>[,"name":<s>][,"i1":<i>][,"i2":<i>]
 //	 [,"i3":<i>][,"f1":<f>][,"f2":<f>][,"b":true]}
-func writeEventLine(bw *bufio.Writer, ev *Event) {
-	bw.WriteString(`{"t":`)
-	bw.WriteString(formatFloat(ev.T))
-	bw.WriteString(`,"rank":`)
-	bw.WriteString(strconv.Itoa(ev.Rank))
-	bw.WriteString(`,"kind":`)
-	bw.WriteString(strconv.Quote(ev.Kind))
+//
+// Canonicalisation invariants (what makes the encoding injective on the
+// values it preserves):
+//
+//   - integers render in strconv.FormatInt form (no leading zeros or '+');
+//     the optional i1/i2/i3 fields are omitted when zero;
+//   - floats render in shortest round-trip form ('g', -1), with negative
+//     zero normalised to +0 at encode time — -0 == 0 in Go, so the optional
+//     f1/f2 fields silently omit it exactly like +0, and a required field
+//     (t) must not render the equal value two ways. An event carrying
+//     math.Copysign(0, -1) therefore round-trips to +0 by design;
+//   - the b flag is written only when true.
+func AppendEventLine(dst []byte, ev *Event) []byte {
+	dst = append(dst, `{"t":`...)
+	dst = append(dst, formatFloat(ev.T)...)
+	dst = append(dst, `,"rank":`...)
+	dst = strconv.AppendInt(dst, int64(ev.Rank), 10)
+	dst = append(dst, `,"kind":`...)
+	dst = strconv.AppendQuote(dst, ev.Kind)
 	if ev.Name != "" {
-		bw.WriteString(`,"name":`)
-		bw.WriteString(strconv.Quote(ev.Name))
+		dst = append(dst, `,"name":`...)
+		dst = strconv.AppendQuote(dst, ev.Name)
 	}
-	writeOptInt(bw, `,"i1":`, ev.I1)
-	writeOptInt(bw, `,"i2":`, ev.I2)
-	writeOptInt(bw, `,"i3":`, ev.I3)
-	writeOptFloat(bw, `,"f1":`, ev.F1)
-	writeOptFloat(bw, `,"f2":`, ev.F2)
+	dst = appendOptInt(dst, `,"i1":`, ev.I1)
+	dst = appendOptInt(dst, `,"i2":`, ev.I2)
+	dst = appendOptInt(dst, `,"i3":`, ev.I3)
+	dst = appendOptFloat(dst, `,"f1":`, ev.F1)
+	dst = appendOptFloat(dst, `,"f2":`, ev.F2)
 	if ev.B {
-		bw.WriteString(`,"b":true`)
+		dst = append(dst, `,"b":true`...)
 	}
-	bw.WriteString("}\n")
+	dst = append(dst, "}\n"...)
+	return dst
 }
 
-func writeOptInt(bw *bufio.Writer, key string, v int64) {
+func appendOptInt(dst []byte, key string, v int64) []byte {
 	if v == 0 {
-		return
+		return dst
 	}
-	bw.WriteString(key)
-	bw.WriteString(strconv.FormatInt(v, 10))
+	dst = append(dst, key...)
+	return strconv.AppendInt(dst, v, 10)
 }
 
-func writeOptFloat(bw *bufio.Writer, key string, v float64) {
+// appendOptFloat omits zero values; note that the comparison also catches
+// negative zero (-0 == 0), which is the omission half of the negative-zero
+// normalisation documented on AppendEventLine.
+func appendOptFloat(dst []byte, key string, v float64) []byte {
 	if v == 0 {
-		return
+		return dst
 	}
-	bw.WriteString(key)
-	bw.WriteString(formatFloat(v))
+	dst = append(dst, key...)
+	return append(dst, formatFloat(v)...)
 }

@@ -231,6 +231,11 @@ func sortedNames(n int, each func(yield func(string))) []string {
 
 // formatFloat renders a float in the journal/metrics encoding: shortest
 // representation that round-trips, so equal values always encode equally.
+// Negative zero is normalised to +0 — -0 == 0 in Go, and two equal values
+// must not render two ways (see the AppendEventLine schema comment).
 func formatFloat(f float64) string {
+	if f == 0 {
+		f = 0
+	}
 	return strconv.FormatFloat(f, 'g', -1, 64)
 }

@@ -167,8 +167,10 @@ func (r *Run) WriteJournal(w io.Writer) error {
 		return nil
 	}
 	bw := bufio.NewWriter(w)
+	var scratch []byte
 	for _, ev := range r.merged() {
-		writeEventLine(bw, &ev)
+		scratch = AppendEventLine(scratch[:0], &ev)
+		bw.Write(scratch)
 	}
 	return bw.Flush()
 }

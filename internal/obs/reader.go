@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ErrMalformed is the sentinel wrapped by every parse failure in this file;
+// callers classify reader errors with errors.Is(err, ErrMalformed).
+var ErrMalformed = errors.New("obs: malformed journal line")
+
+// ParseEventLine parses one journal line (without its trailing newline)
+// back into the Event it encodes. The grammar is exactly AppendEventLine's
+// image — canonical field order, canonical number formatting, optional
+// fields present only with nonzero (or nonempty) values, "b" only ever
+// true — so success guarantees that AppendEventLine(nil, &ev) reproduces
+// line + "\n" byte for byte. Anything the writer could not have produced
+// (reordered fields, non-shortest floats, a "-0", an explicit zero
+// optional, unknown keys, trailing bytes) fails with an error wrapping
+// ErrMalformed.
+func ParseEventLine(line string) (Event, error) {
+	var ev Event
+	s, ok := strings.CutPrefix(line, `{"t":`)
+	if !ok {
+		return Event{}, malformed(`missing {"t": prefix`)
+	}
+	t, s, err := parseCanonFloat(s)
+	if err != nil {
+		return Event{}, fmt.Errorf(`field "t": %w`, err)
+	}
+	ev.T = t
+	if s, ok = strings.CutPrefix(s, `,"rank":`); !ok {
+		return Event{}, malformed(`missing "rank" field`)
+	}
+	rank, s, err := parseCanonInt(s)
+	if err != nil {
+		return Event{}, fmt.Errorf(`field "rank": %w`, err)
+	}
+	ev.Rank = int(rank)
+	if int64(ev.Rank) != rank {
+		return Event{}, malformed(`field "rank": overflows int`)
+	}
+	if s, ok = strings.CutPrefix(s, `,"kind":`); !ok {
+		return Event{}, malformed(`missing "kind" field`)
+	}
+	if ev.Kind, s, err = parseCanonString(s); err != nil {
+		return Event{}, fmt.Errorf(`field "kind": %w`, err)
+	}
+
+	if rest, found := strings.CutPrefix(s, `,"name":`); found {
+		if ev.Name, s, err = parseCanonString(rest); err != nil {
+			return Event{}, fmt.Errorf(`field "name": %w`, err)
+		}
+		if ev.Name == "" {
+			return Event{}, malformed(`field "name": empty (writer omits it)`)
+		}
+	}
+	for _, f := range []struct {
+		key string
+		dst *int64
+	}{{`,"i1":`, &ev.I1}, {`,"i2":`, &ev.I2}, {`,"i3":`, &ev.I3}} {
+		rest, found := strings.CutPrefix(s, f.key)
+		if !found {
+			continue
+		}
+		if *f.dst, s, err = parseCanonInt(rest); err != nil {
+			return Event{}, fmt.Errorf("field %q: %w", f.key[2:4], err)
+		}
+		if *f.dst == 0 {
+			return Event{}, malformed("field %q: zero (writer omits it)", f.key[2:4])
+		}
+	}
+	for _, f := range []struct {
+		key string
+		dst *float64
+	}{{`,"f1":`, &ev.F1}, {`,"f2":`, &ev.F2}} {
+		rest, found := strings.CutPrefix(s, f.key)
+		if !found {
+			continue
+		}
+		if *f.dst, s, err = parseCanonFloat(rest); err != nil {
+			return Event{}, fmt.Errorf("field %q: %w", f.key[2:4], err)
+		}
+		if *f.dst == 0 {
+			return Event{}, malformed("field %q: zero (writer omits it)", f.key[2:4])
+		}
+	}
+	if rest, found := strings.CutPrefix(s, `,"b":true`); found {
+		ev.B = true
+		s = rest
+	}
+	if s != "}" {
+		return Event{}, malformed("trailing bytes %q", s)
+	}
+	return ev, nil
+}
+
+// ReadJournal reads a complete JSONL journal and returns its events in
+// file order. Errors carry the 1-based line number and wrap ErrMalformed
+// for parse failures (I/O errors from r pass through unwrapped). A final
+// line without its trailing newline is malformed: the writer terminates
+// every line, so its absence means truncation.
+func ReadJournal(r io.Reader) ([]Event, error) {
+	br := bufio.NewReader(r)
+	var evs []Event
+	for ln := 1; ; ln++ {
+		line, err := br.ReadString('\n')
+		if err == io.EOF {
+			if line == "" {
+				return evs, nil
+			}
+			return nil, fmt.Errorf("line %d: %w: truncated (missing trailing newline)", ln, ErrMalformed)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln, err)
+		}
+		ev, perr := ParseEventLine(line[:len(line)-1])
+		if perr != nil {
+			return nil, fmt.Errorf("line %d: %w", ln, perr)
+		}
+		evs = append(evs, ev)
+	}
+}
+
+func malformed(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrMalformed, fmt.Sprintf(format, args...))
+}
+
+// numTok splits s at the first ',' or '}' — the only bytes that can follow
+// a number in the line grammar — returning the number token and the rest
+// (which keeps the delimiter).
+func numTok(s string) (tok, rest string, err error) {
+	i := strings.IndexAny(s, ",}")
+	if i < 0 {
+		return "", "", malformed("unterminated number")
+	}
+	return s[:i], s[i:], nil
+}
+
+// parseCanonFloat parses a float token and verifies it is in canonical
+// (shortest round-trip, negative-zero-free) form by re-formatting.
+func parseCanonFloat(s string) (float64, string, error) {
+	tok, rest, err := numTok(s)
+	if err != nil {
+		return 0, "", err
+	}
+	f, err := strconv.ParseFloat(tok, 64)
+	if err != nil {
+		return 0, "", malformed("bad float %q", tok)
+	}
+	if formatFloat(f) != tok {
+		return 0, "", malformed("non-canonical float %q (writer emits %q)", tok, formatFloat(f))
+	}
+	return f, rest, nil
+}
+
+// parseCanonInt parses an integer token and verifies canonical form (no
+// leading zeros, no '+', no float syntax).
+func parseCanonInt(s string) (int64, string, error) {
+	tok, rest, err := numTok(s)
+	if err != nil {
+		return 0, "", err
+	}
+	v, err := strconv.ParseInt(tok, 10, 64)
+	if err != nil {
+		return 0, "", malformed("bad int %q", tok)
+	}
+	if strconv.FormatInt(v, 10) != tok {
+		return 0, "", malformed("non-canonical int %q", tok)
+	}
+	return v, rest, nil
+}
+
+// parseCanonString parses a quoted string and verifies strconv.Quote would
+// re-emit it identically (rejecting escapes the writer never produces).
+func parseCanonString(s string) (string, string, error) {
+	q, err := strconv.QuotedPrefix(s)
+	if err != nil {
+		return "", "", malformed("bad string at %q", head(s))
+	}
+	v, err := strconv.Unquote(q)
+	if err != nil {
+		return "", "", malformed("bad string %q", q)
+	}
+	if strconv.Quote(v) != q {
+		return "", "", malformed("non-canonical string %s", q)
+	}
+	return v, s[len(q):], nil
+}
+
+// head truncates s for error messages.
+func head(s string) string {
+	if len(s) > 16 {
+		return s[:16] + "…"
+	}
+	return s
+}

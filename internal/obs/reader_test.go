@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"strings"
+	"testing"
+)
+
+// reencode renders events back to journal bytes through the canonical
+// encoder, exactly as WriteJournal would.
+func reencode(evs []Event) []byte {
+	var out []byte
+	for i := range evs {
+		out = AppendEventLine(out, &evs[i])
+	}
+	return out
+}
+
+func TestParseEventLineRoundTrip(t *testing.T) {
+	lines := []string{
+		`{"t":0,"rank":0,"kind":"phase"}`,
+		`{"t":0,"rank":-1,"kind":"notice","name":"spot interruption"}`,
+		`{"t":1.25,"rank":3,"kind":"step","i1":2}`,
+		`{"t":4.83,"rank":7,"kind":"solve","name":"cg","i1":42,"f1":1e-09,"b":true}`,
+		`{"t":2.0800000000000005,"rank":0,"kind":"halo","i1":1,"i2":6,"i3":49152}`,
+		`{"t":0.5,"rank":-1,"kind":"preempt-notice","i1":2,"f1":0.527,"f2":120.5}`,
+		`{"t":-1.5,"rank":0,"kind":"x","i1":-7,"f1":-0.25}`,
+		`{"t":1e+21,"rank":0,"kind":"x","name":"quote\"and\\slash","i1":9223372036854775807}`,
+	}
+	for _, line := range lines {
+		ev, err := ParseEventLine(line)
+		if err != nil {
+			t.Fatalf("ParseEventLine(%s): %v", line, err)
+		}
+		if got := string(AppendEventLine(nil, &ev)); got != line+"\n" {
+			t.Fatalf("re-encode mismatch:\n  in  %s\n  out %s", line, strings.TrimSuffix(got, "\n"))
+		}
+	}
+}
+
+func TestParseEventLineRejectsNonCanonical(t *testing.T) {
+	cases := []struct{ name, line string }{
+		{"empty", ``},
+		{"no prefix", `{"rank":0,"kind":"x"}`},
+		{"reordered", `{"rank":0,"t":0,"kind":"x"}`},
+		{"negative zero t", `{"t":-0,"rank":0,"kind":"x"}`},
+		{"non-shortest float", `{"t":1.0,"rank":0,"kind":"x"}`},
+		{"exponent form of small int", `{"t":0.5e0,"rank":0,"kind":"x"}`},
+		{"leading-zero int", `{"t":0,"rank":01,"kind":"x"}`},
+		{"plus-signed int", `{"t":0,"rank":+1,"kind":"x"}`},
+		{"float rank", `{"t":0,"rank":1.5,"kind":"x"}`},
+		{"zero i1 present", `{"t":0,"rank":0,"kind":"x","i1":0}`},
+		{"zero f1 present", `{"t":0,"rank":0,"kind":"x","f1":0}`},
+		{"negative-zero f1", `{"t":0,"rank":0,"kind":"x","f1":-0}`},
+		{"empty name present", `{"t":0,"rank":0,"kind":"x","name":""}`},
+		{"b false", `{"t":0,"rank":0,"kind":"x","b":false}`},
+		{"unknown key", `{"t":0,"rank":0,"kind":"x","z":1}`},
+		{"i-fields out of order", `{"t":0,"rank":0,"kind":"x","i2":1,"i1":1}`},
+		{"trailing bytes", `{"t":0,"rank":0,"kind":"x"} `},
+		{"trailing newline in line", "{\"t\":0,\"rank\":0,\"kind\":\"x\"}\n"},
+		{"unterminated", `{"t":0,"rank":0,"kind":"x"`},
+		{"non-canonical escape", `{"t":0,"rank":0,"kind":"\u0041"}`},
+		{"single-quoted string", `{"t":0,"rank":0,"kind":'x'}`},
+		{"nan alias", `{"t":nan,"rank":0,"kind":"x"}`},
+		{"rank overflows int64", `{"t":0,"rank":99999999999999999999,"kind":"x"}`},
+	}
+	for _, c := range cases {
+		if _, err := ParseEventLine(c.line); err == nil {
+			t.Errorf("%s: accepted %q", c.name, c.line)
+		} else if !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: untyped rejection: %v", c.name, err)
+		}
+	}
+}
+
+// TestNegativeZeroNormalized pins the writeOptFloat zero-omission edge: an
+// event carrying a negative-zero payload encodes exactly like +0 (omitted
+// for optional fields, "0" for t), so it round-trips to +0 and two runs
+// that differ only in zero sign stay byte-identical.
+func TestNegativeZeroNormalized(t *testing.T) {
+	nz := math.Copysign(0, -1)
+	ev := Event{T: nz, Rank: 2, Kind: "solve", Name: "cg", I1: 3, F1: nz, B: true}
+	line := string(AppendEventLine(nil, &ev))
+	want := `{"t":0,"rank":2,"kind":"solve","name":"cg","i1":3,"b":true}` + "\n"
+	if line != want {
+		t.Fatalf("encode with -0 payloads:\n  got  %q\n  want %q", line, want)
+	}
+	back, err := ParseEventLine(strings.TrimSuffix(line, "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Signbit(back.T) || math.Signbit(back.F1) || back.F1 != 0 {
+		t.Fatalf("round-trip did not normalise to +0: %+v", back)
+	}
+	if got := string(AppendEventLine(nil, &back)); got != line {
+		t.Fatalf("second encode differs: %q vs %q", got, line)
+	}
+}
+
+// TestReadJournalRoundTripsRealJournal asserts the byte-identity contract
+// on a checked-in journal produced by a real heterobench faults run.
+func TestReadJournalRoundTripsRealJournal(t *testing.T) {
+	raw, err := os.ReadFile("testdata/faults-ec2-seed11.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadJournal(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("empty journal")
+	}
+	if got := reencode(evs); !bytes.Equal(got, raw) {
+		t.Fatalf("parse→re-encode not byte-identical: %d bytes in, %d out", len(raw), len(got))
+	}
+}
+
+func TestReadJournalErrors(t *testing.T) {
+	t.Run("line number in error", func(t *testing.T) {
+		in := `{"t":0,"rank":0,"kind":"x"}` + "\n" + `garbage` + "\n"
+		_, err := ReadJournal(strings.NewReader(in))
+		if err == nil || !errors.Is(err, ErrMalformed) {
+			t.Fatalf("got %v, want ErrMalformed", err)
+		}
+		if !strings.Contains(err.Error(), "line 2") {
+			t.Fatalf("error does not carry line number: %v", err)
+		}
+	})
+	t.Run("truncated final line", func(t *testing.T) {
+		in := `{"t":0,"rank":0,"kind":"x"}` + "\n" + `{"t":1,"rank":0,"kind"`
+		_, err := ReadJournal(strings.NewReader(in))
+		if err == nil || !errors.Is(err, ErrMalformed) {
+			t.Fatalf("got %v, want ErrMalformed", err)
+		}
+	})
+	t.Run("empty journal is valid", func(t *testing.T) {
+		evs, err := ReadJournal(strings.NewReader(""))
+		if err != nil || len(evs) != 0 {
+			t.Fatalf("got %d events, %v", len(evs), err)
+		}
+	})
+}
+
+// FuzzReadJournal asserts the reader's contract on arbitrary bytes: it
+// never panics, every rejection wraps ErrMalformed, and — because the
+// grammar is exactly the writer's image — every accepted journal
+// re-encodes byte-identically to its input.
+func FuzzReadJournal(f *testing.F) {
+	valid, err := os.ReadFile("testdata/faults-ec2-seed11.jsonl")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated mid-line
+	lines := bytes.SplitAfter(valid, []byte("\n"))
+	if len(lines) > 4 {
+		// Reordered lines: still canonical per line, so still accepted —
+		// seeds the corpus with multi-line structure.
+		f.Add(bytes.Join([][]byte{lines[3], lines[0], lines[2]}, nil))
+	}
+	f.Add([]byte(`{"t":0,"rank":0,"kind":"x","i1":0}` + "\n")) // explicit zero optional
+	f.Add([]byte(`{"t":-0,"rank":0,"kind":"x"}` + "\n"))       // negative zero
+	f.Add([]byte("{\"t\":0,\"rank\":0,\"kind\":\"x\"}\r\n"))   // CRLF
+	f.Add([]byte("garbage\n"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		evs, err := ReadJournal(bytes.NewReader(b))
+		if err != nil {
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("untyped rejection of %d bytes: %v", len(b), err)
+			}
+			return
+		}
+		if got := reencode(evs); !bytes.Equal(got, b) {
+			t.Fatalf("accepted journal is not canonical:\n  in  %q\n  out %q", b, got)
+		}
+	})
+}

@@ -1,0 +1,209 @@
+package triage
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"heterohpc/internal/obs"
+)
+
+// j joins journal lines (given without newlines) into JSONL bytes.
+func j(lines ...string) string {
+	if len(lines) == 0 {
+		return ""
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func TestDiffIdentical(t *testing.T) {
+	a := j(
+		`{"t":0,"rank":0,"kind":"phase","name":"assemble"}`,
+		`{"t":1,"rank":0,"kind":"step","i1":1}`,
+	)
+	d, lines, err := Diff("a", strings.NewReader(a), "b", strings.NewReader(a), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != nil {
+		t.Fatalf("identical journals diverged: %+v", d)
+	}
+	if lines != 2 {
+		t.Fatalf("lines = %d, want 2", lines)
+	}
+}
+
+func TestDiffBothEmpty(t *testing.T) {
+	d, lines, err := Diff("a", strings.NewReader(""), "b", strings.NewReader(""), 3)
+	if err != nil || d != nil || lines != 0 {
+		t.Fatalf("got d=%v lines=%d err=%v", d, lines, err)
+	}
+}
+
+func TestDiffFirstDivergenceWithContext(t *testing.T) {
+	common := []string{
+		`{"t":0,"rank":0,"kind":"phase","name":"assemble"}`,
+		`{"t":0.5,"rank":3,"kind":"phase","name":"solve"}`,
+		`{"t":1,"rank":3,"kind":"step","i1":2}`,
+		`{"t":1.5,"rank":0,"kind":"step","i1":2}`,
+	}
+	old := j(append(append([]string{}, common...),
+		`{"t":2,"rank":3,"kind":"solve","name":"cg","i1":10,"f1":1e-09,"b":true}`,
+		`{"t":3,"rank":3,"kind":"step","i1":3}`,
+	)...)
+	new_ := j(append(append([]string{}, common...),
+		`{"t":2,"rank":3,"kind":"solve","name":"cg","i1":12,"f1":2e-09,"b":true}`,
+		`{"t":3.5,"rank":3,"kind":"step","i1":3}`,
+	)...)
+	d, lines, err := Diff("old.jsonl", strings.NewReader(old), "new.jsonl", strings.NewReader(new_), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil {
+		t.Fatal("no divergence found")
+	}
+	if d.Num != 5 || lines != 4 {
+		t.Fatalf("Num=%d lines=%d, want 5/4", d.Num, lines)
+	}
+	if len(d.Common) != 2 || d.Common[0].Num != 3 || d.Common[1].Num != 4 {
+		t.Fatalf("common window = %+v, want lines 3-4", d.Common)
+	}
+	for _, s := range []*Side{&d.Old, &d.New} {
+		if s.Line == nil || !s.Line.Parsed {
+			t.Fatalf("%s: diverging line missing/unparsed", s.Name)
+		}
+		if s.Line.Ev.Rank != 3 || s.Line.Ev.Kind != "solve" {
+			t.Fatalf("%s: wrong event %+v", s.Name, s.Line.Ev)
+		}
+		if s.Phase != "solve" {
+			t.Fatalf("%s: phase = %q, want solve", s.Name, s.Phase)
+		}
+		if s.Step != 2 {
+			t.Fatalf("%s: step = %d, want 2", s.Name, s.Step)
+		}
+		if len(s.After) != 1 {
+			t.Fatalf("%s: after = %v", s.Name, s.After)
+		}
+	}
+	if d.Old.Line.Ev.I1 != 10 || d.New.Line.Ev.I1 != 12 {
+		t.Fatalf("iteration payloads wrong: %d vs %d", d.Old.Line.Ev.I1, d.New.Line.Ev.I1)
+	}
+
+	rep := FormatDivergence(d)
+	for _, want := range []string{
+		"first divergence at line 5",
+		"common context:",
+		"old.jsonl", "new.jsonl",
+		`phase="solve"`, "after-step=2", `kind="solve"`,
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestDiffOneSideEnds(t *testing.T) {
+	old := j(
+		`{"t":0,"rank":0,"kind":"step","i1":1}`,
+		`{"t":1,"rank":0,"kind":"step","i1":2}`,
+	)
+	new_ := j(`{"t":0,"rank":0,"kind":"step","i1":1}`)
+	d, lines, err := Diff("old", strings.NewReader(old), "new", strings.NewReader(new_), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil || d.Num != 2 || lines != 1 {
+		t.Fatalf("d=%+v lines=%d", d, lines)
+	}
+	if d.New.Line != nil {
+		t.Fatalf("ended side has a line: %+v", d.New.Line)
+	}
+	if d.Old.Line == nil || d.Old.Step != 1 {
+		t.Fatalf("surviving side context wrong: %+v", d.Old)
+	}
+	if !strings.Contains(FormatDivergence(d), "journal ends after line 1") {
+		t.Errorf("report missing end-of-journal note:\n%s", FormatDivergence(d))
+	}
+}
+
+func TestDiffCkptRestoreRewindsStep(t *testing.T) {
+	old := j(
+		`{"t":0,"rank":0,"kind":"step","i1":3}`,
+		`{"t":1,"rank":0,"kind":"ckpt-restore","i1":1,"i2":64}`,
+		`{"t":2,"rank":0,"kind":"solve","name":"cg","i1":5,"b":true}`,
+	)
+	new_ := j(
+		`{"t":0,"rank":0,"kind":"step","i1":3}`,
+		`{"t":1,"rank":0,"kind":"ckpt-restore","i1":1,"i2":64}`,
+		`{"t":2,"rank":0,"kind":"solve","name":"cg","i1":6,"b":true}`,
+	)
+	d, _, err := Diff("old", strings.NewReader(old), "new", strings.NewReader(new_), 0)
+	if err != nil || d == nil {
+		t.Fatalf("d=%v err=%v", d, err)
+	}
+	if d.New.Step != 1 {
+		t.Fatalf("restore did not rewind step: %d, want 1", d.New.Step)
+	}
+}
+
+func TestDiffMalformedPrefixIsError(t *testing.T) {
+	bad := j("garbage", "more")
+	_, _, err := Diff("old", strings.NewReader(bad), "new", strings.NewReader(bad), 0)
+	if err == nil || !errors.Is(err, obs.ErrMalformed) {
+		t.Fatalf("got %v, want ErrMalformed", err)
+	}
+	if !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("error missing location: %v", err)
+	}
+}
+
+func TestDiffUnparseableDivergingLineStillReported(t *testing.T) {
+	old := j(`{"t":0,"rank":0,"kind":"step","i1":1}`, `garbage-old`)
+	new_ := j(`{"t":0,"rank":0,"kind":"step","i1":1}`, `garbage-new`)
+	d, _, err := Diff("old", strings.NewReader(old), "new", strings.NewReader(new_), 0)
+	if err != nil || d == nil {
+		t.Fatalf("d=%v err=%v", d, err)
+	}
+	if d.Old.Line == nil || d.Old.Line.Parsed || d.Old.Line.Raw != "garbage-old" {
+		t.Fatalf("unparseable line not carried: %+v", d.Old.Line)
+	}
+	if SideContext(&d.Old) != "unparseable line" {
+		t.Fatalf("context = %q", SideContext(&d.Old))
+	}
+}
+
+func TestDiffTruncatedFinalLineDiffs(t *testing.T) {
+	// A journal whose final line lost its newline (crashed writer) must
+	// still diff, not error.
+	oldRaw := `{"t":0,"rank":0,"kind":"step","i1":1}` + "\n" + `{"t":1,"rank":0,"kind":"st`
+	newRaw := j(`{"t":0,"rank":0,"kind":"step","i1":1}`, `{"t":1,"rank":0,"kind":"step","i1":2}`)
+	d, _, err := Diff("old", strings.NewReader(oldRaw), "new", strings.NewReader(newRaw), 0)
+	if err != nil || d == nil || d.Num != 2 {
+		t.Fatalf("d=%+v err=%v", d, err)
+	}
+}
+
+func TestFormatSweep(t *testing.T) {
+	divOld := j(`{"t":0,"rank":0,"kind":"step","i1":1}`, `{"t":1,"rank":0,"kind":"step","i1":2}`)
+	divNew := j(`{"t":0,"rank":0,"kind":"step","i1":1}`, `{"t":2,"rank":0,"kind":"step","i1":2}`)
+	d, lines, err := Diff("a", strings.NewReader(divOld), "b", strings.NewReader(divNew), 1)
+	if err != nil || d == nil {
+		t.Fatal(err)
+	}
+	results := []SweepResult{
+		{Point: SweepPoint{"puma", 1}, Lines: 40},
+		{Point: SweepPoint{"puma", 8}, Lines: lines, Div: d},
+		{Point: SweepPoint{"ec2", 1}, Lines: 40},
+		{Point: SweepPoint{"ec2", 8}, Err: errors.New("boom")},
+	}
+	out := FormatSweep(results)
+	for _, want := range []string{"platform", "puma", "ec2", "same", "L2", "ERR", "puma × 8: line 2", "ec2 × 8: error: boom"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep missing %q:\n%s", want, out)
+		}
+	}
+	// Grid rows must keep first-appearance order: puma before ec2.
+	if strings.Index(out, "puma") > strings.Index(out, "ec2") {
+		t.Errorf("platform order not preserved:\n%s", out)
+	}
+}
